@@ -1,0 +1,57 @@
+"""Shared infrastructure for the experiment benchmarks.
+
+Every ``test_eNN_*.py`` builds its workload here, runs it through a fresh
+simulated system, prints the resulting table/series (the paper-shape
+output recorded in EXPERIMENTS.md) and writes it to
+``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Optional, Tuple
+
+from repro.core import ConfigRegistry, make_service
+from repro.osim import Kernel, RoundRobin, RunStats, Scheduler
+from repro.sim import Simulator
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def run_system(
+    registry: ConfigRegistry,
+    tasks,
+    policy: str,
+    scheduler: Optional[Scheduler] = None,
+    context_switch: float = 20e-6,
+    **policy_kw,
+) -> Tuple[RunStats, object]:
+    """One complete simulation; returns (run stats, the service)."""
+    sim = Simulator()
+    service = make_service(policy, registry, **policy_kw)
+    kernel = Kernel(
+        sim,
+        scheduler if scheduler is not None else RoundRobin(time_slice=1e-3),
+        service,
+        context_switch=context_switch,
+    )
+    kernel.spawn_all(list(tasks))
+    stats = kernel.run()
+    return stats, service
+
+
+def emit(name: str, text: str) -> None:
+    """Print the experiment output and archive it under results/."""
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def monotone_nonincreasing(values, slack: float = 0.0) -> bool:
+    """Shape check helper: each value at most the previous (+slack)."""
+    return all(b <= a * (1 + slack) + 1e-12 for a, b in zip(values, values[1:]))
+
+
+def monotone_nondecreasing(values, slack: float = 0.0) -> bool:
+    return all(b * (1 + slack) + 1e-12 >= a for a, b in zip(values, values[1:]))

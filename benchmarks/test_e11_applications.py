@@ -1,0 +1,186 @@
+"""E11 — the paper's §5 application scenarios, quantified.
+
+The conclusions sketch three application classes; each is scripted here as
+a workload mirroring the corresponding example in ``examples/``, run under
+a dedicated-hardware baseline and the best-fitting VFPGA policy:
+
+* multimedia codec switching (examples/multimedia_codecs.py) — Zipf codec
+  popularity; overlay vs big merged device;
+* telecom protocol adaptation (examples/telecom_modem.py) — per-partner
+  encoders; variable partitioning vs whole-device dynamic loading;
+* embedded periodic diagnostics (examples/embedded_diagnostics.py) —
+  resident control law + rare diagnostics; overlay vs all-software.
+
+Real compiled circuits (CRC/FIR/ALU/comparator/parity/accumulator/random
+logic) are used throughout, compiled once per scenario.
+"""
+
+import pytest
+from _harness import emit, run_system
+
+from repro.analysis import format_table
+from repro.core import CapacityError, ConfigRegistry
+from repro.device import get_family
+from repro.netlist import (
+    accumulator,
+    alu,
+    comparator,
+    moving_sum_fir,
+    parity_tree,
+    random_logic,
+    serial_crc,
+)
+from repro.osim import CpuBurst, FpgaOp, PriorityScheduler, Task, zipf_workload
+
+
+def multimedia_rows():
+    def registry(arch, shape):
+        reg = ConfigRegistry(arch)
+        for nl, name in [
+            (moving_sum_fir(3, 3), "voice_fir"),
+            (serial_crc(8, 0x07), "stream_crc"),
+            (parity_tree(8), "sync_parity"),
+            (alu(3), "pixel_alu"),
+        ]:
+            reg.compile_and_register(nl, name=name, seed=1, effort="greedy",
+                                     shape=shape)
+        return reg
+
+    def tasks(reg):
+        return zipf_workload(reg.names(), n_tasks=8, ops_per_task=6,
+                             cpu_burst=0.5e-3, cycles=150_000, seed=11, s=1.4)
+
+    rows = []
+    reg = registry(get_family("VF24"), "square")
+    stats, svc = run_system(reg, tasks(reg), "merged")
+    rows.append({"scenario": "multimedia", "system": "VF24 merged",
+                 "makespan_ms": round(stats.makespan * 1e3, 1),
+                 "loads": svc.metrics.n_loads,
+                 "useful": round(stats.useful_fraction, 3)})
+    with pytest.raises(CapacityError):
+        reg = registry(get_family("VF12"), "square")
+        run_system(reg, tasks(reg), "merged")
+    rows.append({"scenario": "multimedia", "system": "VF12 merged",
+                 "makespan_ms": "DOES NOT FIT", "loads": "-", "useful": "-"})
+    reg = registry(get_family("VF12"), "columns")
+    stats, svc = run_system(reg, tasks(reg), "dynamic")
+    rows.append({"scenario": "multimedia", "system": "VF12 dynamic",
+                 "makespan_ms": round(stats.makespan * 1e3, 1),
+                 "loads": svc.metrics.n_loads,
+                 "useful": round(stats.useful_fraction, 3)})
+    reg = registry(get_family("VF12"), "columns")
+    stats, svc = run_system(reg, tasks(reg), "overlay",
+                            resident_names=["voice_fir"])
+    rows.append({"scenario": "multimedia", "system": "VF12 overlay",
+                 "makespan_ms": round(stats.makespan * 1e3, 1),
+                 "loads": svc.metrics.n_loads,
+                 "useful": round(stats.useful_fraction, 3)})
+    return rows
+
+
+def telecom_rows():
+    def registry():
+        arch = get_family("VF16")
+        reg = ConfigRegistry(arch)
+        for width, poly, name in [
+            (8, 0x07, "crc8_atm"), (5, 0x15, "crc5_usb"),
+            (4, 0x3, "crc4_itu"), (6, 0x03, "crc6_gsm"),
+        ]:
+            reg.compile_and_register(serial_crc(width, poly), name=name,
+                                     seed=1, effort="greedy", shape="columns")
+        return reg
+
+    def tasks(reg):
+        from repro.osim import uniform_workload
+        return uniform_workload(reg.names(), n_tasks=16, ops_per_task=5,
+                                cpu_burst=0.3e-3, cycles=120_000, seed=5,
+                                arrival_spread=5e-3)
+
+    rows = []
+    for policy, kw, label in [
+        ("dynamic", {}, "VF16 dynamic"),
+        ("fixed", {"n_partitions": 4}, "VF16 4 fixed partitions"),
+        ("variable", {"gc": "compact"}, "VF16 variable partitions"),
+    ]:
+        reg = registry()
+        stats, svc = run_system(reg, tasks(reg), policy, **kw)
+        rows.append({"scenario": "telecom", "system": label,
+                     "makespan_ms": round(stats.makespan * 1e3, 1),
+                     "loads": svc.metrics.n_loads,
+                     "useful": round(stats.useful_fraction, 3)})
+    return rows
+
+
+def embedded_rows():
+    def registry():
+        arch = get_family("VF10")
+        reg = ConfigRegistry(arch)
+        reg.compile_and_register(accumulator(4), name="control_law",
+                                 seed=1, effort="greedy", shape="columns")
+        reg.compile_and_register(random_logic(40, 8, 4, seed=3),
+                                 name="self_test", seed=1, effort="greedy",
+                                 shape="columns")
+        reg.compile_and_register(comparator(4), name="limit_check",
+                                 seed=1, effort="greedy", shape="columns")
+        reg.compile_and_register(parity_tree(8), name="mem_scrub",
+                                 seed=1, effort="greedy", shape="columns")
+        return reg
+
+    def tasks():
+        control = Task("control", [
+            s for _ in range(8)
+            for s in (CpuBurst(0.2e-3), FpgaOp("control_law", 80_000))
+        ], priority=0)
+        diags = [
+            Task(f"diag{i}", [
+                s for _ in range(3)
+                for s in (CpuBurst(1e-3), FpgaOp(name, 40_000))
+            ], priority=5, arrival=(i + 1) * 2e-3)
+            for i, name in enumerate(["self_test", "limit_check", "mem_scrub"])
+        ]
+        return [control] + diags
+
+    rows = []
+    for policy, kw, label in [
+        ("software", {"slowdown": 25.0}, "VF10 all software"),
+        ("overlay", {"resident_names": ["control_law"]}, "VF10 overlay"),
+    ]:
+        reg = registry()
+        ts = tasks()
+        stats, svc = run_system(reg, ts, policy,
+                                scheduler=PriorityScheduler(time_slice=0.5e-3),
+                                **kw)
+        control = next(t for t in ts if t.name == "control")
+        rows.append({"scenario": "embedded", "system": label,
+                     "makespan_ms": round(stats.makespan * 1e3, 1),
+                     "loads": svc.metrics.n_loads,
+                     "useful": round(stats.useful_fraction, 3),
+                     "control_ms": round(control.accounting.turnaround * 1e3, 1)})
+    return rows
+
+
+def test_e11_applications(benchmark):
+    def run_all():
+        return multimedia_rows() + telecom_rows() + embedded_rows()
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    emit("e11_applications", format_table(
+        rows, title="E11: the paper's §5 application scenarios"
+    ))
+    by = {(r["scenario"], r["system"]): r for r in rows}
+    # Multimedia: the small overlaid device approaches the big device.
+    big = by[("multimedia", "VF24 merged")]["makespan_ms"]
+    ov = by[("multimedia", "VF12 overlay")]["makespan_ms"]
+    dyn = by[("multimedia", "VF12 dynamic")]["makespan_ms"]
+    assert ov < dyn
+    assert ov < big * 1.5
+    # Telecom: partitioning beats whole-device dynamic loading clearly.
+    t_dyn = by[("telecom", "VF16 dynamic")]["makespan_ms"]
+    t_var = by[("telecom", "VF16 variable partitions")]["makespan_ms"]
+    assert t_var < t_dyn / 2
+    # Embedded: hardware with overlay crushes the software fallback and
+    # keeps the control task fast.
+    sw = by[("embedded", "VF10 all software")]
+    hw = by[("embedded", "VF10 overlay")]
+    assert hw["makespan_ms"] < sw["makespan_ms"] / 4
+    assert hw["control_ms"] < sw["control_ms"]

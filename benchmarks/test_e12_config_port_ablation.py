@@ -1,0 +1,76 @@
+"""E12 — configuration-port ablation: full-serial vs partial (paper §2).
+
+Claim: "in the Xilinx X4000 FPGAs, the configuration can be downloaded
+only serially and completely … therefore, programmability is restricted in
+the practice to initial configuration or occasional reconfiguration.  In
+some Xilinx FPGA families, the connectivity is partially reconfigurable.
+In these cases, frequent reprogramming of the FPGA is feasible."
+
+Same device geometry and workload; only ``supports_partial`` changes.  On
+the full-serial device every load rewrites the whole RAM *and* must wait
+for the fabric to go quiet (it would corrupt running circuits), so
+partition-style concurrency collapses too.  Expected shape: partial
+reconfiguration wins by a large factor on a switching-heavy workload, and
+the gap grows with switching frequency.
+"""
+
+from _harness import emit, run_system
+
+from repro.analysis import format_table, sweep
+from repro.core import ConfigRegistry
+from repro.device import get_family
+from repro.osim import CpuBurst, FpgaOp, Task
+
+CP = 25e-9
+
+
+def run_point(ops_per_task: int):
+    row = {}
+    for partial in (True, False):
+        arch = get_family("VF12").scaled(supports_partial=partial)
+        reg = ConfigRegistry(arch)
+        names = []
+        # Five configurations, device holds three: every point has real
+        # capacity pressure, so reconfiguration frequency scales with ops.
+        for i in range(5):
+            reg.register_synthetic(f"f{i}", 4, arch.height, critical_path=CP)
+            names.append(f"f{i}")
+        # Each task cycles through the configurations so reconfiguration
+        # frequency genuinely scales with ops_per_task.
+        tasks = []
+        for t in range(6):
+            program = []
+            for i in range(ops_per_task):
+                program.append(CpuBurst(1e-3))
+                program.append(FpgaOp(names[(t + i) % len(names)], 100_000))
+            tasks.append(Task(f"t{t}", program))
+        stats, service = run_system(reg, tasks, "variable", gc="merge")
+        key = "partial" if partial else "full_serial"
+        row[f"{key}_ms"] = round(stats.makespan * 1e3, 1)
+        row[f"{key}_reconfig_ms"] = round(stats.total_fpga_reconfig * 1e3, 1)
+    row["slowdown"] = round(row["full_serial_ms"] / row["partial_ms"], 2)
+    return row
+
+
+def test_e12_config_port_ablation(benchmark):
+    result = benchmark.pedantic(
+        lambda: sweep("ops_per_task", [1, 2, 4, 8], run_point),
+        rounds=1, iterations=1,
+    )
+    emit("e12_config_port_ablation", format_table(
+        result.rows,
+        title="E12: partial vs full-serial configuration port "
+              "(6 tasks, 5 configurations on a 3-slot device, "
+              "variable partitioning)",
+    ))
+    slowdowns = result.column("slowdown")
+    # Shape 1: the full-serial device is uniformly and substantially worse
+    # (it rewrites the whole RAM per switch and must quiesce the fabric,
+    # which also kills partition concurrency).
+    assert all(s > 1.5 for s in slowdowns)
+    # Shape 2: total reconfiguration time scales with switching frequency
+    # on both ports, but the serial port pays more at every point.
+    partial = result.column("partial_reconfig_ms")
+    serial = result.column("full_serial_reconfig_ms")
+    assert serial[-1] > serial[0] and partial[-1] > partial[0]
+    assert all(f > 1.5 * p for f, p in zip(serial, partial))

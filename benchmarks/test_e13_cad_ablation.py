@@ -1,0 +1,97 @@
+"""E13 — CAD-flow quality ablation (design-choice ablation from DESIGN.md).
+
+Not a claim of the paper, but a design decision of this reproduction that
+the VFPGA numbers depend on: how good must placement/routing be?  We
+compile a suite of real circuits under (a) greedy vs simulated-annealing
+placement and (b) a router iteration cap sweep, and report wirelength,
+critical path and routability.
+
+Expected shapes: SA placement never lengthens wires on average and
+usually shortens the critical path; starving the router of iterations
+turns dense circuits unroutable while generous caps change nothing.
+"""
+
+import pytest
+from _harness import emit, run_system
+
+from repro.analysis import format_table, geometric_mean
+from repro.cad import RoutingError, compile_netlist
+from repro.device import get_family
+from repro.netlist import alu, comparator, ripple_adder, serial_crc
+
+ARCH = get_family("VF10")
+SUITE = [
+    ("adder4", lambda: ripple_adder(4)),
+    ("cmp4", lambda: comparator(4)),
+    ("alu3", lambda: alu(3)),
+    ("crc8", lambda: serial_crc(8, 0x07)),
+]
+
+
+def placement_rows():
+    rows = []
+    for name, factory in SUITE:
+        row = {"circuit": name}
+        for effort in ("greedy", "sa"):
+            res = compile_netlist(factory(), ARCH, seed=3, effort=effort)
+            row[f"{effort}_wl"] = res.wirelength
+            row[f"{effort}_cp_ns"] = round(res.critical_path * 1e9, 2)
+        row["wl_gain"] = round(row["greedy_wl"] / row["sa_wl"], 3)
+        rows.append(row)
+    return rows
+
+
+def router_rows():
+    rows = []
+    for cap in (2, 4, 8, 24):
+        ok = 0
+        wl = []
+        for name, factory in SUITE:
+            try:
+                res = compile_netlist(
+                    factory(), ARCH, seed=3, effort="greedy",
+                    max_route_iterations=cap,
+                )
+                ok += 1
+                wl.append(res.wirelength)
+            except RoutingError:
+                pass
+        rows.append({
+            "router_iter_cap": cap,
+            "routed": f"{ok}/{len(SUITE)}",
+            "geo_wirelength": round(geometric_mean(wl), 1) if wl else "-",
+        })
+    return rows
+
+
+def test_e13_cad_ablation(benchmark):
+    def run_all():
+        return placement_rows(), router_rows()
+
+    place_rows, route_rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    text = format_table(
+        place_rows, title="E13a: greedy vs simulated-annealing placement"
+    ) + "\n\n" + format_table(
+        route_rows, title="E13b: router iteration cap vs routability"
+    )
+    emit("e13_cad_ablation", text)
+    # Shape: SA placement reduces wirelength on the suite (geomean > 1).
+    gains = [r["wl_gain"] for r in place_rows]
+    assert geometric_mean(gains) > 1.0
+    # Every circuit routes with the default cap.
+    assert route_rows[-1]["routed"] == f"{len(SUITE)}/{len(SUITE)}"
+    # Routability is monotone in the iteration cap.
+    counts = [int(r["routed"].split("/")[0]) for r in route_rows]
+    assert all(b >= a for a, b in zip(counts, counts[1:]))
+
+
+def test_e13_compile_throughput(benchmark):
+    """Micro-benchmark: full-flow compile time for a mid-size circuit
+    (the quantity that bounds registry construction in every experiment)."""
+    nl = ripple_adder(4)
+
+    def compile_once():
+        return compile_netlist(nl, ARCH, seed=1, effort="greedy")
+
+    result = benchmark(compile_once)
+    assert result.bitstream.used_clbs > 0

@@ -1,0 +1,68 @@
+"""E17 — the paper's "virtual computer": a system of FPGA boards (§2).
+
+Claim: "a higher-abstraction level could be envisioned by realizing a
+computing system composed only of FPGA-based boards so that the whole
+system operation can be virtualized."
+
+A fixed FPGA-bound workload runs on 1–4 boards behind one virtual-FPGA
+interface (affinity-then-least-loaded placement, per-board dynamic
+loading).  Expected shape: makespan scales down with board count while
+the working set exceeds one board (near-linear at first, saturating once
+every configuration has a home), and downloads fall because configs stop
+evicting each other.
+"""
+
+from _harness import emit, monotone_nonincreasing, run_system
+
+from repro.analysis import format_table, sweep
+from repro.core import ConfigRegistry
+from repro.device import get_family
+from repro.osim import uniform_workload
+
+CP = 25e-9
+N_CONFIGS = 4
+
+
+def run_point(n_devices: int):
+    arch = get_family("VF10")
+    reg = ConfigRegistry(arch)
+    names = []
+    for i in range(N_CONFIGS):
+        reg.register_synthetic(f"f{i}", 6, arch.height, critical_path=CP)
+        names.append(f"f{i}")
+    tasks = uniform_workload(
+        names, n_tasks=8, ops_per_task=4, cpu_burst=0.5e-3,
+        cycles=200_000, seed=23,
+    )
+    stats, service = run_system(reg, tasks, "multi", n_devices=n_devices)
+    busy = service.per_board_exec
+    return {
+        "makespan_ms": round(stats.makespan * 1e3, 2),
+        "loads": service.metrics.n_loads,
+        "hit_rate": round(service.metrics.hit_rate, 3),
+        "boards_used": sum(1 for x in busy if x > 0),
+        "useful": round(stats.useful_fraction, 3),
+    }
+
+
+def test_e17_multi_board(benchmark):
+    counts = [1, 2, 3, 4]
+    result = benchmark.pedantic(
+        lambda: sweep("boards", counts, run_point), rounds=1, iterations=1
+    )
+    emit("e17_multi_board", format_table(
+        result.rows,
+        title="E17: one virtual FPGA over N physical boards "
+              f"({N_CONFIGS} configurations, 8 tasks)",
+    ))
+    makespans = result.column("makespan_ms")
+    loads = result.column("loads")
+    # Shape 1: more boards never hurt, and help substantially early.
+    assert monotone_nonincreasing(makespans, slack=0.02)
+    assert makespans[1] < makespans[0] * 0.75
+    # Shape 2: downloads fall as configurations get their own homes; with
+    # a board per configuration only the cold loads remain.
+    assert monotone_nonincreasing(loads)
+    assert loads[-1] == N_CONFIGS
+    # Shape 3: all boards participate once they exist.
+    assert result.rows[-1]["boards_used"] == 4

@@ -1,0 +1,77 @@
+"""E1 — dynamic-loading feasibility vs configuration time (paper §2/§3).
+
+Claim: "the applicability of dynamic loading is limited by the time
+required to physically download the FPGA configuration … changing the
+configuration upon explicit request is feasible if it is required not too
+often with respect to the time left to the other application activities."
+
+We sweep the configuration port's serial rate over two decades, keeping
+the workload fixed (alternating configurations, so every operation needs a
+download).  The independent variable is reported as the ratio of one
+download to one operation's compute time; the useful-compute fraction must
+collapse as the ratio passes 1.
+"""
+
+from _harness import emit, monotone_nonincreasing, run_system
+
+from repro.analysis import format_table, sweep
+from repro.core import ConfigRegistry
+from repro.device import get_family
+from repro.osim import uniform_workload
+
+CYCLES = 200_000
+CP = 25e-9  # synthetic circuit clock period
+OP_SECONDS = CYCLES * CP
+
+
+def run_point(serial_rate: float):
+    arch = get_family("VF12").scaled(
+        serial_rate=serial_rate, readback_rate=serial_rate
+    )
+    registry = ConfigRegistry(arch)
+    registry.register_synthetic("f1", 6, arch.height, critical_path=CP)
+    registry.register_synthetic("f2", 6, arch.height, critical_path=CP)
+    # A single task alternating between two configurations isolates the
+    # download overhead from queueing effects: every op needs a download.
+    tasks = uniform_workload(
+        ["f1", "f2"], n_tasks=1, ops_per_task=12,
+        cpu_burst=1e-3, cycles=CYCLES, seed=3,
+    )
+    program = tasks[0].program
+    # Interleave the two configs within the one task.
+    from repro.osim import FpgaOp
+    for i, step in enumerate(program):
+        if isinstance(step, FpgaOp):
+            program[i] = FpgaOp("f1" if (i // 2) % 2 == 0 else "f2",
+                                step.cycles)
+    tasks[0].configs = ["f1", "f2"]
+    stats, service = run_system(registry, tasks, "dynamic")
+    load_seconds = service.metrics.load_time / max(1, service.metrics.n_loads)
+    return {
+        "load/op ratio": round(load_seconds / OP_SECONDS, 3),
+        "useful": round(stats.useful_fraction, 4),
+        "makespan_ms": round(stats.makespan * 1e3, 2),
+        "loads": service.metrics.n_loads,
+    }
+
+
+def test_e1_dynamic_loading(benchmark):
+    rates = [64e6, 16e6, 4e6, 1e6, 0.25e6]
+    result = benchmark.pedantic(
+        lambda: sweep("serial_rate", rates, run_point), rounds=1, iterations=1
+    )
+    emit("e1_dynamic_loading", format_table(
+        result.rows,
+        title="E1: dynamic loading vs configuration speed "
+              f"(op compute = {OP_SECONDS * 1e3:.1f} ms)",
+    ))
+    useful = result.column("useful")
+    ratios = result.column("load/op ratio")
+    # Shape: useful fraction collapses monotonically as downloads slow.
+    assert monotone_nonincreasing(useful, slack=0.02)
+    assert useful[0] > 0.6, "fast port should be dominated by compute"
+    assert useful[-1] < 0.15, "slow port should be dominated by configuration"
+    # The knee: once a download costs about one op, usefulness < 50%.
+    for ratio, u in zip(ratios, useful):
+        if ratio >= 1.0:
+            assert u < 0.5

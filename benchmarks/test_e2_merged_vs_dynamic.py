@@ -1,0 +1,81 @@
+"""E2 — the merged "trivial solution" vs dynamic loading (paper §3).
+
+Claim: "If the FPGA is large enough to accommodate contemporaneously all
+circuits required by all applications, a trivial solution is to merge all
+circuits into only one … The general solution is indeed dynamic loading."
+
+Sweep the device size for a fixed four-circuit mix.  Expected shape: on
+devices that hold the whole mix, the merged baseline needs zero
+steady-state reconfigurations and dynamic loading converges toward it
+(residency hits); below the threshold the merged system is simply
+inadmissible while dynamic loading keeps working at a reconfiguration
+cost.
+"""
+
+from _harness import emit, run_system
+
+from repro.analysis import format_table, sweep
+from repro.core import CapacityError, ConfigRegistry
+from repro.device import get_family
+from repro.osim import uniform_workload
+
+CP = 25e-9
+MIX = [("f1", 6), ("f2", 6), ("f3", 5), ("f4", 5)]  # widths, full height
+
+
+def make_registry(arch):
+    reg = ConfigRegistry(arch)
+    for name, w in MIX:
+        reg.register_synthetic(name, min(w, arch.width), arch.height,
+                               critical_path=CP)
+    return reg
+
+
+def make_tasks(names):
+    return uniform_workload(
+        names, n_tasks=8, ops_per_task=4, cpu_burst=0.5e-3,
+        cycles=100_000, seed=9,
+    )
+
+
+def run_point(family: str):
+    arch = get_family(family)
+    row = {"device_clbs": arch.n_clbs}
+    reg = make_registry(arch)
+    names = reg.names()
+    try:
+        stats, service = run_system(reg, make_tasks(names), "merged")
+        row["merged"] = f"{stats.makespan * 1e3:.1f}ms"
+        row["merged_reconfigs"] = stats.n_reconfigs
+    except CapacityError:
+        row["merged"] = "DOES NOT FIT"
+        row["merged_reconfigs"] = "-"
+    reg2 = make_registry(arch)
+    stats, service = run_system(reg2, make_tasks(names), "dynamic")
+    row["dynamic"] = f"{stats.makespan * 1e3:.1f}ms"
+    row["dynamic_loads"] = service.metrics.n_loads
+    row["dynamic_hit_rate"] = round(service.metrics.hit_rate, 3)
+    return row
+
+
+def test_e2_merged_vs_dynamic(benchmark):
+    families = ["VF32", "VF24", "VF16", "VF12", "VF8"]
+    result = benchmark.pedantic(
+        lambda: sweep("family", families, run_point), rounds=1, iterations=1
+    )
+    emit("e2_merged_vs_dynamic", format_table(
+        result.rows,
+        title="E2: merged-resident baseline vs dynamic loading, device sweep "
+              "(mix needs 22 columns)",
+    ))
+    merged = result.column("merged")
+    # Shape: merged admissible only while the device holds the mix.
+    assert merged[0] != "DOES NOT FIT"          # VF32 holds everything
+    assert "DOES NOT FIT" in merged             # some device is too small
+    # Once inadmissible, it stays inadmissible as devices shrink.
+    first_fail = merged.index("DOES NOT FIT")
+    assert all(m == "DOES NOT FIT" for m in merged[first_fail:])
+    # Dynamic loading works on every device in the sweep.
+    assert all(isinstance(r["dynamic_loads"], int) for r in result.rows)
+    # On the big device the merged baseline needs no task-time reconfigs.
+    assert result.rows[0]["merged_reconfigs"] == 0

@@ -1,0 +1,85 @@
+"""E3 — the non-preemptable FPGA destroys task parallelism (paper §4).
+
+Claim: "Parallelism of the execution of application tasks may be greatly
+reduced, even implicitly forcing the scheduling to a strictly FIFO
+policy."
+
+Fixed workload of FPGA-heavy tasks under a round-robin CPU scheduler;
+three managers.  Expected shape: under the non-preemptable manager the
+FPGA completions come out in strict arrival order and the makespan
+approaches the serial sum of service times; partitioning restores overlap.
+"""
+
+from _harness import emit, run_system
+
+from repro.analysis import format_table
+from repro.core import ConfigRegistry
+from repro.device import get_family
+from repro.osim import FpgaOp, Task
+
+CP = 25e-9
+CYCLES = 400_000
+N_TASKS = 6
+
+
+def make_registry():
+    arch = get_family("VF12")
+    reg = ConfigRegistry(arch)
+    for i in range(3):
+        reg.register_synthetic(f"f{i}", 4, arch.height, critical_path=CP)
+    return reg
+
+
+def make_tasks():
+    return [
+        Task(f"t{i}", [FpgaOp(f"f{i % 3}", CYCLES)], arrival=i * 1e-4)
+        for i in range(N_TASKS)
+    ]
+
+
+def completion_order(tasks):
+    return [
+        name for _done, name in sorted(
+            (t.accounting.completion, t.name) for t in tasks
+        )
+    ]
+
+
+def test_e3_nonpreemptable(benchmark):
+    def run_all():
+        rows = []
+        orders = {}
+        for policy, kw in [
+            ("nonpreemptable", {}),
+            ("dynamic", {}),
+            ("fixed", {"n_partitions": 3}),
+        ]:
+            reg = make_registry()
+            tasks = make_tasks()
+            stats, service = run_system(reg, tasks, policy, **kw)
+            rows.append({
+                "policy": policy,
+                "makespan_ms": round(stats.makespan * 1e3, 2),
+                "mean_turnaround_ms": round(stats.mean_turnaround * 1e3, 2),
+                "loads": service.metrics.n_loads,
+                "max_overlap": "yes" if policy == "fixed" else "no",
+            })
+            orders[policy] = completion_order(tasks)
+        return rows, orders
+
+    rows, orders = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    emit("e3_nonpreemptable", format_table(
+        rows, title="E3: non-preemptable FPGA vs alternatives "
+        f"({N_TASKS} tasks x {CYCLES * CP * 1e3:.0f} ms ops)",
+    ))
+    # Shape 1: non-preemptable completes in strict FIFO (arrival) order.
+    assert orders["nonpreemptable"] == [f"t{i}" for i in range(N_TASKS)]
+    # Shape 2: its makespan is at least the serial sum of the exec times.
+    serial_exec = N_TASKS * CYCLES * CP
+    by_policy = {r["policy"]: r for r in rows}
+    assert by_policy["nonpreemptable"]["makespan_ms"] >= serial_exec * 1e3
+    # Shape 3: partitioning overlaps executions and beats both.
+    assert (by_policy["fixed"]["makespan_ms"]
+            < by_policy["nonpreemptable"]["makespan_ms"])
+    assert (by_policy["fixed"]["makespan_ms"]
+            < by_policy["dynamic"]["makespan_ms"])

@@ -1,0 +1,88 @@
+"""E5 — variable-partition fragmentation and garbage collection (paper §4).
+
+Claim: "a task could remain indefinitely waiting … while such a space may
+be actually available even if split in more idle existing partitions.  In
+such a case, a garbage-collecting procedure must be introduced to merge —
+when necessary — the idle existing partitions … Relocation on partitions
+is a time-consuming operation."
+
+Churn workload of mixed-width circuits on a 16-column device, variable
+partitioning under three GC modes.  Expected shape: ``gc=none`` starves
+(deadlocked run, positive starvation events); ``merge`` completes; with
+long-lived holders in the middle, ``compact`` is the one that also keeps
+wide requests moving, paying measurable relocation time.
+"""
+
+from _harness import emit, run_system
+
+from repro.analysis import format_table, sweep
+from repro.core import ConfigRegistry
+from repro.device import get_family
+from repro.osim import CpuBurst, DeadlockError, FpgaOp, Task
+
+CP = 25e-9
+
+
+def make_registry():
+    arch = get_family("VF16")
+    reg = ConfigRegistry(arch)
+    for name, w in [("n3a", 3), ("n3b", 3), ("n4", 4), ("n5", 5), ("w8", 8)]:
+        reg.register_synthetic(name, w, arch.height, critical_path=CP)
+    return reg
+
+
+def make_tasks():
+    """Churn: narrow circuits come and go; a long holder sits in the
+    middle of the timeline; then a wide request arrives."""
+    tasks = []
+    for i, name in enumerate(["n3a", "n3b", "n4", "n5"]):
+        tasks.append(Task(
+            f"churn{i}",
+            [FpgaOp(name, 50_000), CpuBurst(1e-3), FpgaOp(name, 50_000)],
+            arrival=i * 0.5e-3,
+        ))
+    tasks.append(Task(
+        "holder",
+        [FpgaOp("n4", 20_000), CpuBurst(0.12), FpgaOp("n4", 20_000)],
+        arrival=2.2e-3,
+    ))
+    tasks.append(Task("wide", [FpgaOp("w8", 80_000)], arrival=3e-2))
+    return tasks
+
+
+def run_point(gc: str):
+    reg = make_registry()
+    tasks = make_tasks()
+    try:
+        stats, service = run_system(reg, tasks, "variable", gc=gc)
+        return {
+            "completed": "yes",
+            "makespan_ms": round(stats.makespan * 1e3, 2),
+            "starvation_events": service.starvation_events,
+            "relocations": service.metrics.n_relocations,
+            "gc_state_ms": round(service.metrics.state_time * 1e3, 3),
+            "fragmentation": round(service.allocator.fragmentation, 3),
+        }
+    except DeadlockError:
+        raise
+
+
+def test_e5_fragmentation_gc(benchmark):
+    result = benchmark.pedantic(
+        lambda: sweep("gc", ["none", "merge", "compact"], run_point,
+                      expected_errors=(DeadlockError,)),
+        rounds=1, iterations=1,
+    )
+    emit("e5_fragmentation_gc", format_table(
+        result.rows,
+        title="E5: variable partitions under churn, GC mode sweep "
+              "(16 columns, wide request = 8)",
+    ))
+    by_gc = {r["gc"]: r for r in result.rows}
+    # Shape: without GC the wide task starves -> the run deadlocks.
+    assert by_gc["none"]["outcome"] == "DeadlockError"
+    # Merging completes the run.
+    assert by_gc["merge"]["outcome"] == "ok"
+    # Compaction also completes and performs actual relocations.
+    assert by_gc["compact"]["outcome"] == "ok"
+    assert by_gc["compact"]["relocations"] >= 1

@@ -1,0 +1,101 @@
+"""E6 — preempting sequential circuits: save/restore vs rollback (paper §3).
+
+Claim: sequential circuits can only be preempted if their state is
+observable and controllable; "the state reading and loading operations
+should be as simple and fast as possible in order to minimize the
+reactivation time" — otherwise rolling back (losing progress) or refusing
+preemption is preferable.
+
+Scenario: the paper's shared "service algorithm" (§3): one sequential
+circuit serves every task, so context switches move *state*, never the
+configuration — isolating exactly the cost §3 discusses.  A long
+background operation shares it with a latency-sensitive periodic task
+issuing short operations.  We sweep the background operation's length
+under the three §3 policies plus the adaptive hybrid and report (a) when
+the background job finishes and (b) how long the periodic task waits.
+
+Expected shape:
+
+* run-to-completion gives the background job its minimum time but makes
+  the periodic task wait for the whole operation — the §4 parallelism
+  loss;
+* rollback keeps the periodic task responsive but re-does lost progress,
+  so its background completion time grows super-linearly with op length;
+* save/restore pays a fixed state-movement cost per interruption: cheaper
+  than rollback once operations are long — a crossover the adaptive
+  policy must track.
+"""
+
+from _harness import emit, run_system
+
+from repro.analysis import crossover_x, format_table, sweep
+from repro.core import ConfigRegistry
+from repro.device import get_family
+from repro.osim import CpuBurst, FpgaOp, Task
+
+CP = 25e-9
+SLICE = 5e-3          # fabric quantum
+PERIOD = 20e-3        # interferer period
+INTR_CYCLES = 20_000  # 0.5 ms
+
+
+def run_point(cycles: int):
+    row = {"bg_op_ms": round(cycles * CP * 1e3, 1)}
+    n_intr = max(4, int((cycles * CP * 3) / PERIOD))
+    for policy, key in [
+        ("run-to-completion", "rtc"),
+        ("rollback", "rb"),
+        ("save-restore", "sr"),
+        ("adaptive", "ad"),
+    ]:
+        arch = get_family("VF12")
+        reg = ConfigRegistry(arch)
+        # State concentrated in one column: cheap, fast readback (§3's
+        # "as simple and fast as possible").
+        reg.register_synthetic("seq", 6, arch.height, n_state_bits=12,
+                               critical_path=CP)
+        bg = Task("bg", [FpgaOp("seq", cycles)])
+        intr = Task(
+            "intr",
+            [s for _ in range(n_intr)
+             for s in (CpuBurst(PERIOD), FpgaOp("seq", INTR_CYCLES))],
+            arrival=1e-3,
+        )
+        stats, service = run_system(
+            reg, [bg, intr], "dynamic", preemption=policy,
+            fpga_time_slice=SLICE,
+        )
+        row[f"{key}_bg_ms"] = round(bg.accounting.completion * 1e3, 1)
+        row[f"{key}_wait_ms"] = round(
+            intr.accounting.fpga_wait_time / n_intr * 1e3, 2
+        )
+    return row
+
+
+def test_e6_state_saving(benchmark):
+    cycle_counts = [200_000, 800_000, 3_200_000, 12_800_000]
+    result = benchmark.pedantic(
+        lambda: sweep("cycles", cycle_counts, run_point), rounds=1, iterations=1
+    )
+    emit("e6_state_saving", format_table(
+        result.rows,
+        title="E6: preemption policy vs background sequential op length "
+              "(periodic 0.5 ms ops every 20 ms; 12 state bits)",
+    ))
+    ops = result.column("bg_op_ms")
+    rb_bg = result.column("rb_bg_ms")
+    sr_bg = result.column("sr_bg_ms")
+    rtc_wait = result.column("rtc_wait_ms")
+    sr_wait = result.column("sr_wait_ms")
+    ad_bg = result.column("ad_bg_ms")
+    # Shape 1: run-to-completion blocks the periodic task ever longer.
+    assert rtc_wait[-1] > rtc_wait[0]
+    assert rtc_wait[-1] > 4 * sr_wait[-1]
+    # Shape 2: save/restore beats rollback for long background ops.
+    assert sr_bg[-1] < rb_bg[-1]
+    # Shape 3: there is a rollback/save-restore crossover in op length.
+    cross = crossover_x(ops, rb_bg, sr_bg)
+    assert cross is not None
+    # Shape 4: adaptive tracks the cheaper policy (within 20%).
+    for a, r, s in zip(ad_bg, rb_bg, sr_bg):
+        assert a <= min(r, s) * 1.2

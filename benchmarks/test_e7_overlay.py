@@ -1,0 +1,76 @@
+"""E7 — overlaying: keep frequent common functions resident (paper §2).
+
+Claim: "overlaying configures part of the FPGA to compute common functions
+which are frequently used, while the remaining part is used to download
+specific functions which are typically rarely used or mutually exclusive."
+
+Zipf-distributed function popularity over six configurations; sweep how
+many of the hottest functions are pinned (0 = pure dynamic loading of one
+circuit at a time in the whole array … 3 = three pinned + overlay).
+Expected shape: hit rate tracks the Zipf mass of the pinned set, and total
+reconfiguration time falls as the resident set grows.
+"""
+
+from _harness import emit, monotone_nondecreasing, monotone_nonincreasing, run_system
+
+from repro.analysis import format_table, sweep
+from repro.core import ConfigRegistry
+from repro.device import get_family
+from repro.osim import zipf_workload
+
+CP = 25e-9
+N_CONFIGS = 6
+WIDTH = 3  # columns per circuit; device has 16
+
+
+def make_registry():
+    arch = get_family("VF16")
+    reg = ConfigRegistry(arch)
+    for i in range(N_CONFIGS):
+        reg.register_synthetic(f"f{i}", WIDTH, arch.height, critical_path=CP)
+    return reg
+
+
+def make_tasks(names):
+    # zipf_workload makes f0 hottest, f5 coldest (s = 1.4).
+    return zipf_workload(
+        names, n_tasks=6, ops_per_task=10, cpu_burst=0.5e-3,
+        cycles=100_000, seed=13, s=1.4,
+    )
+
+
+def run_point(n_pinned: int):
+    reg = make_registry()
+    names = reg.names()
+    tasks = make_tasks(names)
+    if n_pinned == 0:
+        stats, service = run_system(reg, tasks, "dynamic")
+    else:
+        stats, service = run_system(
+            reg, tasks, "overlay", resident_names=names[:n_pinned]
+        )
+    return {
+        "hit_rate": round(service.metrics.hit_rate, 3),
+        "loads": service.metrics.n_loads,
+        "reconfig_ms": round(stats.total_fpga_reconfig * 1e3, 2),
+        "makespan_ms": round(stats.makespan * 1e3, 2),
+    }
+
+
+def test_e7_overlay(benchmark):
+    pinned_counts = [0, 1, 2, 3]
+    result = benchmark.pedantic(
+        lambda: sweep("pinned", pinned_counts, run_point), rounds=1, iterations=1
+    )
+    emit("e7_overlay", format_table(
+        result.rows,
+        title="E7: overlay resident-set sweep (Zipf s=1.4 over "
+              f"{N_CONFIGS} functions)",
+    ))
+    hits = result.column("hit_rate")
+    reconfig = result.column("reconfig_ms")
+    # Shape: hit rate grows with the pinned set, reconfig time falls.
+    assert monotone_nondecreasing(hits)
+    assert monotone_nonincreasing(reconfig, slack=0.05)
+    assert hits[-1] > hits[0] + 0.3
+    assert reconfig[-1] < reconfig[0] / 2

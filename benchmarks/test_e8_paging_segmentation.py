@@ -1,0 +1,138 @@
+"""E8 — pagination vs segmentation: page size and replacement (paper §2).
+
+Claims: "segmentation decomposes the function … into smaller parts
+computing a self-contained sub-function and, as a consequence, having
+variable size; pagination partitions the function … into smaller portions
+of fixed size."  The classic virtual-memory trade-offs must appear:
+
+* small pages → many faults (per-fault overhead dominates); large pages →
+  internal fragmentation (fewer frames, more capacity misses);
+* replacement policy matters: on a cyclic sweep larger than the frame
+  pool, LRU faults every access while MRU keeps most of the loop
+  resident;
+* variable-size segments avoid internal fragmentation but pay allocator
+  work and external fragmentation.
+"""
+
+from _harness import emit, run_system
+
+from repro.analysis import format_table, sweep
+from repro.core import ConfigRegistry, make_paged_circuit, make_segmented_circuit
+from repro.device import get_family
+from repro.osim import FpgaOp, Task
+
+CP = 25e-9
+VIRTUAL_COLUMNS = 24   # the virtual circuit's total width (device: 12)
+ACCESSES = 60
+
+
+def run_page_size(page_width: int):
+    arch = get_family("VF12")
+    reg = ConfigRegistry(arch)
+    n_pages = VIRTUAL_COLUMNS // page_width
+    circ = make_paged_circuit(
+        reg, "virt", n_pages=n_pages, page_width=page_width,
+        critical_path=CP, pattern="zipf", seed=21,
+    )
+    tasks = [Task("t", [FpgaOp("virt", ACCESSES)])]
+    stats, service = run_system(
+        reg, tasks, "paged", circuits=[circ], frame_width=page_width,
+        replacement="lru", cycles_per_access=40_000,
+    )
+    return {
+        "n_pages": n_pages,
+        "frames": service.n_frames,
+        "faults": service.metrics.n_page_faults,
+        "fault_rate": round(service.metrics.fault_rate, 3),
+        "reconfig_ms": round(stats.total_fpga_reconfig * 1e3, 2),
+        "makespan_ms": round(stats.makespan * 1e3, 2),
+    }
+
+
+def run_replacement(replacement: str):
+    arch = get_family("VF12")
+    reg = ConfigRegistry(arch)
+    # Cyclic sweep over 5 pages with only 4 frames: the adversarial case.
+    circ = make_paged_circuit(
+        reg, "virt", n_pages=5, page_width=3, critical_path=CP,
+        pattern="looping", working_set=5, seed=7,
+    )
+    tasks = [Task("t", [FpgaOp("virt", ACCESSES)])]
+    stats, service = run_system(
+        reg, tasks, "paged", circuits=[circ], frame_width=3,
+        replacement=replacement, cycles_per_access=40_000,
+    )
+    return {
+        "faults": service.metrics.n_page_faults,
+        "fault_rate": round(service.metrics.fault_rate, 3),
+        "makespan_ms": round(stats.makespan * 1e3, 2),
+    }
+
+
+def run_segmented():
+    arch = get_family("VF12")
+    reg = ConfigRegistry(arch)
+    # Same 24 virtual columns, but cut along "natural" boundaries.
+    circ = make_segmented_circuit(
+        reg, "virt", widths=[5, 3, 6, 4, 2, 4], critical_path=CP,
+        pattern="zipf", seed=21,
+    )
+    tasks = [Task("t", [FpgaOp("virt", ACCESSES)])]
+    stats, service = run_system(
+        reg, tasks, "segmented", circuits=[circ],
+        replacement="lru", cycles_per_access=40_000,
+    )
+    return {
+        "scheme": "segmentation (widths 5,3,6,4,2,4)",
+        "faults": service.metrics.n_page_faults,
+        "fault_rate": round(service.metrics.fault_rate, 3),
+        "reconfig_ms": round(stats.total_fpga_reconfig * 1e3, 2),
+        "makespan_ms": round(stats.makespan * 1e3, 2),
+    }
+
+
+def test_e8_page_size_sweep(benchmark):
+    result = benchmark.pedantic(
+        lambda: sweep("page_width", [2, 3, 4, 6], run_page_size),
+        rounds=1, iterations=1,
+    )
+    seg_row = run_segmented()
+    table = format_table(
+        result.rows,
+        title="E8a: page-size sweep (24 virtual columns on a 12-column "
+              "device, Zipf accesses, LRU)",
+    ) + "\n\n" + format_table([seg_row], title="E8b: segmentation, same "
+                              "virtual circuit cut at natural boundaries")
+    emit("e8_paging_segmentation", table)
+    # Shape: per-fault cost grows with page width (bigger downloads) …
+    reconfig = result.column("reconfig_ms")
+    faults = result.column("faults")
+    per_fault = [r / max(1, f) for r, f in zip(reconfig, faults)]
+    assert per_fault[-1] > per_fault[0]
+    # … while the *number* of frames shrinks (internal fragmentation):
+    assert result.rows[-1]["frames"] < result.rows[0]["frames"]
+    # Segmentation loads exactly the columns each sub-function needs, so
+    # its per-fault download cost beats the largest fixed page (which
+    # carries internal fragmentation on every fault) — while its *fault
+    # count* may exceed pagination's: variable sizes suffer external
+    # fragmentation instead (the paper's trade-off, both directions).
+    seg_per_fault = seg_row["reconfig_ms"] / max(1, seg_row["faults"])
+    assert seg_per_fault < per_fault[-1]
+    assert seg_row["faults"] <= ACCESSES
+
+
+def test_e8_replacement_policies(benchmark):
+    policies = ["fifo", "lru", "mru", "clock", "random"]
+    result = benchmark.pedantic(
+        lambda: sweep("policy", policies, run_replacement),
+        rounds=1, iterations=1,
+    )
+    emit("e8_replacement", format_table(
+        result.rows,
+        title="E8c: replacement policy on a cyclic sweep of 5 pages over "
+              "4 frames",
+    ))
+    by = {r["policy"]: r for r in result.rows}
+    # The classic result: LRU degenerates on the loop, MRU keeps it.
+    assert by["mru"]["faults"] * 2 < by["lru"]["faults"]
+    assert by["mru"]["makespan_ms"] < by["lru"]["makespan_ms"]

@@ -1,0 +1,115 @@
+#!/usr/bin/env python
+"""Multimedia codec switching on one small FPGA (paper §5).
+
+"Multimedia systems can benefit from the use of VFPGA implementing
+different voice and image compression/decompression algorithms in order to
+accommodate different standards efficiently on a limited-size FPGA."
+
+Scenario: a media terminal handles concurrent streams, each requiring a
+codec pipeline (modelled as FIR filter / CRC / parity / ALU circuits of
+realistic relative sizes).  Stream popularity is skewed: most traffic uses
+the house codec, a long tail needs the others.  We compare:
+
+* a **large dedicated device** holding every codec at once (the costly
+  option the paper wants to avoid),
+* a **small device with pure dynamic loading** (every codec switch is a
+  download),
+* the **same small device with overlaying** — the hot codec stays
+  resident, the tail time-shares the overlay area.
+
+Run:  python examples/multimedia_codecs.py
+"""
+
+from repro.analysis import fmt_pct, fmt_time, format_table
+from repro.core import CapacityError, ConfigRegistry, make_service
+from repro.device import get_family
+from repro.netlist import alu, moving_sum_fir, parity_tree, serial_crc
+from repro.osim import Kernel, RoundRobin, zipf_workload
+from repro.sim import Simulator
+
+
+def build_registry(arch, shape="columns"):
+    reg = ConfigRegistry(arch)
+    # Column-shaped regions pack the column-granular managers densely
+    # (the big-device baseline uses squares: it shelf-packs 2-D).
+    for netlist, name in [
+        (moving_sum_fir(3, 3), "voice_fir"),
+        (serial_crc(8, 0x07), "stream_crc"),
+        (parity_tree(8), "sync_parity"),
+        (alu(3), "pixel_alu"),
+    ]:
+        reg.compile_and_register(
+            netlist, name=name, seed=1, effort="greedy", shape=shape
+        )
+    return reg
+
+
+def run(arch_name: str, policy: str, shape="columns", **kw):
+    arch = get_family(arch_name)
+    registry = build_registry(arch, shape=shape)
+    tasks = zipf_workload(
+        registry.names(), n_tasks=8, ops_per_task=6,
+        cpu_burst=0.5e-3, cycles=150_000, seed=11, s=1.4,
+    )
+    sim = Simulator()
+    service = make_service(policy, registry, **kw)
+    kernel = Kernel(sim, RoundRobin(time_slice=1e-3), service)
+    kernel.spawn_all(tasks)
+    stats = kernel.run()
+    return stats, service
+
+
+def main() -> None:
+    rows = []
+
+    # Large device: everything fits, nothing ever reconfigures.
+    stats, svc = run("VF24", "merged", shape="square")
+    big_gates = get_family("VF24").equivalent_gates
+    rows.append({
+        "system": "VF24 merged (big, costly)",
+        "gates": big_gates,
+        "makespan": fmt_time(stats.makespan),
+        "reconfig time": fmt_time(stats.total_fpga_reconfig),
+        "useful": fmt_pct(stats.useful_fraction),
+    })
+
+    # Small device: the merged approach simply does not fit.
+    try:
+        run("VF12", "merged", shape="square")
+        raise AssertionError("expected the small device to overflow")
+    except CapacityError:
+        rows.append({
+            "system": "VF12 merged", "gates": get_family("VF12").equivalent_gates,
+            "makespan": "DOES NOT FIT", "reconfig time": "-", "useful": "-",
+        })
+
+    # Small device virtualized two ways.
+    stats, svc = run("VF12", "dynamic")
+    rows.append({
+        "system": "VF12 dynamic loading",
+        "gates": get_family("VF12").equivalent_gates,
+        "makespan": fmt_time(stats.makespan),
+        "reconfig time": fmt_time(stats.total_fpga_reconfig),
+        "useful": fmt_pct(stats.useful_fraction),
+    })
+
+    stats, svc = run("VF12", "overlay", resident_names=["voice_fir"])
+    rows.append({
+        "system": "VF12 overlay (FIR pinned)",
+        "gates": get_family("VF12").equivalent_gates,
+        "makespan": fmt_time(stats.makespan),
+        "reconfig time": fmt_time(stats.total_fpga_reconfig),
+        "useful": fmt_pct(stats.useful_fraction),
+    })
+
+    print(format_table(
+        rows, title="multimedia codec switching: one device, four codecs"
+    ))
+    small, big = get_family("VF12"), get_family("VF24")
+    print(f"\nthe VF12 has {big.equivalent_gates / small.equivalent_gates:.0f}x "
+          "fewer gates than the VF24; overlaying keeps the hot codec "
+          "resident so most operations run download-free.")
+
+
+if __name__ == "__main__":
+    main()

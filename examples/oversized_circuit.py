@@ -1,0 +1,131 @@
+#!/usr/bin/env python
+"""A circuit larger than the device, run anyway (paper §1/§2).
+
+"In many applications, very large circuits should be realized without
+requiring either a very large FPGA or many FPGAs."
+
+This script takes a real circuit (a 4x4 array multiplier), verifies it is
+too large for a small device, *cuts it into self-contained segments*
+(cut nets become segment ports — paper §2 segmentation), compiles every
+segment for the small device, and then:
+
+A. functionally evaluates the segmented multiplier by streaming the
+   segments through the device one at a time, forwarding cut-net values —
+   proving the decomposition computes the same products as the monolith;
+B. runs a task workload over the segmented circuit under the demand-
+   loading segmentation manager and reports the fault/overhead economics.
+
+Run:  python examples/oversized_circuit.py
+"""
+
+import random
+
+from repro.analysis import fmt_pct, fmt_time, format_table
+from repro.cad import PlacementError, compile_netlist
+from repro.core import ConfigRegistry, SegmentedCircuit, make_service, segment_netlist
+from repro.device import Fpga, get_family
+from repro.netlist import LogicSimulator, array_multiplier
+from repro.osim import FpgaOp, Kernel, RoundRobin, Task
+from repro.sim import Simulator
+
+WIDTH = 5
+N_SEGMENTS = 5
+
+
+def main() -> None:
+    arch = get_family("VF8")
+    big = array_multiplier(WIDTH)
+    print(f"circuit: {big.name} ({len(big)} cells)")
+    try:
+        compile_netlist(big, arch, region=arch.full_rect, seed=1,
+                        effort="greedy")
+        raise AssertionError("expected the monolith not to fit")
+    except PlacementError as exc:
+        print(f"monolithic compile on {arch.name}: DOES NOT FIT ({exc})\n")
+
+    # -- segmentation -----------------------------------------------------
+    segments = segment_netlist(big, N_SEGMENTS)
+    reg = ConfigRegistry(arch)
+    names = []
+    for seg in segments:
+        entry = reg.compile_and_register(seg, seed=1, effort="greedy")
+        names.append(entry.name)
+        r = entry.bitstream.region
+        print(f"  segment {entry.name}: {len(seg)} cells -> {r.w}x{r.h} region")
+    print()
+
+    # -- A. functional streaming ---------------------------------------------
+    fpga = Fpga(arch)
+    rng = random.Random(7)
+    golden = LogicSimulator(big)
+    checked = 0
+    for _ in range(6):
+        a, b = rng.randrange(1 << WIDTH), rng.randrange(1 << WIDTH)
+        stim = {
+            **LogicSimulator.pack_bus("a", a, WIDTH),
+            **LogicSimulator.pack_bus("b", b, WIDTH),
+        }
+        values = dict(stim)
+        outputs = {}
+        for seg, name in zip(segments, names):
+            entry = reg.get(name)
+            if name not in fpga.resident:
+                for other in list(fpga.resident):  # one segment at a time
+                    fpga.unload(other)
+                fpga.load(name, entry.bitstream.anchored_at(0, 0))
+            view = fpga.view(name)
+            seg_in = {c.name: values[c.name] for c in seg.primary_inputs}
+            out = view.evaluate(seg_in)
+            sim = LogicSimulator(seg)
+            seg_vals = sim._settle(seg_in)
+            for cell in seg.cells.values():
+                if cell.kind.value not in ("input", "output"):
+                    values[cell.name] = seg_vals[cell.name]
+            for port, v in out.items():
+                if port.endswith("__cut_out"):
+                    values[port[: -len("__cut_out")]] = v
+                else:
+                    outputs[port] = v
+        got = LogicSimulator.unpack_bus(outputs, "p")
+        want_all = golden.evaluate(stim)
+        want = LogicSimulator.unpack_bus(want_all, "p")
+        assert got == want == a * b, (a, b, got, want)
+        checked += 1
+    print(f"A. streamed {checked} random products through the device "
+          f"segment-by-segment — all equal to {WIDTH}x{WIDTH} golden "
+          "multiplication.\n")
+
+    # -- B. managed demand loading ------------------------------------------------
+    circ = SegmentedCircuit(
+        name="mult_virtual", segment_names=tuple(names),
+        pattern="sequential", seed=3,
+    )
+    rows = []
+    for replacement in ("lru", "mru"):
+        sim = Simulator()
+        service = make_service(
+            "segmented", reg, circuits=[circ], replacement=replacement,
+            cycles_per_access=50_000,
+        )
+        kernel = Kernel(sim, RoundRobin(time_slice=1e-3), service)
+        tasks = [Task(f"t{i}", [FpgaOp("mult_virtual", 12)]) for i in range(2)]
+        kernel.spawn_all(tasks)
+        stats = kernel.run()
+        rows.append({
+            "replacement": replacement,
+            "makespan": fmt_time(stats.makespan),
+            "segment faults": f"{service.metrics.n_page_faults}"
+                              f"/{service.metrics.n_page_accesses}",
+            "reconfig": fmt_time(stats.total_fpga_reconfig),
+            "useful": fmt_pct(stats.useful_fraction),
+        })
+    print(format_table(
+        rows, title="B. demand-loaded segmented multiplier, two tasks"
+    ))
+    total = sum(reg.get(n).area for n in names)
+    print(f"\nvirtual area {total} CLBs on a {arch.n_clbs}-CLB device — the "
+          "paper's 'larger circuits on smaller FPGAs', literally.")
+
+
+if __name__ == "__main__":
+    main()

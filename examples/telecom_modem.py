@@ -1,0 +1,126 @@
+#!/usr/bin/env python
+"""Adaptive telecom line card: protocol circuits swapped per partner (§5).
+
+"In telecommunication, modems, faxes, switching systems … can adapt their
+operating mode changing the compression and encoding algorithms according
+to the partners involved in the communication."
+
+Two stories in one script:
+
+**A. Functional**: a line card computes real CRCs in hardware.  Two
+connections use different CRC standards; the VFPGA swaps the encoder
+circuits mid-stream *with state save/restore*, and both running CRCs come
+out identical to a pure-software reference — the paper's §3 preemption
+machinery, demonstrated bit-exactly on the device model.
+
+**B. Quantitative**: many connections with per-partner protocols share the
+card under fixed partitioning vs whole-device dynamic loading.
+
+Run:  python examples/telecom_modem.py
+"""
+
+import random
+
+from repro.analysis import fmt_pct, fmt_time, format_table
+from repro.core import ConfigRegistry, VirtualFpga, make_service
+from repro.netlist import serial_crc
+from repro.osim import Kernel, RoundRobin, uniform_workload
+from repro.sim import Simulator
+
+
+def software_crc(bits, width, poly):
+    reg = 0
+    for bit in bits:
+        fb = bit ^ ((reg >> (width - 1)) & 1)
+        reg = (reg << 1) & ((1 << width) - 1)
+        if fb:
+            reg ^= poly | 1
+    return reg
+
+
+def functional_demo() -> None:
+    print("A. two CRC standards sharing one device, state preserved\n")
+    vf = VirtualFpga("VF10")
+    vf.add_circuit(serial_crc(8, 0x07), name="crc8_atm", effort="greedy", seed=1)
+    vf.add_circuit(serial_crc(5, 0x15 & 0x1F), name="crc5_usb", effort="greedy",
+                   seed=1)
+
+    rng = random.Random(2026)
+    stream_a = [rng.randint(0, 1) for _ in range(48)]
+    stream_b = [rng.randint(0, 1) for _ in range(48)]
+
+    # Interleave the two connections: every 12 bits the device is handed
+    # to the other protocol; the manager saves/restores the CRC registers.
+    state = {"crc8_atm": None, "crc5_usb": None}
+    cursors = {"crc8_atm": 0, "crc5_usb": 0}
+    streams = {"crc8_atm": stream_a, "crc5_usb": stream_b}
+    swaps = 0
+    for turn in range(8):
+        name = "crc8_atm" if turn % 2 == 0 else "crc5_usb"
+        if state[name] is not None:
+            vf.write_state(name, state[name])     # controllability (§3)
+        else:
+            vf.write_state(name, {k: 0 for k in vf.read_state(name)})
+        start = cursors[name]
+        for bit in streams[name][start:start + 12]:
+            vf.step(name, {"din": bit})
+        cursors[name] = start + 12
+        state[name] = vf.read_state(name)         # observability (§3)
+        swaps += 1
+
+    got_a = sum(state["crc8_atm"][f"c{i}_ff"] << i for i in range(8))
+    got_b = sum(state["crc5_usb"][f"c{i}_ff"] << i for i in range(5))
+    want_a = software_crc(stream_a, 8, 0x07)
+    want_b = software_crc(stream_b, 5, 0x15 & 0x1F)
+    print(f"  connection A (CRC-8):  device={got_a:#04x} software={want_a:#04x}")
+    print(f"  connection B (CRC-5):  device={got_b:#04x} software={want_b:#04x}")
+    assert got_a == want_a and got_b == want_b
+    print(f"  {swaps} protocol swaps, {vf.interactive_loads} reconfigurations "
+          f"({fmt_time(vf.interactive_load_time)}) — both running CRCs exact.\n")
+
+
+def capacity_demo() -> None:
+    print("B. sixteen connections, four protocols, one line card\n")
+    from repro.device import get_family
+
+    arch = get_family("VF16")
+    reg = ConfigRegistry(arch)
+    for width, poly, name in [
+        (8, 0x07, "crc8_atm"),
+        (5, 0x15 & 0x1F, "crc5_usb"),
+        (4, 0x3, "crc4_itu"),
+        (6, 0x03, "crc6_gsm"),
+    ]:
+        reg.compile_and_register(serial_crc(width, poly), name=name,
+                                 seed=1, effort="greedy", shape="columns")
+
+    rows = []
+    for policy, kw in [
+        ("dynamic", {}),
+        ("fixed", {"n_partitions": 4}),
+        ("variable", {"gc": "compact"}),
+    ]:
+        tasks = uniform_workload(
+            reg.names(), n_tasks=16, ops_per_task=5,
+            cpu_burst=0.3e-3, cycles=120_000, seed=5, arrival_spread=5e-3,
+        )
+        sim = Simulator()
+        service = make_service(policy, reg, **kw)
+        kernel = Kernel(sim, RoundRobin(time_slice=1e-3), service)
+        kernel.spawn_all(tasks)
+        stats = kernel.run()
+        rows.append({
+            "policy": policy + (f" {kw}" if kw else ""),
+            "makespan": fmt_time(stats.makespan),
+            "downloads": service.metrics.n_loads,
+            "hit rate": fmt_pct(service.metrics.hit_rate),
+            "useful": fmt_pct(stats.useful_fraction),
+        })
+    print(format_table(rows, title="per-partner protocol adaptation"))
+    print("\npartitioning keeps each protocol resident: the per-connection "
+          "downloads of whole-device dynamic loading disappear.")
+
+
+if __name__ == "__main__":
+    functional_demo()
+    capacity_demo()

@@ -1,0 +1,29 @@
+"""repro — Virtual FPGA (VFPGA) reproduction library.
+
+A from-scratch, simulation-based reproduction of
+
+    W. Fornaciari and V. Piuri, "Virtual FPGAs: Some Steps Behind the
+    Physical Barriers", IPPS 1998 workshops.
+
+Subpackages
+-----------
+``repro.sim``
+    Deterministic discrete-event simulation kernel.
+``repro.netlist``
+    Gate/LUT/flip-flop netlists, circuit generators and a logic simulator.
+``repro.device``
+    Symmetrical-array FPGA device model with frame-organised configuration
+    RAM and a configuration-port timing model.
+``repro.cad``
+    Technology mapping, packing, placement, routing, timing analysis and
+    bitstream generation for the device model.
+``repro.osim``
+    Simulated multitasking operating system (tasks, schedulers, kernel).
+``repro.core``
+    The paper's contribution: the VFPGA manager — dynamic loading,
+    partitioning, overlaying, segmentation, pagination and I/O multiplexing.
+``repro.analysis``
+    Sweep harness, run statistics and table rendering for the experiments.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,19 @@
+"""Experiment harness: sweeps, run statistics, table/series rendering."""
+
+from .stats import Summary, crossover_x, geometric_mean, summarize
+from .sweep import SweepResult, sweep
+from .tables import fmt_pct, fmt_ratio, fmt_time, format_series, format_table
+
+__all__ = [
+    "Summary",
+    "SweepResult",
+    "crossover_x",
+    "fmt_pct",
+    "fmt_ratio",
+    "fmt_time",
+    "format_series",
+    "format_table",
+    "geometric_mean",
+    "summarize",
+    "sweep",
+]

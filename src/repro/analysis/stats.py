@@ -1,0 +1,64 @@
+"""Small statistics helpers for experiment reductions."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = ["Summary", "summarize", "geometric_mean", "crossover_x"]
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-ish summary of one metric across repetitions."""
+
+    n: int
+    mean: float
+    std: float
+    min: float
+    max: float
+
+    def __str__(self) -> str:
+        return f"{self.mean:.4g} ± {self.std:.2g} (n={self.n})"
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    vals = list(values)
+    if not vals:
+        raise ValueError("no values")
+    n = len(vals)
+    mean = sum(vals) / n
+    var = sum((v - mean) ** 2 for v in vals) / n
+    return Summary(n=n, mean=mean, std=math.sqrt(var), min=min(vals), max=max(vals))
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    vals = [v for v in values]
+    if not vals:
+        raise ValueError("no values")
+    if any(v <= 0 for v in vals):
+        raise ValueError("geometric mean needs positive values")
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def crossover_x(
+    xs: Sequence[float], ya: Sequence[float], yb: Sequence[float]
+) -> float | None:
+    """First x where series *a* stops beating series *b* (linear
+    interpolation between samples); None if no crossover.
+
+    Used by E6 to locate the rollback ↔ save/restore switch point.
+    """
+    if not (len(xs) == len(ya) == len(yb)):
+        raise ValueError("series lengths differ")
+    for i in range(1, len(xs)):
+        d_prev = ya[i - 1] - yb[i - 1]
+        d_cur = ya[i] - yb[i]
+        if d_prev == 0:
+            return float(xs[i - 1])
+        if (d_prev < 0) != (d_cur < 0):
+            # Linear interpolation on the difference.
+            t = abs(d_prev) / (abs(d_prev) + abs(d_cur))
+            return float(xs[i - 1] + t * (xs[i] - xs[i - 1]))
+    return None

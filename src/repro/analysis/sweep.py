@@ -1,0 +1,59 @@
+"""Parameter-sweep harness used by every benchmark.
+
+A sweep maps one independent variable over a run function that returns a
+dict row; rows accumulate into a table the benchmark prints and asserts
+shape properties on.  Runs are independent simulations, so a failure in
+one point (e.g. an intentional starvation deadlock in E5) can be recorded
+as an outcome instead of aborting the sweep.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Sequence, Tuple, Type
+
+__all__ = ["sweep", "SweepResult"]
+
+
+class SweepResult:
+    """Rows of a completed sweep with simple column access."""
+
+    def __init__(self, variable: str, rows: List[Dict[str, Any]]) -> None:
+        self.variable = variable
+        self.rows = rows
+
+    def column(self, name: str) -> List[Any]:
+        return [r.get(name) for r in self.rows]
+
+    def xs(self) -> List[Any]:
+        return self.column(self.variable)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+
+def sweep(
+    variable: str,
+    values: Sequence[Any],
+    run: Callable[[Any], Dict[str, Any]],
+    expected_errors: Tuple[Type[BaseException], ...] = (),
+) -> SweepResult:
+    """Run ``run(v)`` for every value; each row records the variable.
+
+    Exceptions listed in ``expected_errors`` become ``outcome`` column
+    entries (class name) instead of propagating — a starved/deadlocked
+    configuration is itself a measurement.
+    """
+    rows: List[Dict[str, Any]] = []
+    for v in values:
+        row: Dict[str, Any] = {variable: v}
+        try:
+            result = run(v)
+            row.update(result)
+            row.setdefault("outcome", "ok")
+        except expected_errors as exc:
+            row["outcome"] = type(exc).__name__
+        rows.append(row)
+    return SweepResult(variable, rows)

@@ -1,0 +1,94 @@
+"""ASCII table/series rendering for the experiment harness.
+
+Every benchmark prints its results through these helpers so the output of
+``pytest benchmarks/ --benchmark-only`` doubles as the paper-style tables
+recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Mapping, Optional, Sequence
+
+__all__ = ["format_table", "format_series", "fmt_time", "fmt_pct", "fmt_ratio"]
+
+
+def fmt_time(seconds: float) -> str:
+    """Human scale: ns/µs/ms/s."""
+    a = abs(seconds)
+    if a == 0:
+        return "0"
+    if a < 1e-6:
+        return f"{seconds * 1e9:.1f}ns"
+    if a < 1e-3:
+        return f"{seconds * 1e6:.1f}us"
+    if a < 1.0:
+        return f"{seconds * 1e3:.2f}ms"
+    return f"{seconds:.3f}s"
+
+
+def fmt_pct(fraction: float) -> str:
+    return f"{100.0 * fraction:.1f}%"
+
+
+def fmt_ratio(x: float) -> str:
+    return f"{x:.2f}x"
+
+
+def _cell(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Mapping[str, Any]],
+    columns: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Render dict-rows as an aligned ASCII table."""
+    if not rows:
+        return f"{title or 'table'}: (no rows)"
+    if columns:
+        cols = list(columns)
+    else:  # union of keys, first-seen order (rows may be ragged)
+        cols = list(dict.fromkeys(k for r in rows for k in r))
+    grid: List[List[str]] = [[_cell(r.get(c, "")) for c in cols] for r in rows]
+    widths = [
+        max(len(c), *(len(row[i]) for row in grid)) for i, c in enumerate(cols)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(c.ljust(w) for c, w in zip(cols, widths))
+    lines.append(header)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in grid:
+        lines.append(" | ".join(v.ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    xs: Sequence[Any],
+    ys: Sequence[float],
+    x_label: str = "x",
+    y_label: str = "y",
+    title: Optional[str] = None,
+    width: int = 40,
+) -> str:
+    """Render one (x, y) series with a proportional ASCII bar per point —
+    the "figure" analogue of :func:`format_table`."""
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have the same length")
+    if not xs:
+        return f"{title or 'series'}: (no points)"
+    y_max = max(abs(y) for y in ys) or 1.0
+    lines = []
+    if title:
+        lines.append(title)
+    x_w = max(len(x_label), *(len(_cell(x)) for x in xs))
+    y_w = max(len(y_label), *(len(_cell(y)) for y in ys))
+    lines.append(f"{x_label.ljust(x_w)} | {y_label.ljust(y_w)} |")
+    for x, y in zip(xs, ys):
+        bar = "#" * max(0, round(width * abs(y) / y_max))
+        lines.append(f"{_cell(x).ljust(x_w)} | {_cell(y).ljust(y_w)} | {bar}")
+    return "\n".join(lines)

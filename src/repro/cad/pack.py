@@ -1,0 +1,170 @@
+"""Packing: mapped netlists → basic logic elements (one per CLB).
+
+A BLE is what one CLB implements: a LUT, optionally feeding the CLB's
+flip-flop, with one output net.  Packing fuses each DFF with its driving
+LUT when that LUT has no other reader (the classic BLE pattern); DFFs
+whose driver is shared (or is a primary input / another DFF) get a
+pass-through identity LUT.  Primary outputs fed directly by primary
+inputs receive a feed-through BLE so there is always CLB logic to route
+through.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..netlist import CellKind, Netlist
+from .techmap import check_mapped
+
+__all__ = ["Ble", "PackedDesign", "pack", "PackError"]
+
+#: Identity LUT over one input: out = in.
+IDENTITY_TRUTH = 0b10
+
+
+class PackError(Exception):
+    """The mapped netlist cannot be packed."""
+
+
+@dataclass(frozen=True)
+class Ble:
+    """One basic logic element (will occupy one CLB).
+
+    ``name`` doubles as the BLE's output net name: consumers of the packed
+    design reference BLE outputs by it.
+    """
+
+    name: str
+    lut_inputs: Tuple[str, ...]
+    lut_truth: int
+    registered: bool = False
+    ff_name: str | None = None
+    ff_init: int = 0
+
+    def __post_init__(self) -> None:
+        if self.registered and self.ff_name is None:
+            raise PackError(f"registered BLE {self.name!r} must carry its FF name")
+
+
+@dataclass
+class PackedDesign:
+    """A netlist expressed as BLEs + port bindings."""
+
+    name: str
+    k: int
+    bles: List[Ble] = field(default_factory=list)
+    inputs: List[str] = field(default_factory=list)
+    #: primary output port name → source net (a BLE name or primary input).
+    outputs: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def n_clbs(self) -> int:
+        return len(self.bles)
+
+    @property
+    def state_bit_names(self) -> List[str]:
+        return [b.ff_name for b in self.bles if b.registered]
+
+    def ble_by_name(self) -> Dict[str, Ble]:
+        return {b.name: b for b in self.bles}
+
+    def validate(self) -> None:
+        names = set(self.inputs)
+        for ble in self.bles:
+            if ble.name in names:
+                raise PackError(f"duplicate net name {ble.name!r}")
+            names.add(ble.name)
+        for ble in self.bles:
+            if len(ble.lut_inputs) > self.k:
+                raise PackError(f"BLE {ble.name!r} has {len(ble.lut_inputs)} inputs")
+            for net in ble.lut_inputs:
+                if net not in names:
+                    raise PackError(f"BLE {ble.name!r} reads unknown net {net!r}")
+        for port, src in self.outputs.items():
+            if src not in names:
+                raise PackError(f"output {port!r} reads unknown net {src!r}")
+
+
+def pack(netlist: Netlist, k: int) -> PackedDesign:
+    """Pack a mapped netlist (see :func:`repro.cad.techmap.technology_map`)."""
+    check_mapped(netlist, k)
+    design = PackedDesign(name=netlist.name, k=k)
+    design.inputs = [c.name for c in netlist.primary_inputs]
+
+    absorbed: Dict[str, str] = {}  # LUT name -> DFF that absorbed it
+    for dff in netlist.flipflops:
+        driver_name = dff.fanin[0]
+        driver = netlist.cells.get(driver_name)
+        if (
+            driver is not None
+            and driver.kind is CellKind.LUT
+            and netlist.fanout(driver_name) == [dff.name]
+            and driver_name not in absorbed
+        ):
+            absorbed[driver_name] = dff.name
+
+    for dff in netlist.flipflops:
+        driver_name = dff.fanin[0]
+        if absorbed.get(driver_name) == dff.name:
+            driver = netlist.cells[driver_name]
+            design.bles.append(
+                Ble(
+                    name=dff.name,
+                    lut_inputs=driver.fanin,
+                    lut_truth=driver.truth,
+                    registered=True,
+                    ff_name=dff.name,
+                    ff_init=dff.init,
+                )
+            )
+        else:
+            design.bles.append(
+                Ble(
+                    name=dff.name,
+                    lut_inputs=(driver_name,),
+                    lut_truth=IDENTITY_TRUTH,
+                    registered=True,
+                    ff_name=dff.name,
+                    ff_init=dff.init,
+                )
+            )
+
+    for cell in netlist.cells.values():
+        if cell.kind is CellKind.LUT and cell.name not in absorbed:
+            design.bles.append(
+                Ble(name=cell.name, lut_inputs=cell.fanin, lut_truth=cell.truth)
+            )
+
+    input_set = set(design.inputs)
+    feedthroughs: Dict[str, str] = {}
+    for out in netlist.primary_outputs:
+        src = out.fanin[0]
+        if src in input_set:
+            feed = feedthroughs.get(src)
+            if feed is None:
+                feed = f"{src}__feed"
+                design.bles.append(
+                    Ble(name=feed, lut_inputs=(src,), lut_truth=IDENTITY_TRUTH)
+                )
+                feedthroughs[src] = feed
+            design.outputs[out.name] = feed
+        else:
+            design.outputs[out.name] = src
+
+    design.validate()
+    return design
+
+
+def nets_of(design: PackedDesign) -> Dict[str, List[Tuple[str, int]]]:
+    """Signal nets of a packed design: source net → [(ble name, pin)].
+
+    Primary-output taps are not included (they terminate at pads or
+    virtual pins, which the router handles separately).  Nets with no
+    sinks at all are omitted.
+    """
+    nets: Dict[str, List[Tuple[str, int]]] = {}
+    for ble in design.bles:
+        for pin, src in enumerate(ble.lut_inputs):
+            nets.setdefault(src, []).append((ble.name, pin))
+    return nets

@@ -1,0 +1,146 @@
+"""Routing resource graph (RRG) construction.
+
+The RRG is the integer-indexed graph the router searches: nodes are routing
+wires (plus IOB pads in dedicated mode), edges are programmable switches
+(plus pad taps).  Every edge carries the description needed to turn a
+routed tree back into configuration bits, so routing output is directly
+encodable.
+
+Two scopes:
+
+* **full-device** (``region=None``) — all wires, all switch boxes, pads
+  included: used for dedicated (IOB-bound) compiles;
+* **region** — only the wires/switch boxes *owned* by the region (see
+  :func:`repro.device.interconnect.wire_in_region`): used for relocatable
+  compiles, guaranteeing the route translates with the region.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..device import (
+    SWITCH_PAIRS,
+    Architecture,
+    IobSite,
+    Rect,
+    Wire,
+    all_wires,
+    iob_candidates,
+    iob_sites,
+    long_switch_stubs,
+    switch_stubs,
+    switchboxes_in_region,
+    wires_in_region,
+)
+
+__all__ = ["RoutingGraph", "SwitchEdge", "PadEdge"]
+
+#: Edge through a switch box: ("sw", box_x, box_y, track, pair_index).
+SwitchEdge = Tuple[str, int, int, int, int]
+#: Edge through an IOB tap: ("pad", site, track).
+PadEdge = Tuple[str, IobSite, int]
+
+
+class RoutingGraph:
+    """Integer-indexed routing graph for one architecture/scope.
+
+    Attributes
+    ----------
+    nodes:
+        Node id → :class:`Wire` or :class:`IobSite`.
+    index:
+        Reverse mapping.
+    adj:
+        Node id → list of ``(neighbour id, edge descriptor)``.
+    n_wires:
+        Wire nodes occupy ids ``0 .. n_wires-1``; pads follow.
+    """
+
+    def __init__(
+        self,
+        arch: Architecture,
+        region: Optional[Rect] = None,
+        include_pads: bool = False,
+    ) -> None:
+        if region is not None and include_pads:
+            raise ValueError("region-scoped graphs cannot include pads")
+        self.arch = arch
+        self.region = region
+        if region is None:
+            # Full-device scope: includes the device-global long lines
+            # (paper §2's long-distance busses).
+            wires = all_wires(arch)
+            boxes = [
+                (x, y)
+                for x in range(arch.width + 1)
+                for y in range(arch.height + 1)
+            ]
+        else:
+            if not arch.full_rect.contains_rect(region):
+                raise ValueError(f"region {region} outside device")
+            wires = wires_in_region(arch, region)
+            boxes = switchboxes_in_region(region)
+        self.nodes: List = list(wires)
+        self.index: Dict = {w: i for i, w in enumerate(wires)}
+        self.n_wires = len(wires)
+        self.adj: List[List[Tuple[int, tuple]]] = [[] for _ in wires]
+
+        for (bx, by) in boxes:
+            for t in range(arch.channel_width):
+                stubs = switch_stubs(arch, bx, by, t)
+                ids = [
+                    self.index.get(s) if s is not None else None for s in stubs
+                ]
+                for pair_idx, (i, j) in enumerate(SWITCH_PAIRS):
+                    a, b = ids[i], ids[j]
+                    if a is None or b is None:
+                        continue
+                    edge: SwitchEdge = ("sw", bx, by, t, pair_idx)
+                    self.adj[a].append((b, edge))
+                    self.adj[b].append((a, edge))
+            if region is None:
+                for l in range(arch.long_per_channel):
+                    for pseudo, (long_wire, stub) in zip(
+                        (6, 7), long_switch_stubs(arch, bx, by, l)
+                    ):
+                        a = self.index.get(long_wire)
+                        b = self.index.get(stub) if stub is not None else None
+                        if a is None or b is None:
+                            continue
+                        edge = ("sw", bx, by, l, pseudo)
+                        self.adj[a].append((b, edge))
+                        self.adj[b].append((a, edge))
+
+        self.pads: List[IobSite] = []
+        if include_pads:
+            for site in iob_sites(arch):
+                pad_id = len(self.nodes)
+                self.nodes.append(site)
+                self.index[site] = pad_id
+                self.adj.append([])
+                self.pads.append(site)
+                for t, wire in enumerate(iob_candidates(arch, site)):
+                    wid = self.index.get(wire)
+                    if wid is None:
+                        continue
+                    edge: PadEdge = ("pad", site, t)
+                    self.adj[pad_id].append((wid, edge))
+                    self.adj[wid].append((pad_id, edge))
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def wire_id(self, wire: Wire) -> int:
+        """Node id of ``wire``; raises KeyError if outside this scope."""
+        return self.index[wire]
+
+    def is_wire(self, node_id: int) -> bool:
+        return node_id < self.n_wires
+
+    def is_long(self, node_id: int) -> bool:
+        """Whether the node is a long line (timing/cost differ)."""
+        return (
+            node_id < self.n_wires
+            and self.nodes[node_id].kind in ("HL", "VL")
+        )

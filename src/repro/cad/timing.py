@@ -1,0 +1,145 @@
+"""Post-route static timing analysis.
+
+Computes the critical path of a placed-and-routed design from the
+architecture's unit delays and each routed net's wire/switch counts.
+Paths considered:
+
+* primary input → primary output (pure combinational),
+* primary input → flip-flop D (+ setup),
+* flip-flop Q (clock-to-q) → flip-flop D (+ setup),
+* flip-flop Q → primary output.
+
+The resulting ``critical_path`` is what the VFPGA execution model uses as
+the clock period: an FPGA operation of *n* cycles takes
+``n × critical_path`` seconds once resident.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..device import Architecture
+from .pack import nets_of
+from .place import Placement
+from .route import RoutedNet
+
+__all__ = ["TimingReport", "analyze_timing", "TimingError"]
+
+
+class TimingError(Exception):
+    """Timing graph is malformed (should not happen on legal designs)."""
+
+
+@dataclass(frozen=True)
+class TimingReport:
+    """Summary of one design's timing."""
+
+    critical_path: float        #: seconds (= minimum clock period)
+    critical_kind: str          #: which path class dominates
+    max_net_delay: float
+    n_timing_paths: int
+
+    @property
+    def fmax(self) -> float:
+        """Maximum clock frequency in Hz."""
+        return float("inf") if self.critical_path == 0 else 1.0 / self.critical_path
+
+
+def _net_delay(arch: Architecture, stats: Tuple[int, int, int]) -> float:
+    n_wires, n_switches, n_long = stats
+    return (
+        n_wires * arch.wire_delay
+        + n_switches * arch.switch_delay
+        + n_long * arch.long_wire_delay
+    )
+
+
+def analyze_timing(
+    arch: Architecture,
+    placement: Placement,
+    routed: Dict[str, RoutedNet],
+) -> TimingReport:
+    """Static timing analysis over the placed design + routed nets."""
+    design = placement.design
+    bles = design.ble_by_name()
+    nets = nets_of(design)
+
+    # Net delay per (sink ble, pin), from the routed tree's path stats.
+    pin_delay: Dict[Tuple[str, int], float] = {}
+    for src, sinks in nets.items():
+        rn = routed.get(src)
+        for ble_name, pin in sinks:
+            delay = 0.0
+            if rn is not None:
+                key = ("clbpin", placement.coords[ble_name], pin)
+                stats = rn.sink_path_stats.get(key)
+                if stats is not None:
+                    delay = _net_delay(arch, stats)
+            pin_delay[(ble_name, pin)] = delay
+
+    # Topological order over combinational BLE dependencies.
+    indeg = {b.name: 0 for b in design.bles}
+    readers: Dict[str, List[str]] = {b.name: [] for b in design.bles}
+    for ble in design.bles:
+        for src in ble.lut_inputs:
+            src_ble = bles.get(src)
+            if src_ble is not None and not src_ble.registered:
+                readers[src].append(ble.name)
+                indeg[ble.name] += 1
+    order: List[str] = []
+    ready = deque(name for name, d in indeg.items() if d == 0)
+    while ready:
+        cur = ready.popleft()
+        order.append(cur)
+        for r in readers[cur]:
+            indeg[r] -= 1
+            if indeg[r] == 0:
+                ready.append(r)
+    if len(order) != len(design.bles):
+        raise TimingError("combinational cycle in packed design")
+
+    arrival_out: Dict[str, float] = {}   # BLE output arrival
+    d_arrival: Dict[str, float] = {}     # FF D-input arrival (registered BLEs)
+
+    def source_arrival(net: str) -> float:
+        src_ble = bles.get(net)
+        if src_ble is None:
+            return 0.0  # primary input
+        if src_ble.registered:
+            return arch.clock_to_q  # state: available at the clock edge
+        return arrival_out[net]
+
+    for name in order:
+        ble = bles[name]
+        lut_in = 0.0
+        for pin, src in enumerate(ble.lut_inputs):
+            lut_in = max(lut_in, source_arrival(src) + pin_delay[(name, pin)])
+        lut_out = lut_in + arch.lut_delay
+        if ble.registered:
+            d_arrival[name] = lut_out
+            arrival_out[name] = arch.clock_to_q
+        else:
+            arrival_out[name] = lut_out
+
+    worst = 0.0
+    worst_kind = "none"
+    n_paths = 0
+    max_net = max(pin_delay.values(), default=0.0)
+    for _name, arr in d_arrival.items():
+        n_paths += 1
+        total = arr + arch.setup
+        if total > worst:
+            worst, worst_kind = total, "to-register"
+    for _port, src in design.outputs.items():
+        n_paths += 1
+        total = source_arrival(src)
+        if total > worst:
+            worst, worst_kind = total, "to-output"
+    return TimingReport(
+        critical_path=worst,
+        critical_kind=worst_kind,
+        max_net_delay=max_net,
+        n_timing_paths=n_paths,
+    )

@@ -1,0 +1,237 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Gives a downstream user the whole stack without writing Python:
+
+* ``families``    — the device catalog with derived limits;
+* ``circuits``    — the available circuit generators;
+* ``compile``     — run a generator through the CAD flow and report
+  region/timing/wirelength (optionally functionally verify);
+* ``simulate``    — run a multitasking workload under a chosen VFPGA
+  policy and print the run statistics;
+* ``experiments`` — the experiment index (E1–E19) with the command that
+  regenerates each table.
+
+Examples
+--------
+::
+
+    python -m repro families
+    python -m repro compile ripple_adder:4 --family VF10 --verify
+    python -m repro simulate --family VF12 --policy variable \
+        --circuits ripple_adder:4,counter:4 --tasks 6 --ops 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis import fmt_pct, fmt_time, format_table
+from .netlist import CIRCUIT_GENERATORS
+
+__all__ = ["main", "build_circuit"]
+
+
+def build_circuit(spec: str):
+    """``name:arg,arg,...`` → generated netlist (ints parsed, 0x ok)."""
+    name, _, argstr = spec.partition(":")
+    if name not in CIRCUIT_GENERATORS:
+        raise SystemExit(
+            f"unknown circuit {name!r}; available: "
+            + ", ".join(sorted(CIRCUIT_GENERATORS))
+        )
+    args = []
+    if argstr:
+        for a in argstr.split(","):
+            args.append(int(a, 0))
+    try:
+        return CIRCUIT_GENERATORS[name](*args)
+    except TypeError as exc:
+        raise SystemExit(f"bad arguments for {name}: {exc}") from None
+
+
+def cmd_families(_args) -> int:
+    from .device import FAMILIES
+
+    rows = []
+    for fam in FAMILIES.values():
+        rows.append({
+            "name": fam.name,
+            "CLBs": f"{fam.width}x{fam.height}",
+            "pins": fam.n_pins,
+            "gates~": fam.equivalent_gates,
+            "config bits": fam.total_config_bits,
+            "full download": fmt_time(fam.full_config_time),
+            "partial": "yes" if fam.supports_partial else "no",
+        })
+    print(format_table(rows, title="device catalog"))
+    return 0
+
+
+def cmd_circuits(_args) -> int:
+    import inspect
+
+    rows = []
+    for name, fn in sorted(CIRCUIT_GENERATORS.items()):
+        sig = str(inspect.signature(fn))
+        doc = (inspect.getdoc(fn) or "").splitlines()[0]
+        rows.append({"generator": name, "args": sig, "summary": doc[:64]})
+    print(format_table(rows, title="circuit generators (spec: name:arg,arg)"))
+    return 0
+
+
+def cmd_compile(args) -> int:
+    from .cad import compile_netlist, verify_bitstream
+    from .device import get_family
+    from .netlist import netlist_stats
+
+    arch = get_family(args.family)
+    nl = build_circuit(args.circuit)
+    st = netlist_stats(nl)
+    print(f"source: {st}")
+    res = compile_netlist(
+        nl, arch,
+        mode="dedicated" if args.dedicated else "relocatable",
+        seed=args.seed, effort=args.effort, shape=args.shape,
+    )
+    bs = res.bitstream
+    print(f"target: {arch.name}  region {bs.region}  "
+          f"{res.design.n_clbs} CLBs used")
+    print(f"timing: clock {fmt_time(res.critical_path)} "
+          f"({res.timing.fmax / 1e6:.1f} MHz, {res.timing.critical_kind})")
+    print(f"routing: {res.n_nets} nets, wirelength {res.wirelength}")
+    print(f"config: {len(bs.frames_touched(arch))} frames, "
+          f"load {fmt_time(arch.frame_overhead * len(bs.frames_touched(arch)) + len(bs.frames_touched(arch)) * arch.frame_bits / arch.serial_rate)}"
+          f", {bs.n_state_bits} state bits")
+    if args.verify:
+        verify_bitstream(nl, bs, arch)
+        print("verify: device simulation matches the gate-level golden model")
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    from .core import VirtualFpga
+    from .osim import uniform_workload
+
+    vf = VirtualFpga(args.family)
+    for spec in args.circuits.split(","):
+        vf.add_circuit(build_circuit(spec), seed=args.seed,
+                       effort=args.effort, state_accessible=True)
+    policy_kw = {}
+    if args.policy == "fixed":
+        policy_kw["n_partitions"] = args.partitions
+    if args.policy == "variable":
+        policy_kw["gc"] = args.gc
+        policy_kw["layout"] = args.layout
+    if args.policy == "overlay":
+        policy_kw["resident_names"] = vf.circuits[:1]
+    if args.policy == "multi":
+        policy_kw["n_devices"] = args.devices
+    tasks = uniform_workload(
+        vf.circuits, n_tasks=args.tasks, ops_per_task=args.ops,
+        cpu_burst=args.cpu_ms * 1e-3, cycles=args.cycles, seed=args.seed,
+    )
+    stats = vf.simulate(tasks, policy=args.policy, **policy_kw)
+    m = vf.last_service.metrics
+    print(format_table([{
+        "policy": args.policy,
+        "tasks": stats.n_tasks,
+        "makespan": fmt_time(stats.makespan),
+        "mean turnaround": fmt_time(stats.mean_turnaround),
+        "reconfigs": m.n_loads,
+        "hit rate": fmt_pct(m.hit_rate),
+        "useful FPGA": fmt_pct(stats.useful_fraction),
+    }], title=f"{args.tasks} tasks on {args.family}"))
+    return 0
+
+
+def cmd_experiments(_args) -> int:
+    index = [
+        ("E1", "dynamic loading vs configuration time", "test_e1_dynamic_loading.py"),
+        ("E2", "merged trivial solution vs dynamic loading", "test_e2_merged_vs_dynamic.py"),
+        ("E3", "non-preemptable FPGA forces FIFO", "test_e3_nonpreemptable.py"),
+        ("E4", "partitioning reduces loads", "test_e4_partitioning.py"),
+        ("E5", "fragmentation, starvation, GC", "test_e5_fragmentation_gc.py"),
+        ("E6", "sequential preemption: rollback vs save/restore", "test_e6_state_saving.py"),
+        ("E7", "overlaying hot functions", "test_e7_overlay.py"),
+        ("E8", "pagination vs segmentation; replacement", "test_e8_paging_segmentation.py"),
+        ("E9", "I/O pin multiplexing", "test_e9_io_mux.py"),
+        ("E10", "cost-performance frontier", "test_e10_cost_frontier.py"),
+        ("E11", "§5 application scenarios", "test_e11_applications.py"),
+        ("E12", "partial vs full-serial port", "test_e12_config_port_ablation.py"),
+        ("E13", "CAD-flow quality ablation", "test_e13_cad_ablation.py"),
+        ("E14", "lazy vs eager loading", "test_e14_eager_loading.py"),
+        ("E15", "long-distance busses", "test_e15_long_lines.py"),
+        ("E16", "allocator fit policies", "test_e16_fit_policies.py"),
+        ("E17", "multi-board virtual computer", "test_e17_multi_board.py"),
+        ("E18", "1-D columns vs 2-D rectangles", "test_e18_2d_partitioning.py"),
+        ("E19", "configuration scrubbing", "test_e19_scrubbing.py"),
+    ]
+    rows = [
+        {"id": eid, "claim": claim,
+         "regenerate": f"pytest benchmarks/{path} --benchmark-only -s"}
+        for eid, claim, path in index
+    ]
+    print(format_table(rows, title="experiment index (details: EXPERIMENTS.md)"))
+    return 0
+
+
+def make_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro", description="Virtual FPGA reproduction toolkit"
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("families", help="list the device catalog")
+    sub.add_parser("circuits", help="list circuit generators")
+    sub.add_parser("experiments", help="list the experiment index")
+
+    c = sub.add_parser("compile", help="compile a circuit through the CAD flow")
+    c.add_argument("circuit", help="generator spec, e.g. ripple_adder:4")
+    c.add_argument("--family", default="VF12")
+    c.add_argument("--effort", default="sa", choices=["greedy", "sa"])
+    c.add_argument("--shape", default="square", choices=["square", "columns"])
+    c.add_argument("--seed", type=int, default=0)
+    c.add_argument("--dedicated", action="store_true",
+                   help="bind primary I/O to physical pads")
+    c.add_argument("--verify", action="store_true",
+                   help="functionally verify the bitstream on the device")
+
+    s = sub.add_parser("simulate", help="run a workload under a VFPGA policy")
+    s.add_argument("--family", default="VF12")
+    s.add_argument("--circuits", default="ripple_adder:4,counter:4",
+                   help="comma-separated generator specs")
+    s.add_argument("--policy", default="variable",
+                   choices=["merged", "software", "nonpreemptable", "dynamic",
+                            "fixed", "variable", "overlay", "multi"])
+    s.add_argument("--tasks", type=int, default=6)
+    s.add_argument("--ops", type=int, default=4)
+    s.add_argument("--cycles", type=int, default=100_000)
+    s.add_argument("--cpu-ms", type=float, default=1.0)
+    s.add_argument("--partitions", type=int, default=2)
+    s.add_argument("--devices", type=int, default=2)
+    s.add_argument("--gc", default="compact",
+                   choices=["none", "merge", "compact"])
+    s.add_argument("--layout", default="columns", choices=["columns", "rect"])
+    s.add_argument("--effort", default="greedy", choices=["greedy", "sa"])
+    s.add_argument("--seed", type=int, default=0)
+    return p
+
+
+_COMMANDS = {
+    "families": cmd_families,
+    "circuits": cmd_circuits,
+    "compile": cmd_compile,
+    "simulate": cmd_simulate,
+    "experiments": cmd_experiments,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = make_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

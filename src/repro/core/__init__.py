@@ -1,0 +1,130 @@
+"""The VFPGA manager — the paper's contribution.
+
+Every mechanism of Fornaciari & Piuri's Virtual FPGA is a drop-in
+:class:`~repro.osim.syscalls.FpgaService`:
+
+====================  =============================================
+paper mechanism        implementation
+====================  =============================================
+trivial merged config  :class:`MergedResidentService`
+non-preemptable use    :class:`NonPreemptableService`
+dynamic loading (§3)   :class:`DynamicLoadingService`
+partitioning (§4)      :class:`FixedPartitionService`,
+                       :class:`VariablePartitionService`
+overlaying (§2)        :class:`OverlayService`
+segmentation (§2)      :class:`SegmentedVfpgaService`
+pagination (§2)        :class:`PagedVfpgaService`
+I/O multiplexing (§2)  :class:`PinMultiplexer` (used by all services)
+state handling (§3)    :mod:`repro.core.preemption`
+====================  =============================================
+
+Use :class:`VirtualFpga` for the high-level API and
+:func:`make_service` to instantiate policies by name.
+"""
+
+from .base import VfpgaServiceBase
+from .baselines import (
+    MergedResidentService,
+    NonPreemptableService,
+    SoftwareOnlyService,
+    shelf_pack,
+)
+from .dynamic_loading import DynamicLoadingService
+from .errors import (
+    AdmissionError,
+    CapacityError,
+    StateAccessError,
+    UnknownConfigError,
+    VfpgaError,
+)
+from .iomux import MuxedTransfer, PinMultiplexer
+from .metrics import ServiceMetrics
+from .multidevice import MultiDeviceService
+from .overlay import OverlayService
+from .pagination import PagedCircuit, PagedVfpgaService, make_paged_circuit
+from .partitioning import (
+    ColumnAllocator,
+    FixedPartitionService,
+    VariablePartitionService,
+)
+from .policies import (
+    ClockReplacement,
+    FifoReplacement,
+    LruReplacement,
+    MruReplacement,
+    RandomReplacement,
+    ReplacementPolicy,
+    access_trace,
+    make_replacement,
+)
+from .preemption import (
+    Adaptive,
+    PreemptDecision,
+    PreemptionPolicy,
+    Rollback,
+    RunToCompletion,
+    SaveRestore,
+)
+from .rect_alloc import RectAllocator
+from .scrubber import Scrubber, UpsetInjector, UpsetRecord
+from .registry import ConfigEntry, ConfigRegistry, synthetic_bitstream
+from .segmentation import (
+    SegmentedCircuit,
+    SegmentedVfpgaService,
+    make_segmented_circuit,
+    segment_netlist,
+)
+from .vfpga import VirtualFpga, make_preemption_policy, make_service
+
+__all__ = [
+    "Adaptive",
+    "AdmissionError",
+    "CapacityError",
+    "ClockReplacement",
+    "ColumnAllocator",
+    "ConfigEntry",
+    "ConfigRegistry",
+    "DynamicLoadingService",
+    "FifoReplacement",
+    "FixedPartitionService",
+    "LruReplacement",
+    "MergedResidentService",
+    "MruReplacement",
+    "MultiDeviceService",
+    "MuxedTransfer",
+    "NonPreemptableService",
+    "OverlayService",
+    "PagedCircuit",
+    "PagedVfpgaService",
+    "PinMultiplexer",
+    "PreemptDecision",
+    "PreemptionPolicy",
+    "RandomReplacement",
+    "RectAllocator",
+    "ReplacementPolicy",
+    "Rollback",
+    "RunToCompletion",
+    "SaveRestore",
+    "Scrubber",
+    "SegmentedCircuit",
+    "SegmentedVfpgaService",
+    "ServiceMetrics",
+    "SoftwareOnlyService",
+    "StateAccessError",
+    "UnknownConfigError",
+    "UpsetInjector",
+    "UpsetRecord",
+    "VariablePartitionService",
+    "VfpgaError",
+    "VfpgaServiceBase",
+    "VirtualFpga",
+    "access_trace",
+    "make_paged_circuit",
+    "make_preemption_policy",
+    "make_replacement",
+    "make_segmented_circuit",
+    "make_service",
+    "segment_netlist",
+    "shelf_pack",
+    "synthetic_bitstream",
+]

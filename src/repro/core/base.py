@@ -1,0 +1,209 @@
+"""Shared machinery for every VFPGA service policy.
+
+:class:`VfpgaServiceBase` owns the physical device, the configuration-port
+mutex, the pin multiplexer and the metrics, and provides the charging
+primitives (load, unload, state save/restore, execute, I/O) that the
+concrete policies in this package compose.  Everything is expressed as
+simulation-process generators so queueing falls out of the event kernel.
+
+Physical honesty rules enforced here:
+
+* the configuration port is serial: one load/unload/readback at a time;
+* on devices without partial reconfiguration, *any* load is a full-device
+  download: it must wait until nothing is executing (it would corrupt
+  running circuits) and it evicts every resident configuration (§2);
+* regions of concurrently resident configurations never overlap (the
+  device itself enforces this — see :meth:`repro.device.Fpga.load`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set
+
+from ..device import Fpga
+from ..osim import FpgaOp, FpgaService, Task
+from ..sim import Resource
+from .errors import CapacityError, VfpgaError
+from .iomux import PinMultiplexer
+from .metrics import ServiceMetrics
+from .registry import ConfigEntry, ConfigRegistry
+
+__all__ = ["VfpgaServiceBase"]
+
+
+class VfpgaServiceBase(FpgaService):
+    """Base class: device ownership + charging primitives.
+
+    Parameters
+    ----------
+    registry:
+        The OS configuration tables.
+    fpga:
+        The physical device (created from the registry's architecture when
+        omitted).
+    word_rate:
+        Pin-multiplexer word rate (see :class:`repro.core.iomux`).
+    """
+
+    def __init__(
+        self,
+        registry: ConfigRegistry,
+        fpga: Optional[Fpga] = None,
+        word_rate: float = 2.0e6,
+    ) -> None:
+        self.registry = registry
+        self.fpga = fpga if fpga is not None else Fpga(registry.arch)
+        if self.fpga.arch.name != registry.arch.name:
+            raise VfpgaError("registry and device architectures differ")
+        self.mux = PinMultiplexer(self.fpga.arch.n_pins, word_rate=word_rate)
+        self.metrics = ServiceMetrics()
+        #: handles currently executing on the fabric.
+        self._executing: Set[str] = set()
+        self._idle_waiters = []
+        #: handle -> anchor used at load time (for state addressing).
+        self._anchors: Dict[str, tuple] = {}
+
+    # -- kernel lifecycle -----------------------------------------------------
+    def attach(self, kernel) -> None:
+        super().attach(kernel)
+        self.sim = kernel.sim
+        self._port = Resource(self.sim, capacity=1)
+
+    def register_task(self, task: Task) -> None:
+        for name in task.configs:
+            self.registry.get(name)  # raises UnknownConfigError if missing
+
+    # -- residency ---------------------------------------------------------------
+    def is_resident(self, handle: str) -> bool:
+        return handle in self.fpga.resident
+
+    def resident_handles(self) -> Set[str]:
+        return set(self.fpga.resident)
+
+    # -- fabric idleness (full-serial devices) --------------------------------------
+    def _begin_exec(self, handle: str) -> None:
+        self._executing.add(handle)
+
+    def _end_exec(self, handle: str) -> None:
+        self._executing.discard(handle)
+        if not self._executing:
+            waiters, self._idle_waiters = self._idle_waiters, []
+            for ev in waiters:
+                if not ev.triggered:
+                    ev.succeed()
+
+    def _wait_fabric_idle(self):
+        while self._executing:
+            ev = self.sim.event()
+            self._idle_waiters.append(ev)
+            yield ev
+
+    # -- charging primitives ------------------------------------------------------------
+    def _charge_load(self, task: Optional[Task], entry: ConfigEntry,
+                     anchor: tuple, handle: Optional[str] = None):
+        """Make ``entry`` resident at ``anchor = (x, y)`` under ``handle``
+        (defaults to the entry name).  Yields for the port time."""
+        handle = handle or entry.name
+        with self._port.request() as req:
+            yield req
+            if not self.fpga.arch.supports_partial:
+                # A full-serial download rewrites the whole RAM: wait until
+                # the fabric is quiet, then everything else is gone.
+                yield from self._wait_fabric_idle()
+                self.fpga.wipe()
+            timing = self.fpga.load(handle, entry.bitstream.anchored_at(*anchor))
+            self._anchors[handle] = anchor
+            self.metrics.n_loads += 1
+            self.metrics.load_time += timing.seconds
+            if task is not None:
+                task.accounting.fpga_reconfig_time += timing.seconds
+                task.accounting.n_reconfigs += 1
+            self.kernel.trace.log(
+                self.sim.now, "fpga-load",
+                task.name if task else "", f"{handle}@{anchor}",
+            )
+            yield self.sim.timeout(timing.seconds)
+
+    def _charge_unload(self, task: Optional[Task], handle: str):
+        """Clear ``handle``'s region (an eviction)."""
+        with self._port.request() as req:
+            yield req
+            if handle not in self.fpga.resident:
+                return
+            timing = self.fpga.unload(handle)
+            self._anchors.pop(handle, None)
+            self.metrics.n_unloads += 1
+            self.metrics.n_evictions += 1
+            self.metrics.load_time += timing.seconds
+            if task is not None:
+                task.accounting.fpga_reconfig_time += timing.seconds
+            self.kernel.trace.log(
+                self.sim.now, "fpga-unload", task.name if task else "", handle
+            )
+            yield self.sim.timeout(timing.seconds)
+
+    def _charge_state(self, task: Optional[Task], seconds: float, kind: str,
+                      handle: str = ""):
+        """Charge a state save or restore over the configuration port."""
+        if seconds <= 0:
+            return
+        with self._port.request() as req:
+            yield req
+            self.metrics.state_time += seconds
+            if kind == "save":
+                self.metrics.n_state_saves += 1
+            else:
+                self.metrics.n_state_restores += 1
+            if task is not None:
+                task.accounting.fpga_state_time += seconds
+            self.kernel.trace.log(
+                self.sim.now, f"fpga-state-{kind}",
+                task.name if task else "", handle,
+            )
+            yield self.sim.timeout(seconds)
+
+    def _charge_io(self, task: Task, entry: ConfigEntry, op: FpgaOp):
+        """Pin-multiplexed data transfer for one operation."""
+        if op.io_words <= 0:
+            return
+        self.mux.begin(entry.name, entry.io_pins)
+        try:
+            priced = self.mux.price_active_transfer(
+                entry.name, op.io_words, entry.io_pins
+            )
+            self.metrics.io_time += priced.seconds
+            task.accounting.fpga_io_time += priced.seconds
+            yield self.sim.timeout(priced.seconds)
+        finally:
+            self.mux.end(entry.name, entry.io_pins)
+
+    def _charge_exec(self, task: Task, entry: ConfigEntry, seconds: float,
+                     handle: Optional[str] = None):
+        """``seconds`` of useful fabric time under the executing set."""
+        handle = handle or entry.name
+        self._begin_exec(handle)
+        try:
+            yield self.sim.timeout(seconds)
+            self.metrics.exec_time += seconds
+            task.accounting.fpga_exec_time += seconds
+        finally:
+            self._end_exec(handle)
+
+    def _charge_wait(self, task: Task, start: float) -> None:
+        waited = self.sim.now - start
+        if waited > 0:
+            self.metrics.wait_time += waited
+            task.accounting.fpga_wait_time += waited
+
+    # -- shared helpers ----------------------------------------------------------------
+    def op_seconds(self, entry: ConfigEntry, op: FpgaOp) -> float:
+        return op.cycles * entry.critical_path
+
+    def _check_fits_device(self, entry: ConfigEntry) -> None:
+        arch = self.fpga.arch
+        r = entry.bitstream.region
+        if r.w > arch.width or r.h > arch.height:
+            raise CapacityError(
+                f"configuration {entry.name!r} ({r.w}x{r.h}) exceeds the "
+                f"physical device ({arch.width}x{arch.height})"
+            )

@@ -1,0 +1,184 @@
+"""Baseline FPGA services the paper's proposals are measured against.
+
+* :class:`MergedResidentService` — the paper's "trivial solution" (§3):
+  if the device is large enough, merge every circuit into one resident
+  configuration at boot and never reconfigure.  Its admission failure
+  (CapacityError) *is* the physical barrier motivating the VFPGA.
+* :class:`SoftwareOnlyService` — don't use the FPGA at all: run every
+  operation on the CPU at a configurable slowdown (the paper's "software
+  programming of the algorithm should be considered" escape hatch, §4).
+* :class:`NonPreemptableService` — the paper's drastic option (§4): one
+  circuit owns the whole device until its operation completes; waiters
+  queue FIFO.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..osim import FpgaOp, Task
+from ..sim import Resource
+from .base import VfpgaServiceBase
+from .errors import CapacityError
+from .registry import ConfigEntry, ConfigRegistry
+
+__all__ = [
+    "MergedResidentService",
+    "SoftwareOnlyService",
+    "NonPreemptableService",
+    "shelf_pack",
+]
+
+
+def shelf_pack(
+    entries: List[ConfigEntry], width: int, height: int
+) -> Dict[str, Tuple[int, int]]:
+    """Pack entry footprints onto a ``width``×``height`` array with the
+    classic shelf heuristic (sort by height, fill rows left to right).
+
+    Returns name → anchor; raises :class:`CapacityError` if they don't fit
+    — which, for the merged baseline, is exactly the paper's "FPGA not
+    large enough" condition.
+    """
+    anchors: Dict[str, Tuple[int, int]] = {}
+    shelf_y = 0
+    shelf_h = 0
+    cursor_x = 0
+    for entry in sorted(entries, key=lambda e: (-e.bitstream.region.h, e.name)):
+        w, h = entry.bitstream.region.w, entry.bitstream.region.h
+        if w > width or h > height:
+            raise CapacityError(
+                f"circuit {entry.name!r} ({w}x{h}) exceeds the device"
+            )
+        if cursor_x + w > width:
+            shelf_y += shelf_h
+            cursor_x = 0
+            shelf_h = 0
+        if shelf_y + h > height:
+            raise CapacityError(
+                f"circuits do not fit: {entry.name!r} needs a fresh shelf at "
+                f"y={shelf_y} of height {h} on a {width}x{height} device"
+            )
+        anchors[entry.name] = (cursor_x, shelf_y)
+        cursor_x += w
+        shelf_h = max(shelf_h, h)
+    return anchors
+
+
+class MergedResidentService(VfpgaServiceBase):
+    """All declared configurations resident side by side, loaded once.
+
+    ``boot_load_time`` records the single initialization download; steady
+    state has zero reconfigurations.  Concurrent operations on different
+    circuits overlap freely (they are physically distinct logic); two
+    operations on the *same* circuit serialize on its single instance.
+    """
+
+    def __init__(self, registry: ConfigRegistry, **kw) -> None:
+        super().__init__(registry, **kw)
+        self.boot_load_time = 0.0
+        self._locks: Dict[str, Resource] = {}
+
+    def attach(self, kernel) -> None:
+        super().attach(kernel)
+        entries = self.registry.entries()
+        arch = self.fpga.arch
+        anchors = shelf_pack(entries, arch.width, arch.height)
+        for entry in entries:
+            timing = self.fpga.load(
+                entry.name, entry.bitstream.anchored_at(*anchors[entry.name])
+            )
+            self.boot_load_time += timing.seconds
+            self._locks[entry.name] = Resource(self.sim, capacity=1)
+        if not arch.supports_partial:
+            # One full serial download configures everything at once.
+            self.boot_load_time = self.fpga.port.full_config().seconds
+        self.metrics.n_loads += len(entries)
+        self.metrics.load_time += self.boot_load_time
+
+    def execute(self, task: Task, op: FpgaOp):
+        entry = self.registry.get(op.config)
+        t0 = self.sim.now
+        with self._locks[op.config].request() as req:
+            yield req
+            self._charge_wait(task, t0)
+            self.metrics.n_ops += 1
+            self.metrics.n_hits += 1
+            yield from self._charge_io(task, entry, op)
+            yield from self._charge_exec(task, entry, self.op_seconds(entry, op))
+
+
+class SoftwareOnlyService(VfpgaServiceBase):
+    """Run every "FPGA" operation on the CPU instead.
+
+    ``slowdown`` scales the operation time (hardware is assumed
+    ``slowdown``× faster than software for these kernels).  The op
+    occupies the *CPU-side* service process, not the fabric — but it also
+    does not overlap with other software ops (one CPU), which is modelled
+    with a single lock.
+    """
+
+    def __init__(self, registry: ConfigRegistry, slowdown: float = 20.0, **kw) -> None:
+        super().__init__(registry, **kw)
+        if slowdown <= 0:
+            raise ValueError("slowdown must be positive")
+        self.slowdown = slowdown
+        self._cpu_lock: Optional[Resource] = None
+
+    def attach(self, kernel) -> None:
+        super().attach(kernel)
+        self._cpu_lock = Resource(self.sim, capacity=1)
+
+    def execute(self, task: Task, op: FpgaOp):
+        entry = self.registry.get(op.config)
+        t0 = self.sim.now
+        with self._cpu_lock.request() as req:
+            yield req
+            self._charge_wait(task, t0)
+            self.metrics.n_ops += 1
+            seconds = self.op_seconds(entry, op) * self.slowdown
+            yield self.sim.timeout(seconds)
+            task.accounting.cpu_time += seconds
+            self.metrics.exec_time += seconds
+
+
+class NonPreemptableService(VfpgaServiceBase):
+    """Whole-device mutual exclusion, run-to-completion (§4).
+
+    The resource "cannot be released for subsequent reassignment to other
+    tasks until the task holding it has not completed the algorithm";
+    waiters queue FIFO — the serialization experiment E3 quantifies the
+    parallelism this destroys.  The only optimization is configuration
+    affinity: if the requested circuit is still resident from last time,
+    the download is skipped.
+    """
+
+    def __init__(self, registry: ConfigRegistry, **kw) -> None:
+        super().__init__(registry, **kw)
+        self._device_lock: Optional[Resource] = None
+        self._resident_config: Optional[str] = None
+
+    def attach(self, kernel) -> None:
+        super().attach(kernel)
+        self._device_lock = Resource(self.sim, capacity=1)
+
+    def execute(self, task: Task, op: FpgaOp):
+        entry = self.registry.get(op.config)
+        self._check_fits_device(entry)
+        t0 = self.sim.now
+        with self._device_lock.request() as req:
+            yield req
+            self._charge_wait(task, t0)
+            self.metrics.n_ops += 1
+            if self._resident_config != op.config:
+                self.metrics.n_misses += 1
+                if self._resident_config is not None:
+                    yield from self._charge_unload(task, self._resident_config)
+                    self._resident_config = None
+                yield from self._charge_load(task, entry, (0, 0))
+                self._resident_config = op.config
+            else:
+                self.metrics.n_hits += 1
+            task.current_config = op.config
+            yield from self._charge_io(task, entry, op)
+            yield from self._charge_exec(task, entry, self.op_seconds(entry, op))

@@ -1,0 +1,34 @@
+"""Errors raised by the VFPGA manager."""
+
+from __future__ import annotations
+
+__all__ = [
+    "VfpgaError",
+    "UnknownConfigError",
+    "CapacityError",
+    "AdmissionError",
+    "StateAccessError",
+]
+
+
+class VfpgaError(Exception):
+    """Base class for VFPGA management errors."""
+
+
+class UnknownConfigError(VfpgaError, KeyError):
+    """A task referenced a configuration absent from the OS tables."""
+
+
+class CapacityError(VfpgaError):
+    """The physical device cannot satisfy the request at all (a circuit
+    larger than the device / partition set, or pins beyond the multiplexer's
+    limit) — the paper's physical barriers made explicit."""
+
+
+class AdmissionError(VfpgaError):
+    """A task/circuit combination was rejected at registration time."""
+
+
+class StateAccessError(VfpgaError):
+    """Preemption required observing/controlling a circuit whose state is
+    not accessible (paper §3: observability/controllability precondition)."""

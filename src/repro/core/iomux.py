@@ -1,0 +1,107 @@
+"""Input/output pin virtualization (paper §2).
+
+The paper's sixth mechanism: "input and output multiplexing is used to
+assign the current inputs and outputs to the logical function associated
+to the running task or to increase the number of inputs and outputs when
+there are not enough physically available."
+
+Model: transfers move words over the device pins in fixed *frames*.  While
+the sum of the virtual pins of all concurrently transferring circuits fits
+the physical pin count, every transfer proceeds at full rate; beyond that,
+frames are time-sliced and every active transfer dilates by the
+oversubscription factor.  :class:`PinMultiplexer` tracks the active
+demand, prices transfers, and exposes the static model
+(:meth:`transfer_time`) that experiment E9 sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from .errors import CapacityError
+from .metrics import ServiceMetrics
+
+__all__ = ["PinMultiplexer", "MuxedTransfer"]
+
+
+@dataclass(frozen=True)
+class MuxedTransfer:
+    """Priced transfer: the time charged and the factor applied."""
+
+    seconds: float
+    factor: float
+    words: int
+
+
+class PinMultiplexer:
+    """Shared-pin transfer pricing for one device.
+
+    Parameters
+    ----------
+    n_physical_pins:
+        The device's bonded pad count (the physical barrier).
+    word_rate:
+        Words per second a circuit moves when it has all the pins it wants
+        (calibrated to mid-90s board I/O; the default keeps transfers in
+        the same decade as reconfiguration so trade-offs are visible).
+    """
+
+    def __init__(self, n_physical_pins: int, word_rate: float = 2.0e6) -> None:
+        if n_physical_pins < 1:
+            raise ValueError("need at least one physical pin")
+        if word_rate <= 0:
+            raise ValueError("word_rate must be positive")
+        self.n_physical_pins = n_physical_pins
+        self.word_rate = word_rate
+        #: circuit name -> virtual pins currently transferring.
+        self.active: Dict[str, int] = {}
+        self.metrics = ServiceMetrics()
+
+    # -- static model (used directly by experiment E9) -----------------------
+    def oversubscription(self, extra_pins: int = 0) -> float:
+        """Current demand / physical pins, floored at 1."""
+        demand = sum(self.active.values()) + extra_pins
+        return max(1.0, demand / self.n_physical_pins)
+
+    def transfer_time(self, words: int, virtual_pins: int,
+                      concurrent_pins: int = 0) -> MuxedTransfer:
+        """Price a transfer of ``words`` by a circuit with ``virtual_pins``
+        while ``concurrent_pins`` other virtual pins are active."""
+        if virtual_pins < 0 or words < 0:
+            raise ValueError("negative transfer")
+        demand = virtual_pins + concurrent_pins
+        factor = max(1.0, demand / self.n_physical_pins)
+        return MuxedTransfer(
+            seconds=(words / self.word_rate) * factor,
+            factor=factor,
+            words=words,
+        )
+
+    # -- dynamic bookkeeping (used by the services) --------------------------------
+    def begin(self, circuit: str, virtual_pins: int) -> None:
+        if virtual_pins < 0:
+            raise ValueError("negative pin demand")
+        self.active[circuit] = self.active.get(circuit, 0) + virtual_pins
+
+    def end(self, circuit: str, virtual_pins: int) -> None:
+        have = self.active.get(circuit, 0)
+        if have < virtual_pins:
+            raise CapacityError(
+                f"pin release of {virtual_pins} exceeds holding {have} "
+                f"for {circuit!r}"
+            )
+        remaining = have - virtual_pins
+        if remaining:
+            self.active[circuit] = remaining
+        else:
+            self.active.pop(circuit, None)
+
+    def price_active_transfer(self, circuit: str, words: int,
+                              virtual_pins: int) -> MuxedTransfer:
+        """Price a transfer assuming ``circuit`` is already registered in
+        ``active`` (its own pins count toward the demand)."""
+        others = sum(p for c, p in self.active.items() if c != circuit)
+        t = self.transfer_time(words, virtual_pins, concurrent_pins=others)
+        self.metrics.io_time += t.seconds
+        return t

@@ -1,0 +1,74 @@
+"""Service-level metrics: what every VFPGA policy is judged by.
+
+Task-side accounting lives in :class:`repro.osim.task.TaskAccounting`;
+this is the device-side view (loads, hits, evictions, faults, port busy
+time).  Both are filled in as charges happen, so the experiment harness
+can cross-check them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+__all__ = ["ServiceMetrics"]
+
+
+@dataclass
+class ServiceMetrics:
+    """Counters and per-cause time sums for one service instance."""
+
+    # -- counters -----------------------------------------------------------
+    n_loads: int = 0
+    n_unloads: int = 0
+    n_hits: int = 0            #: requests served with the config already resident
+    n_misses: int = 0
+    n_evictions: int = 0
+    n_page_faults: int = 0
+    n_page_accesses: int = 0
+    n_preemptions: int = 0
+    n_rollbacks: int = 0
+    n_state_saves: int = 0
+    n_state_restores: int = 0
+    n_relocations: int = 0
+    n_compactions: int = 0
+    n_ops: int = 0
+
+    # -- time sums (seconds) ---------------------------------------------------
+    load_time: float = 0.0
+    state_time: float = 0.0
+    exec_time: float = 0.0
+    io_time: float = 0.0
+    wait_time: float = 0.0
+
+    # -- derived ------------------------------------------------------------------
+    @property
+    def hit_rate(self) -> float:
+        total = self.n_hits + self.n_misses
+        return 0.0 if total == 0 else self.n_hits / total
+
+    @property
+    def fault_rate(self) -> float:
+        return (
+            0.0
+            if self.n_page_accesses == 0
+            else self.n_page_faults / self.n_page_accesses
+        )
+
+    @property
+    def overhead_time(self) -> float:
+        return self.load_time + self.state_time + self.io_time + self.wait_time
+
+    @property
+    def useful_fraction(self) -> float:
+        denom = self.exec_time + self.overhead_time
+        return 1.0 if denom == 0 else self.exec_time / denom
+
+    def as_dict(self) -> Dict[str, float]:
+        out: Dict[str, float] = {}
+        for name in self.__dataclass_fields__:
+            out[name] = getattr(self, name)
+        out["hit_rate"] = self.hit_rate
+        out["fault_rate"] = self.fault_rate
+        out["useful_fraction"] = self.useful_fraction
+        return out

@@ -1,0 +1,112 @@
+"""Multi-board virtualization — the paper's "virtual computer" vision (§2).
+
+"A higher-abstraction level could be envisioned by realizing a computing
+system composed only of FPGA-based boards so that the whole system
+operation can be virtualized."
+
+:class:`MultiDeviceService` composes N single-device services (one
+physical :class:`~repro.device.Fpga` each) behind the same
+:class:`~repro.osim.syscalls.FpgaService` interface: tasks still see one
+virtual FPGA; the dispatcher places each operation on the board that
+already holds its configuration (affinity first), else on the least-busy
+board.  Every per-board policy from this package can be the building
+block, so "a rack of boards under variable partitioning" is one line.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from ..osim import FpgaOp, FpgaService, Task
+from .base import VfpgaServiceBase
+from .dynamic_loading import DynamicLoadingService
+from .metrics import ServiceMetrics
+from .registry import ConfigRegistry
+
+__all__ = ["MultiDeviceService"]
+
+
+class MultiDeviceService(FpgaService):
+    """N boards, one virtual FPGA.
+
+    Parameters
+    ----------
+    registry:
+        Shared OS tables (every board has the same architecture).
+    n_devices:
+        Board count.
+    board_factory:
+        Builds one per-board service from the registry (defaults to
+        :class:`DynamicLoadingService`).  Called once per board.
+    """
+
+    def __init__(
+        self,
+        registry: ConfigRegistry,
+        n_devices: int,
+        board_factory: Optional[
+            Callable[[ConfigRegistry], VfpgaServiceBase]
+        ] = None,
+    ) -> None:
+        if n_devices < 1:
+            raise ValueError("need at least one device")
+        self.registry = registry
+        factory = board_factory or (lambda reg: DynamicLoadingService(reg))
+        self.boards: List[VfpgaServiceBase] = [
+            factory(registry) for _ in range(n_devices)
+        ]
+        #: Outstanding operations per board (dispatch load estimate).
+        self._in_flight: List[int] = [0] * n_devices
+
+    # -- lifecycle -----------------------------------------------------------
+    def attach(self, kernel) -> None:
+        super().attach(kernel)
+        for board in self.boards:
+            board.attach(kernel)
+
+    def register_task(self, task: Task) -> None:
+        for board in self.boards:
+            board.register_task(task)
+
+    def on_dispatch(self, task: Task) -> None:
+        for board in self.boards:
+            board.on_dispatch(task)
+
+    def on_task_exit(self, task: Task) -> None:
+        for board in self.boards:
+            board.on_task_exit(task)
+
+    # -- placement --------------------------------------------------------------
+    def _choose_board(self, config: str) -> int:
+        # Affinity: a board already holding the configuration wins …
+        for i, board in enumerate(self.boards):
+            if board.is_resident(config):
+                return i
+        # … otherwise the board with the fewest outstanding operations.
+        return min(range(len(self.boards)), key=lambda i: (self._in_flight[i], i))
+
+    def execute(self, task: Task, op: FpgaOp):
+        i = self._choose_board(op.config)
+        self._in_flight[i] += 1
+        self.kernel.trace.log(
+            self.kernel.sim.now, "fpga-board", task.name, f"{op.config}@board{i}"
+        )
+        try:
+            yield from self.boards[i].execute(task, op)
+        finally:
+            self._in_flight[i] -= 1
+
+    # -- aggregate metrics ----------------------------------------------------------
+    @property
+    def metrics(self) -> ServiceMetrics:
+        """Sum of the per-board metrics."""
+        total = ServiceMetrics()
+        for board in self.boards:
+            m = board.metrics
+            for name in ServiceMetrics.__dataclass_fields__:
+                setattr(total, name, getattr(total, name) + getattr(m, name))
+        return total
+
+    @property
+    def per_board_exec(self) -> List[float]:
+        return [b.metrics.exec_time for b in self.boards]

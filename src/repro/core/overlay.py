@@ -1,0 +1,117 @@
+"""Overlaying — the paper's third mechanism (§2).
+
+"Overlaying configures part of the FPGA to compute common functions which
+are frequently used, while the remaining part is used to download specific
+functions which are typically rarely used or mutually exclusive."
+
+:class:`OverlayService` pins a chosen set of hot configurations at boot
+(packed from the left edge) and dynamically loads everything else into the
+remaining columns, one circuit at a time with configuration affinity —
+i.e. the overlay area behaves like a miniature
+:class:`~repro.core.dynamic_loading.DynamicLoadingService`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from ..osim import FpgaOp, Task
+from ..sim import Resource
+from .base import VfpgaServiceBase
+from .errors import CapacityError
+from .registry import ConfigRegistry
+
+__all__ = ["OverlayService"]
+
+
+class OverlayService(VfpgaServiceBase):
+    """Pinned hot set + single-slot dynamic overlay area.
+
+    Parameters
+    ----------
+    registry:
+        OS configuration tables.
+    resident_names:
+        Configurations pinned for the whole run (the "common functions").
+        They are packed side by side from column 0; the rest of the device
+        is the overlay area.
+    """
+
+    def __init__(
+        self, registry: ConfigRegistry, resident_names: Sequence[str], **kw
+    ) -> None:
+        super().__init__(registry, **kw)
+        self.resident_names = list(dict.fromkeys(resident_names))
+        self._locks: Dict[str, Resource] = {}
+        self._overlay_lock: Optional[Resource] = None
+        self._overlay_x = 0
+        self._overlay_resident: Optional[str] = None
+
+    def attach(self, kernel) -> None:
+        super().attach(kernel)
+        arch = self.fpga.arch
+        x = 0
+        for name in self.resident_names:
+            entry = self.registry.get(name)
+            r = entry.bitstream.region
+            if r.h > arch.height or x + r.w > arch.width:
+                raise CapacityError(
+                    f"pinned set does not fit: {name!r} needs columns "
+                    f"{x}..{x + r.w} of {arch.width}"
+                )
+            timing = self.fpga.load(name, entry.bitstream.anchored_at(x, 0))
+            self.metrics.n_loads += 1
+            self.metrics.load_time += timing.seconds
+            self._locks[name] = Resource(self.sim, capacity=1)
+            x += r.w
+        self._overlay_x = x
+        self._overlay_lock = Resource(self.sim, capacity=1)
+
+    @property
+    def overlay_width(self) -> int:
+        return self.fpga.arch.width - self._overlay_x
+
+    # ------------------------------------------------------------------
+    def execute(self, task: Task, op: FpgaOp):
+        entry = self.registry.get(op.config)
+        t0 = self.sim.now
+        self.metrics.n_ops += 1
+        if op.config in self._locks:  # pinned: never a download
+            with self._locks[op.config].request() as req:
+                yield req
+                self._charge_wait(task, t0)
+                self.metrics.n_hits += 1
+                task.current_config = op.config
+                yield from self._charge_io(task, entry, op)
+                yield from self._charge_exec(task, entry,
+                                             self.op_seconds(entry, op))
+            return
+        # Overlay path: one rarely-used circuit resident at a time.
+        r = entry.bitstream.region
+        if r.w > self.overlay_width or r.h > self.fpga.arch.height:
+            raise CapacityError(
+                f"configuration {op.config!r} ({r.w} cols) exceeds the "
+                f"overlay area ({self.overlay_width} cols)"
+            )
+        with self._overlay_lock.request() as req:
+            yield req
+            self._charge_wait(task, t0)
+            if self._overlay_resident != op.config:
+                self.metrics.n_misses += 1
+                if self._overlay_resident is not None:
+                    yield from self._charge_unload(
+                        task, f"ov:{self._overlay_resident}"
+                    )
+                    self._overlay_resident = None
+                yield from self._charge_load(
+                    task, entry, (self._overlay_x, 0), handle=f"ov:{op.config}"
+                )
+                self._overlay_resident = op.config
+            else:
+                self.metrics.n_hits += 1
+            task.current_config = op.config
+            yield from self._charge_io(task, entry, op)
+            yield from self._charge_exec(
+                task, entry, self.op_seconds(entry, op),
+                handle=f"ov:{op.config}",
+            )

@@ -1,0 +1,616 @@
+"""FPGA partitioning — the paper's second mechanism (§4).
+
+The CLB array is divided into disjoint partitions so several circuits are
+resident simultaneously, cutting download traffic and restoring task
+parallelism.  Both flavours of the paper are implemented:
+
+* **fixed partitions** (:class:`FixedPartitionService`): created at boot
+  from a partition table ("taking the corresponding sizes from system
+  configuration file"); never change until "reboot".
+* **variable partitions** (:class:`VariablePartitionService`): carved on
+  demand by splitting free space, coalesced when freed, with optional
+  garbage collection — evicting idle cached circuits and/or *compacting*
+  (relocating resident circuits, charged as real unload+reload plus state
+  movement for sequential circuits), exactly the §4 trade-off.
+
+Partitions are full-height column spans (``Rect(x, 0, w, H)``), matching
+both the frame-per-column configuration hardware of the era and the
+paper's one-dimensional split/merge narrative.  The allocator itself
+(:class:`ColumnAllocator`) is exposed for direct unit testing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..device import Rect
+from ..osim import FpgaOp, Task
+from ..sim import Resource
+from .base import VfpgaServiceBase
+from .errors import CapacityError, VfpgaError
+from .registry import ConfigEntry, ConfigRegistry
+
+__all__ = [
+    "ColumnAllocator",
+    "FixedPartitionService",
+    "VariablePartitionService",
+]
+
+
+class ColumnAllocator:
+    """First/best/worst-fit allocation of column spans.
+
+    Spans are ``(x, w)`` pairs over ``0 .. width``.  With
+    ``coalesce=True`` adjacent free spans merge on release; with
+    ``coalesce=False`` the split boundaries persist — released partitions
+    stay distinct idle partitions, exactly the paper's variable
+    partitioning, and :meth:`merge_free` is the garbage-collection step
+    that fuses them on demand (§4).
+    """
+
+    def __init__(self, width: int, coalesce: bool = True) -> None:
+        if width < 1:
+            raise ValueError("width must be >= 1")
+        self.width = width
+        self.coalesce = coalesce
+        self.free_spans: List[Tuple[int, int]] = [(0, width)]
+
+    # -- queries ------------------------------------------------------------
+    @property
+    def total_free(self) -> int:
+        return sum(w for _x, w in self.free_spans)
+
+    @property
+    def largest_free(self) -> int:
+        return max((w for _x, w in self.free_spans), default=0)
+
+    @property
+    def fragmentation(self) -> float:
+        """1 − largest/total free: 0 = one hole, → 1 = badly shattered."""
+        total = self.total_free
+        return 0.0 if total == 0 else 1.0 - self.largest_free / total
+
+    # -- allocation ------------------------------------------------------------
+    def allocate(self, w: int, fit: str = "first") -> Optional[int]:
+        """Reserve ``w`` columns; returns the anchor x or None."""
+        if w < 1:
+            raise ValueError("width must be >= 1")
+        candidates = [(x, fw) for x, fw in self.free_spans if fw >= w]
+        if not candidates:
+            return None
+        if fit == "first":
+            x, fw = candidates[0]
+        elif fit == "best":
+            x, fw = min(candidates, key=lambda c: (c[1], c[0]))
+        elif fit == "worst":
+            x, fw = max(candidates, key=lambda c: (c[1], -c[0]))
+        else:
+            raise ValueError(f"unknown fit policy {fit!r}")
+        self.free_spans.remove((x, fw))
+        if fw > w:
+            self.free_spans.append((x + w, fw - w))
+            self.free_spans.sort()
+        return x
+
+    def reserve(self, x: int, w: int) -> None:
+        """Claim a specific span (used when restoring a known layout)."""
+        for fx, fw in self.free_spans:
+            if fx <= x and x + w <= fx + fw:
+                self.free_spans.remove((fx, fw))
+                if fx < x:
+                    self.free_spans.append((fx, x - fx))
+                if x + w < fx + fw:
+                    self.free_spans.append((x + w, fx + fw - (x + w)))
+                self.free_spans.sort()
+                return
+        raise VfpgaError(f"span ({x},{w}) is not free")
+
+    def release(self, x: int, w: int) -> None:
+        """Return a span (coalescing with neighbours when enabled)."""
+        for fx, fw in self.free_spans:
+            if x < fx + fw and fx < x + w:
+                raise VfpgaError(f"double free of span ({x},{w})")
+        self.free_spans.append((x, w))
+        self.free_spans.sort()
+        if self.coalesce:
+            self.merge_free()
+
+    def merge_free(self) -> int:
+        """Fuse adjacent free spans; returns how many merges happened.
+
+        This is the bookkeeping half of the paper's garbage collection:
+        merging *idle* partitions into "continuous large ones" (§4).
+        """
+        merged: List[Tuple[int, int]] = []
+        n = 0
+        for span in sorted(self.free_spans):
+            if merged and merged[-1][0] + merged[-1][1] == span[0]:
+                merged[-1] = (merged[-1][0], merged[-1][1] + span[1])
+                n += 1
+            else:
+                merged.append(span)
+        self.free_spans = merged
+        return n
+
+
+@dataclass
+class _Partition:
+    """One fixed partition's bookkeeping."""
+
+    index: int
+    rect: Rect
+    lock: Resource
+    resident: Optional[str] = None
+    last_used: float = 0.0
+
+
+class FixedPartitionService(VfpgaServiceBase):
+    """Boot-time partition table; each partition caches one configuration.
+
+    Requests prefer the partition already holding their configuration
+    (affinity), then an idle empty/LRU partition, then the fitting
+    partition with the shortest queue.  Circuits wider than every
+    partition are rejected with :class:`CapacityError` — under fixed
+    partitioning such tasks would wait forever (§4).
+    """
+
+    def __init__(
+        self,
+        registry: ConfigRegistry,
+        partition_widths: Sequence[int],
+        **kw,
+    ) -> None:
+        super().__init__(registry, **kw)
+        if not partition_widths:
+            raise ValueError("need at least one partition")
+        if sum(partition_widths) > self.fpga.arch.width:
+            raise CapacityError(
+                f"partition table {list(partition_widths)} exceeds device "
+                f"width {self.fpga.arch.width}"
+            )
+        self._widths = list(partition_widths)
+        self.partitions: List[_Partition] = []
+
+    @classmethod
+    def equal(cls, registry: ConfigRegistry, n_partitions: int, **kw):
+        """Split the device into ``n_partitions`` equal column spans."""
+        width = registry.arch.width // n_partitions
+        if width < 1:
+            raise CapacityError(f"{n_partitions} partitions on a "
+                                f"{registry.arch.width}-column device")
+        return cls(registry, [width] * n_partitions, **kw)
+
+    def attach(self, kernel) -> None:
+        super().attach(kernel)
+        x = 0
+        height = self.fpga.arch.height
+        for i, w in enumerate(self._widths):
+            self.partitions.append(
+                _Partition(
+                    index=i,
+                    rect=Rect(x, 0, w, height),
+                    lock=Resource(self.sim, capacity=1),
+                )
+            )
+            x += w
+
+    # ------------------------------------------------------------------
+    def _fits(self, entry: ConfigEntry, part: _Partition) -> bool:
+        r = entry.bitstream.region
+        return r.w <= part.rect.w and r.h <= part.rect.h
+
+    def _choose(self, entry: ConfigEntry) -> _Partition:
+        fitting = [p for p in self.partitions if self._fits(entry, p)]
+        if not fitting:
+            raise CapacityError(
+                f"configuration {entry.name!r} "
+                f"({entry.bitstream.region.w} cols) fits no partition — the "
+                "task would wait indefinitely (paper §4)"
+            )
+        for p in fitting:  # affinity
+            if p.resident == entry.name:
+                return p
+        idle = [p for p in fitting if p.lock.count == 0 and p.lock.queue_length == 0]
+        if idle:
+            empty = [p for p in idle if p.resident is None]
+            if empty:
+                return empty[0]
+            return min(idle, key=lambda p: p.last_used)  # LRU victim
+        return min(fitting, key=lambda p: (p.lock.queue_length, p.index))
+
+    def execute(self, task: Task, op: FpgaOp):
+        entry = self.registry.get(op.config)
+        part = self._choose(entry)
+        t0 = self.sim.now
+        self.metrics.n_ops += 1
+        with part.lock.request() as req:
+            yield req
+            self._charge_wait(task, t0)
+            part.last_used = self.sim.now
+            handle = f"p{part.index}"
+            if part.resident != entry.name:
+                self.metrics.n_misses += 1
+                if part.resident is not None:
+                    yield from self._charge_unload(task, handle)
+                    part.resident = None
+                yield from self._charge_load(
+                    task, entry, (part.rect.x, part.rect.y), handle=handle
+                )
+                part.resident = entry.name
+            else:
+                self.metrics.n_hits += 1
+            task.current_config = op.config
+            yield from self._charge_io(task, entry, op)
+            yield from self._charge_exec(
+                task, entry, self.op_seconds(entry, op), handle=handle
+            )
+            part.last_used = self.sim.now
+
+
+@dataclass
+class _Resident:
+    """One circuit resident under variable partitioning."""
+
+    entry: ConfigEntry
+    anchor: Tuple[int, int]
+    lock: Resource
+    last_used: float = 0.0
+    #: True between operations: the partition is not computing right now.
+    idle: bool = True
+    #: Tasks holding this partition (hold_mode="task"); empty = cached.
+    holders: set = field(default_factory=set)
+
+    @property
+    def cached(self) -> bool:
+        return not self.holders
+
+    @property
+    def anchor_x(self) -> int:
+        return self.anchor[0]
+
+    @property
+    def footprint(self) -> Tuple[int, int]:
+        r = self.entry.bitstream.region
+        return (r.w, r.h)
+
+
+class _ColumnLayout:
+    """Column-span allocation behind the 2-D anchor protocol."""
+
+    def __init__(self, width: int) -> None:
+        self.cols = ColumnAllocator(width, coalesce=False)
+
+    def allocate(self, w, h, fit):
+        x = self.cols.allocate(w, fit=fit)
+        return None if x is None else (x, 0)
+
+    def release(self, anchor, w, h):
+        self.cols.release(anchor[0], w)
+
+    def merge_free(self) -> int:
+        return self.cols.merge_free()
+
+    def free_units(self) -> float:
+        return self.cols.total_free
+
+    @staticmethod
+    def demand_units(w: int, h: int) -> float:
+        return w  # columns are the unit
+
+    @property
+    def fragmentation(self) -> float:
+        return self.cols.fragmentation
+
+
+class _RectLayout:
+    """2-D bottom-left allocation behind the same protocol."""
+
+    def __init__(self, width: int, height: int) -> None:
+        from .rect_alloc import RectAllocator
+
+        self.rects = RectAllocator(width, height)
+
+    def allocate(self, w, h, fit):
+        return self.rects.allocate(w, h)  # bottom-left ignores `fit`
+
+    def release(self, anchor, w, h):
+        self.rects.release(anchor[0], anchor[1], w, h)
+
+    def merge_free(self) -> int:
+        return self.rects.merge_free()
+
+    def free_units(self) -> float:
+        return self.rects.total_free
+
+    @staticmethod
+    def demand_units(w: int, h: int) -> float:
+        return w * h  # CLBs are the unit
+
+    @property
+    def fragmentation(self) -> float:
+        return self.rects.fragmentation
+
+
+class VariablePartitionService(VfpgaServiceBase):
+    """Split-on-demand partitions with caching and garbage collection.
+
+    Partition boundaries persist after release (no automatic coalescing),
+    exactly as in the paper.  Two holding disciplines:
+
+    * ``hold_mode="task"`` (paper default): "an assigned partition remains
+      in use to its task until it is released voluntarily" — the partition
+      belongs to its task(s) until they exit; while held it may be
+      *relocated* when idle but never evicted;
+    * ``hold_mode="op"``: the partition is released after every operation;
+      the circuit stays resident as a reusable cache entry that may be
+      evicted (the OS "rotates the assignment among tasks", §4).
+
+    When a request cannot be placed in any single free span:
+
+    1. adjacent free spans are fused with ``gc="merge"`` or better
+       ("merge the idle existing partitions to create continuous large
+       ones", §4);
+    2. cached (unheld) circuits are evicted LRU-first;
+    3. with ``gc="compact"``, idle resident circuits — including *held*
+       ones — are relocated leftwards, charging real unload/reload plus
+       state save/restore for sequential circuits: the paper's costly
+       relocation, and the only remedy when held partitions fragment the
+       array;
+    4. otherwise the task suspends; under ``gc="none"`` it can starve
+       although the sum of the idle fragments would fit it — the exact
+       hazard the paper calls "definitely not acceptable" (experiment E5
+       measures it via ``starvation_events`` and deadlocked runs).
+    """
+
+    def __init__(
+        self,
+        registry: ConfigRegistry,
+        fit: str = "first",
+        gc: str = "compact",
+        hold_mode: str = "task",
+        layout: str = "columns",
+        **kw,
+    ) -> None:
+        super().__init__(registry, **kw)
+        if gc not in ("none", "merge", "compact"):
+            raise ValueError(f"unknown gc mode {gc!r}")
+        if hold_mode not in ("task", "op"):
+            raise ValueError(f"unknown hold_mode {hold_mode!r}")
+        if layout not in ("columns", "rect"):
+            raise ValueError(f"unknown layout {layout!r}")
+        self.fit = fit
+        self.gc = gc
+        self.hold_mode = hold_mode
+        self.layout_name = layout
+        arch = self.fpga.arch
+        self.layout = (
+            _ColumnLayout(arch.width) if layout == "columns"
+            else _RectLayout(arch.width, arch.height)
+        )
+        self.residents: Dict[str, _Resident] = {}
+        self._space_waiters: List = []
+        #: allocation failed although total free space was sufficient.
+        self.starvation_events = 0
+
+    @property
+    def allocator(self):
+        """The underlying allocator (ColumnAllocator or RectAllocator)."""
+        return (
+            self.layout.cols
+            if isinstance(self.layout, _ColumnLayout)
+            else self.layout.rects
+        )
+
+    # -- space bookkeeping ----------------------------------------------------
+    def _notify_space(self) -> None:
+        waiters, self._space_waiters = self._space_waiters, []
+        for ev in waiters:
+            if not ev.triggered:
+                ev.succeed()
+
+    def _is_movable(self, res: _Resident) -> bool:
+        """Idle and unlocked: may be relocated (even while held)."""
+        return (
+            res.entry.name in self.residents
+            and res.idle
+            and res.lock.count == 0
+            and res.lock.queue_length == 0
+        )
+
+    def _is_evictable(self, res: _Resident) -> bool:
+        """Movable *and* unheld: may be dropped entirely."""
+        return res.cached and self._is_movable(res)
+
+    def _evict(self, task: Optional[Task], name: str):
+        # Pop before the first yield so no task can "hit" a dying resident.
+        res = self.residents.pop(name)
+        yield from self._charge_unload(task, name)
+        self.layout.release(res.anchor, *res.footprint)
+        self._notify_space()
+
+    def _idle_evictables(self) -> List[_Resident]:
+        return sorted(
+            (r for r in self.residents.values() if self._is_evictable(r)),
+            key=lambda r: r.last_used,
+        )
+
+    def _try_place(self, task: Task, entry: ConfigEntry):
+        """One placement attempt; returns the anchor x or None (generator:
+        may charge eviction/compaction time)."""
+        r = entry.bitstream.region
+        w, h = r.w, r.h
+        anchor = self.layout.allocate(w, h, self.fit)
+        if anchor is not None:
+            return anchor
+        # Phase 1: merge adjacent free spans (cheap GC bookkeeping).
+        if self.gc != "none" and self.layout.merge_free():
+            anchor = self.layout.allocate(w, h, self.fit)
+            if anchor is not None:
+                return anchor
+        # Phase 2: evict cached (unheld) circuits, LRU first.  Re-validate
+        # each victim right before eviction: earlier charges yielded
+        # simulation time during which a victim may have been claimed.
+        while True:
+            victims = self._idle_evictables()
+            if not victims:
+                break
+            yield from self._evict(task, victims[0].entry.name)
+            if self.gc != "none":
+                self.layout.merge_free()
+            anchor = self.layout.allocate(w, h, self.fit)
+            if anchor is not None:
+                return anchor
+        demand = self.layout.demand_units(w, h)
+        if self.gc in ("none", "merge"):
+            if self.layout.free_units() >= demand:
+                self.starvation_events += 1
+            return None
+        if self.layout.free_units() < demand:
+            return None
+        # Phase 3: compaction — relocate idle circuits (held ones too)
+        # toward the origin; the only remedy when held partitions shatter
+        # the array.
+        yield from self._compact(task)
+        self.layout.merge_free()
+        return self.layout.allocate(w, h, self.fit)
+
+    def _compact(self, task: Optional[Task]):
+        """Slide idle resident circuits toward x = 0 (paper §4 relocation).
+
+        Sequential circuits additionally pay state readback + restore so
+        their memory contents survive the move.
+        """
+        self.metrics.n_compactions += 1
+        self.kernel.trace.log(self.sim.now, "fpga-compact",
+                              task.name if task else "")
+        moved = 0
+        self.layout.merge_free()
+        movable = sorted(
+            (r for r in self.residents.values() if self._is_movable(r)),
+            key=lambda r: (r.anchor[1], r.anchor[0]),
+        )
+        for res in movable:
+            if not self._is_movable(res):
+                continue  # claimed while an earlier move was in flight
+            # Holding the residency lock pins the circuit during the move;
+            # granting is synchronous here because the lock is verified idle.
+            req = res.lock.request()
+            if req not in res.lock.users:  # pragma: no cover - defensive
+                req.cancel()
+                continue
+            try:
+                w, h = res.footprint
+                self.layout.release(res.anchor, w, h)
+                self.layout.merge_free()
+                new_anchor = self.layout.allocate(w, h, "first")
+                assert new_anchor is not None  # we just released that much
+                if new_anchor == res.anchor:
+                    continue
+                port = self.fpga.port
+                move_state = res.entry.is_sequential and res.entry.state_accessible
+                if move_state:
+                    yield from self._charge_state(
+                        task, port.state_save_time(res.entry.bitstream).seconds,
+                        "save", handle=res.entry.name,
+                    )
+                yield from self._charge_unload(task, res.entry.name)
+                # _charge_unload touches only the device residency; the
+                # allocator spans are managed right here.
+                yield from self._charge_load(
+                    task, res.entry, new_anchor, handle=res.entry.name
+                )
+                if move_state:
+                    yield from self._charge_state(
+                        task,
+                        port.state_restore_time(res.entry.bitstream).seconds,
+                        "restore", handle=res.entry.name,
+                    )
+                res.anchor = new_anchor
+                self.metrics.n_relocations += 1
+                moved += 1
+            finally:
+                res.lock.release(req)
+        if moved:
+            # Only a real layout change may wake space waiters — waking
+            # them after a no-op compaction would let two starving tasks
+            # ping-pong wakeups forever at the same simulation instant.
+            self._notify_space()
+
+    # -- main entry ------------------------------------------------------------------
+    def execute(self, task: Task, op: FpgaOp):
+        entry = self.registry.get(op.config)
+        self._check_fits_device(entry)
+        t0 = self.sim.now
+        self.metrics.n_ops += 1
+        if self.hold_mode == "task" and task.current_config not in (None, op.config):
+            # §3: a task holds only its most recently used configuration;
+            # switching releases the previous partition (it stays resident
+            # as an evictable cache entry).
+            prev = self.residents.get(task.current_config)
+            if prev is not None and task.tid in prev.holders:
+                prev.holders.discard(task.tid)
+                self._notify_space()
+        # Acquire (or create) the residency.
+        needs_load = False
+        while True:
+            res = self.residents.get(entry.name)
+            if res is not None:
+                self.metrics.n_hits += 1
+                break
+            placed = yield from self._try_place(task, entry)
+            if self.residents.get(entry.name) is not None:
+                # Raced with another task placing the same configuration
+                # during our (yielding) placement attempt.
+                if placed is not None:
+                    r = entry.bitstream.region
+                    self.layout.release(placed, r.w, r.h)
+                res = self.residents[entry.name]
+                self.metrics.n_hits += 1
+                break
+            if placed is not None:
+                self.metrics.n_misses += 1
+                res = _Resident(
+                    entry=entry,
+                    anchor=placed,
+                    lock=Resource(self.sim, capacity=1),
+                    last_used=self.sim.now,
+                    idle=False,
+                )
+                # Publish before yielding; the download happens under the
+                # residency lock so late-comers wait for it.
+                self.residents[entry.name] = res
+                needs_load = True
+                break
+            # No space: suspend until departures change the picture.
+            ev = self.sim.event()
+            self._space_waiters.append(ev)
+            self.kernel.trace.log(self.sim.now, "fpga-suspend", task.name,
+                                  entry.name)
+            yield ev
+        if self.hold_mode == "task":
+            res.holders.add(task.tid)
+        with res.lock.request() as req:
+            yield req
+            self._charge_wait(task, t0)
+            res.idle = False
+            res.last_used = self.sim.now
+            if needs_load:
+                yield from self._charge_load(task, entry, res.anchor)
+            task.current_config = op.config
+            yield from self._charge_io(task, entry, op)
+            yield from self._charge_exec(task, entry, self.op_seconds(entry, op))
+            res.last_used = self.sim.now
+            res.idle = True
+        self._notify_space()
+
+    def on_task_exit(self, task: Task) -> None:
+        """Voluntary release: the task's partitions become cached entries
+        that eviction may reclaim (paper §4)."""
+        released = False
+        for res in self.residents.values():
+            if task.tid in res.holders:
+                res.holders.discard(task.tid)
+                released = True
+        if released:
+            self._notify_space()

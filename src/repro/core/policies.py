@@ -1,0 +1,226 @@
+"""Replacement policies and access-trace generation for demand loading.
+
+Pagination and segmentation (paper §2) both need two ingredients the paper
+borrows from virtual memory: a *victim selection* policy when a part must
+be loaded and the device is full, and a model of *how circuits touch their
+parts* (the access trace).  Both live here so the two services share one
+vocabulary and experiment E8 can sweep them orthogonally.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Dict, Hashable, List, Sequence
+
+__all__ = [
+    "ReplacementPolicy",
+    "FifoReplacement",
+    "LruReplacement",
+    "MruReplacement",
+    "ClockReplacement",
+    "RandomReplacement",
+    "make_replacement",
+    "access_trace",
+]
+
+Key = Hashable
+
+
+class ReplacementPolicy(ABC):
+    """Victim selection over resident keys (page names / segment names)."""
+
+    name: str = "abstract"
+
+    def on_insert(self, key: Key) -> None:
+        """``key`` became resident."""
+
+    def on_access(self, key: Key) -> None:
+        """``key`` was used while resident."""
+
+    def on_remove(self, key: Key) -> None:
+        """``key`` was evicted/unloaded externally."""
+
+    @abstractmethod
+    def victim(self, candidates: Sequence[Key]) -> Key:
+        """Choose which of ``candidates`` (non-empty) to evict."""
+
+
+class FifoReplacement(ReplacementPolicy):
+    """Evict the longest-resident part, ignoring use."""
+
+    name = "fifo"
+
+    def __init__(self) -> None:
+        self._arrival: Dict[Key, int] = {}
+        self._tick = 0
+
+    def on_insert(self, key: Key) -> None:
+        self._tick += 1
+        self._arrival[key] = self._tick
+
+    def on_remove(self, key: Key) -> None:
+        self._arrival.pop(key, None)
+
+    def victim(self, candidates: Sequence[Key]) -> Key:
+        return min(candidates, key=lambda k: self._arrival.get(k, 0))
+
+
+class _RecencyBase(ReplacementPolicy):
+    def __init__(self) -> None:
+        self._last: Dict[Key, int] = {}
+        self._tick = 0
+
+    def _touch(self, key: Key) -> None:
+        self._tick += 1
+        self._last[key] = self._tick
+
+    def on_insert(self, key: Key) -> None:
+        self._touch(key)
+
+    def on_access(self, key: Key) -> None:
+        self._touch(key)
+
+    def on_remove(self, key: Key) -> None:
+        self._last.pop(key, None)
+
+
+class LruReplacement(_RecencyBase):
+    """Evict the least recently used part."""
+
+    name = "lru"
+
+    def victim(self, candidates: Sequence[Key]) -> Key:
+        return min(candidates, key=lambda k: self._last.get(k, 0))
+
+
+class MruReplacement(_RecencyBase):
+    """Evict the *most* recently used part — optimal for cyclic sweeps
+    larger than the resident capacity (the classic looping workload)."""
+
+    name = "mru"
+
+    def victim(self, candidates: Sequence[Key]) -> Key:
+        return max(candidates, key=lambda k: self._last.get(k, 0))
+
+
+class ClockReplacement(ReplacementPolicy):
+    """Second-chance approximation of LRU with one reference bit."""
+
+    name = "clock"
+
+    def __init__(self) -> None:
+        self._ring: List[Key] = []
+        self._ref: Dict[Key, bool] = {}
+        self._hand = 0
+
+    def on_insert(self, key: Key) -> None:
+        if key not in self._ref:
+            self._ring.append(key)
+        self._ref[key] = True
+
+    def on_access(self, key: Key) -> None:
+        if key in self._ref:
+            self._ref[key] = True
+
+    def on_remove(self, key: Key) -> None:
+        if key in self._ref:
+            del self._ref[key]
+            idx = self._ring.index(key)
+            self._ring.remove(key)
+            if idx < self._hand:
+                self._hand -= 1
+            if self._ring:
+                self._hand %= len(self._ring)
+            else:
+                self._hand = 0
+
+    def victim(self, candidates: Sequence[Key]) -> Key:
+        allowed = set(candidates)
+        if not self._ring:
+            return candidates[0]
+        for _ in range(2 * len(self._ring) + 1):
+            key = self._ring[self._hand]
+            if key in allowed and not self._ref.get(key, False):
+                return key
+            if key in allowed:
+                self._ref[key] = False
+            self._hand = (self._hand + 1) % len(self._ring)
+        return candidates[0]  # pragma: no cover - all referenced twice
+
+
+class RandomReplacement(ReplacementPolicy):
+    """Seeded uniform-random victim (the control arm of E8)."""
+
+    name = "random"
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = random.Random(seed)
+
+    def victim(self, candidates: Sequence[Key]) -> Key:
+        return candidates[self._rng.randrange(len(candidates))]
+
+
+_POLICIES = {
+    "fifo": FifoReplacement,
+    "lru": LruReplacement,
+    "mru": MruReplacement,
+    "clock": ClockReplacement,
+    "random": RandomReplacement,
+}
+
+
+def make_replacement(name: str) -> ReplacementPolicy:
+    """Instantiate a replacement policy by name."""
+    try:
+        return _POLICIES[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown replacement policy {name!r}; have {sorted(_POLICIES)}"
+        ) from None
+
+
+def access_trace(
+    n_parts: int,
+    n_accesses: int,
+    pattern: str = "looping",
+    working_set: int | None = None,
+    seed: int = 0,
+    zipf_s: float = 1.2,
+) -> List[int]:
+    """Deterministic part-access sequence for one operation.
+
+    Patterns:
+
+    * ``sequential`` — one pass 0,1,2,…, wrapping;
+    * ``looping`` — cycle over the first ``working_set`` parts (the
+      pattern that separates LRU from MRU when the set exceeds capacity);
+    * ``random`` — uniform over all parts;
+    * ``zipf`` — skewed popularity (hot parts exist, like hot code pages).
+    """
+    if n_parts < 1 or n_accesses < 0:
+        raise ValueError("need n_parts >= 1 and n_accesses >= 0")
+    ws = n_parts if working_set is None else max(1, min(working_set, n_parts))
+    rng = random.Random(seed)
+    if pattern == "sequential":
+        return [i % n_parts for i in range(n_accesses)]
+    if pattern == "looping":
+        return [i % ws for i in range(n_accesses)]
+    if pattern == "random":
+        return [rng.randrange(n_parts) for _ in range(n_accesses)]
+    if pattern == "zipf":
+        weights = [1.0 / (i + 1) ** zipf_s for i in range(n_parts)]
+        total = sum(weights)
+        out = []
+        for _ in range(n_accesses):
+            x = rng.uniform(0, total)
+            acc = 0.0
+            for i, w in enumerate(weights):
+                acc += w
+                if x <= acc:
+                    out.append(i)
+                    break
+            else:  # pragma: no cover - float slack
+                out.append(n_parts - 1)
+        return out
+    raise ValueError(f"unknown access pattern {pattern!r}")

@@ -1,0 +1,129 @@
+"""Two-dimensional rectangular allocation for variable partitions.
+
+The paper's variable partitioning is one-dimensional (column spans —
+matching the frame-per-column configuration hardware of its era).  Modern
+FPGA virtualization allocates rectangular 2-D zones instead; this module
+provides that alternative so experiment E18 can quantify what the second
+dimension buys.
+
+:class:`RectAllocator` uses the classic bottom-left heuristic: candidate
+anchors are the origin plus the top-left/bottom-right corners of resident
+rectangles; among fitting anchors the lowest (then leftmost) wins.  The
+fragmentation gauge finds the largest empty rectangle by dynamic
+programming over the occupancy grid.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..device import Rect
+from .errors import VfpgaError
+
+__all__ = ["RectAllocator"]
+
+
+class RectAllocator:
+    """Bottom-left rectangular placement over a ``width`` × ``height`` grid."""
+
+    def __init__(self, width: int, height: int) -> None:
+        if width < 1 or height < 1:
+            raise ValueError("degenerate allocator bounds")
+        self.width = width
+        self.height = height
+        self.resident: List[Rect] = []
+
+    # -- queries ------------------------------------------------------------
+    @property
+    def total_free(self) -> int:
+        """Free CLB count."""
+        return self.width * self.height - sum(r.area for r in self.resident)
+
+    def _occupancy(self) -> np.ndarray:
+        grid = np.zeros((self.width, self.height), dtype=bool)
+        for r in self.resident:
+            grid[r.x:r.x2, r.y:r.y2] = True
+        return grid
+
+    def largest_free_rect(self) -> Tuple[int, int]:
+        """(w, h) of the largest empty rectangle (0, 0) if full."""
+        grid = self._occupancy()
+        best = 0
+        best_wh = (0, 0)
+        # Row sweep with histogram-of-heights (largest rectangle in a
+        # binary matrix): O(height * width) with a monotone stack.
+        heights = np.zeros(self.width, dtype=int)
+        for y in range(self.height):
+            heights = np.where(grid[:, y], 0, heights + 1)
+            stack: List[Tuple[int, int]] = []  # (start index, height)
+            for x, h in enumerate(list(heights) + [0]):
+                start = x
+                while stack and stack[-1][1] >= h:
+                    idx, hh = stack.pop()
+                    area = hh * (x - idx)
+                    if area > best:
+                        best = area
+                        best_wh = (x - idx, hh)
+                    start = idx
+                stack.append((start, int(h)))
+        return best_wh
+
+    @property
+    def fragmentation(self) -> float:
+        """1 − largest-empty-rect area / total free area."""
+        free = self.total_free
+        if free == 0:
+            return 0.0
+        w, h = self.largest_free_rect()
+        return 1.0 - (w * h) / free
+
+    def can_fit_somewhere(self, w: int, h: int) -> bool:
+        lw, lh = self.largest_free_rect()
+        return lw >= w and lh >= h
+
+    # -- allocation ------------------------------------------------------------
+    def _candidates(self) -> List[Tuple[int, int]]:
+        anchors = {(0, 0)}
+        for r in self.resident:
+            anchors.add((r.x2, r.y))
+            anchors.add((r.x, r.y2))
+            anchors.add((r.x2, 0))
+            anchors.add((0, r.y2))
+        return sorted(anchors, key=lambda a: (a[1], a[0]))  # bottom-left
+
+    def _fits(self, rect: Rect) -> bool:
+        if rect.x2 > self.width or rect.y2 > self.height:
+            return False
+        return all(not rect.overlaps(r) for r in self.resident)
+
+    def allocate(self, w: int, h: int) -> Optional[Tuple[int, int]]:
+        """Reserve a ``w`` × ``h`` rectangle; returns its anchor or None."""
+        if w < 1 or h < 1:
+            raise ValueError("degenerate request")
+        for (x, y) in self._candidates():
+            rect = Rect(x, y, w, h) if x + w <= self.width and \
+                y + h <= self.height else None
+            if rect is not None and self._fits(rect):
+                self.resident.append(rect)
+                return (x, y)
+        return None
+
+    def reserve(self, x: int, y: int, w: int, h: int) -> None:
+        rect = Rect(x, y, w, h)
+        if not self._fits(rect):
+            raise VfpgaError(f"rect {rect} is not free")
+        self.resident.append(rect)
+
+    def release(self, x: int, y: int, w: int, h: int) -> None:
+        rect = Rect(x, y, w, h)
+        try:
+            self.resident.remove(rect)
+        except ValueError:
+            raise VfpgaError(f"release of unallocated rect {rect}") from None
+
+    def merge_free(self) -> int:
+        """2-D free space needs no span merging; present for protocol
+        parity with :class:`~repro.core.partitioning.ColumnAllocator`."""
+        return 0

@@ -1,0 +1,135 @@
+"""Configuration scrubbing: periodic testing, diagnosis and repair (§5).
+
+"In embedded control systems, execution of different non-frequent
+functions (e.g., periodic system testing and diagnosis …) can benefit
+from the performance achieved by FPGAs."
+
+The scrubber is that periodic diagnosis function for the configuration
+memory itself: every ``period`` seconds it reads back the resident frames
+(:meth:`repro.device.Fpga.scrub`), compares them with the golden
+bitstreams, and reloads any corrupted circuit.  Paired with
+:class:`UpsetInjector` (a seeded model of configuration upsets — the
+radiation/EMI concern that made real systems scrub), experiment E19
+charts mean-time-to-repair and the availability/overhead trade against
+the scrub period.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..device import Fpga
+from ..sim import Simulator
+
+__all__ = ["Scrubber", "UpsetInjector", "UpsetRecord"]
+
+
+@dataclass
+class UpsetRecord:
+    """One injected configuration upset and its repair, if any."""
+
+    time: float
+    frame: int
+    bit: int
+    handle: Optional[str]      #: resident circuit hit (None = empty area)
+    repaired_at: Optional[float] = None
+
+    @property
+    def exposure(self) -> Optional[float]:
+        if self.repaired_at is None:
+            return None
+        return self.repaired_at - self.time
+
+
+class UpsetInjector:
+    """Flips random configuration bits at exponentially spaced times."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        fpga: Fpga,
+        mean_interval: float,
+        seed: int = 0,
+        stop_after: Optional[float] = None,
+    ) -> None:
+        if mean_interval <= 0:
+            raise ValueError("mean_interval must be positive")
+        self.sim = sim
+        self.fpga = fpga
+        self.mean_interval = mean_interval
+        self.stop_after = stop_after
+        self.rng = random.Random(seed)
+        self.records: List[UpsetRecord] = []
+        sim.process(self._run(), name="upset-injector")
+
+    def _run(self):
+        arch = self.fpga.arch
+        while True:
+            delay = self.rng.expovariate(1.0 / self.mean_interval)
+            if self.stop_after is not None and \
+                    self.sim.now + delay > self.stop_after:
+                return
+            yield self.sim.timeout(delay)
+            frame = self.rng.randrange(arch.n_frames)
+            bit = self.rng.randrange(arch.frame_bits)
+            self.fpga.ram.frames[frame, bit] ^= 1
+            handle = None
+            for h, bs in self.fpga.resident.items():
+                if frame in bs.frames_touched(arch):
+                    handle = h
+                    break
+            self.records.append(
+                UpsetRecord(time=self.sim.now, frame=frame, bit=bit,
+                            handle=handle)
+            )
+
+
+class Scrubber:
+    """Periodic readback-compare-repair process over one device.
+
+    Repairs reload the corrupted circuit's golden bitstream; the scrub
+    itself charges the device's readback time so availability numbers are
+    honest.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        fpga: Fpga,
+        period: float,
+        injector: Optional[UpsetInjector] = None,
+        stop_after: Optional[float] = None,
+    ) -> None:
+        if period <= 0:
+            raise ValueError("period must be positive")
+        self.sim = sim
+        self.fpga = fpga
+        self.period = period
+        self.injector = injector
+        self.stop_after = stop_after
+        self.n_scrubs = 0
+        self.n_repairs = 0
+        self.scrub_time_total = 0.0
+        sim.process(self._run(), name="scrubber")
+
+    def _run(self):
+        while True:
+            if self.stop_after is not None and \
+                    self.sim.now + self.period > self.stop_after:
+                return
+            yield self.sim.timeout(self.period)
+            cost = self.fpga.scrub_time()
+            yield self.sim.timeout(cost)
+            self.scrub_time_total += cost
+            self.n_scrubs += 1
+            for handle in self.fpga.scrub():
+                golden = self.fpga.resident[handle]
+                self.fpga.unload(handle)
+                self.fpga.load(handle, golden)
+                self.n_repairs += 1
+                if self.injector is not None:
+                    for rec in self.injector.records:
+                        if rec.handle == handle and rec.repaired_at is None:
+                            rec.repaired_at = self.sim.now

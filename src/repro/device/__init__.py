@@ -1,0 +1,87 @@
+"""Symmetrical-array FPGA device model.
+
+The physical substrate of the reproduction: CLB array, segmented routing,
+IOB ring, frame-organised configuration RAM with a bijective bit codec, a
+configuration-port timing model calibrated to the paper's XC4000-era
+numbers, and a functional simulator that interprets raw configuration bits.
+"""
+
+from .bitstream import Bitstream, BitstreamError
+from .bitstream_io import (
+    bitstream_from_dict,
+    bitstream_to_dict,
+    load_bitstream,
+    save_bitstream,
+)
+from .clb import ClbConfig
+from .config_ram import ConfigRam, FrameCodec, SwitchKey
+from .families import FAMILIES, Architecture, get_family
+from .fpga import DeviceView, Fpga
+from .funcsim import ConfigurationError, DeviceFunctionalSimulator
+from .geometry import Coord, Rect
+from .interconnect import (
+    SWITCH_PAIRS,
+    IobSite,
+    Wire,
+    all_wires,
+    clb_input_candidates,
+    clb_output_candidates,
+    hlong_wires,
+    hwires,
+    iob_candidates,
+    iob_sites,
+    long_switch_stubs,
+    long_wires,
+    switch_stubs,
+    switchboxes_in_region,
+    vlong_wires,
+    vwires,
+    wire_in_region,
+    wires_in_region,
+)
+from .iob import IobConfig, IobDirection
+from .timing_model import ConfigPort, ConfigTimingBreakdown
+
+__all__ = [
+    "FAMILIES",
+    "SWITCH_PAIRS",
+    "Architecture",
+    "Bitstream",
+    "BitstreamError",
+    "ClbConfig",
+    "ConfigPort",
+    "ConfigRam",
+    "ConfigTimingBreakdown",
+    "ConfigurationError",
+    "Coord",
+    "DeviceFunctionalSimulator",
+    "DeviceView",
+    "Fpga",
+    "FrameCodec",
+    "IobConfig",
+    "IobDirection",
+    "IobSite",
+    "Rect",
+    "SwitchKey",
+    "Wire",
+    "all_wires",
+    "bitstream_from_dict",
+    "bitstream_to_dict",
+    "clb_input_candidates",
+    "clb_output_candidates",
+    "get_family",
+    "hlong_wires",
+    "hwires",
+    "load_bitstream",
+    "long_switch_stubs",
+    "long_wires",
+    "iob_candidates",
+    "iob_sites",
+    "save_bitstream",
+    "switch_stubs",
+    "switchboxes_in_region",
+    "vlong_wires",
+    "vwires",
+    "wire_in_region",
+    "wires_in_region",
+]

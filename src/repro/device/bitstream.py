@@ -1,0 +1,191 @@
+"""Compiled configuration artifacts.
+
+A :class:`Bitstream` is what the CAD flow produces and the VFPGA manager
+loads: the structured per-tile configuration of one circuit, its footprint
+region, its I/O binding, its state-bit locations (for the paper's §3
+save/restore) and its timing summary.
+
+Two flavours exist:
+
+* **dedicated** — compiled for the whole device, primary I/O bound to
+  physical IOB pads.  Not relocatable.
+* **relocatable** — compiled into a region anchored anywhere, primary I/O
+  bound to *virtual pins* (designated boundary wires).  ``translated()``
+  produces the identical circuit at another anchor — the paper's §4
+  "relocatable circuit to be loaded virtually in any location".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from .clb import ClbConfig
+from .config_ram import SwitchKey
+from .families import Architecture
+from .geometry import Coord, Rect
+from .interconnect import IobSite, Wire, wire_in_region
+from .iob import IobConfig
+
+__all__ = ["Bitstream", "BitstreamError"]
+
+
+class BitstreamError(Exception):
+    """Ill-formed or illegally used bitstream."""
+
+
+@dataclass(frozen=True)
+class Bitstream:
+    """One compiled circuit configuration.
+
+    Attributes
+    ----------
+    name:
+        Circuit name (from the source netlist).
+    arch_name:
+        Device family the bitstream targets (loading elsewhere is an error).
+    region:
+        CLB footprint.  For dedicated bitstreams this is the full array.
+    clbs / switches / iobs:
+        Structured tile configurations (absolute coordinates).
+    relocatable:
+        Whether :meth:`translated` is legal.
+    state_bits:
+        DFF name → CLB coordinate holding it; drives frame-accurate
+        readback cost and the save/restore machinery.
+    virtual_inputs / virtual_outputs:
+        For relocatable bitstreams: primary-port name → boundary wire used
+        as the virtual pin.
+    pad_inputs / pad_outputs:
+        For dedicated bitstreams: primary-port name → IOB site.
+    critical_path:
+        Post-route critical path delay in seconds (combinational depth or
+        register-to-register, whichever dominates).
+    """
+
+    name: str
+    arch_name: str
+    region: Rect
+    clbs: Dict[Coord, ClbConfig] = field(default_factory=dict)
+    switches: Dict[Coord, FrozenSet[SwitchKey]] = field(default_factory=dict)
+    iobs: Dict[IobSite, IobConfig] = field(default_factory=dict)
+    relocatable: bool = False
+    state_bits: Dict[str, Coord] = field(default_factory=dict)
+    virtual_inputs: Dict[str, Wire] = field(default_factory=dict)
+    virtual_outputs: Dict[str, Wire] = field(default_factory=dict)
+    pad_inputs: Dict[str, IobSite] = field(default_factory=dict)
+    pad_outputs: Dict[str, IobSite] = field(default_factory=dict)
+    critical_path: float = 0.0
+
+    # -- structural checks ---------------------------------------------------
+    def validate(self, arch: Architecture) -> None:
+        """Consistency of footprint, ownership and field widths."""
+        if arch.name != self.arch_name:
+            raise BitstreamError(
+                f"bitstream {self.name!r} targets {self.arch_name}, not {arch.name}"
+            )
+        if not arch.full_rect.contains_rect(self.region):
+            raise BitstreamError(f"region {self.region} outside {arch.name}")
+        for coord, cfg in self.clbs.items():
+            if not self.region.contains(coord):
+                raise BitstreamError(f"CLB {coord} outside region {self.region}")
+            cfg.validate(arch)
+        for (x, y), enabled in self.switches.items():
+            if self.relocatable:
+                # Owned switch boxes only — the translation-safe set.
+                if not (self.region.x <= x < self.region.x2
+                        and self.region.y <= y < self.region.y2):
+                    raise BitstreamError(f"switch box ({x},{y}) outside owned area")
+                if any(s >= 6 for _t, s in enabled):
+                    raise BitstreamError(
+                        f"switch box ({x},{y}): relocatable bitstreams "
+                        "cannot tap device-global long lines"
+                    )
+            elif not (0 <= x <= arch.width and 0 <= y <= arch.height):
+                raise BitstreamError(f"switch box ({x},{y}) outside device")
+        if self.relocatable:
+            if self.iobs or self.pad_inputs or self.pad_outputs:
+                raise BitstreamError("relocatable bitstream cannot bind IOBs")
+            for port, wire in {**self.virtual_inputs, **self.virtual_outputs}.items():
+                if not wire_in_region(wire, self.region):
+                    raise BitstreamError(
+                        f"virtual pin {port!r} on unowned wire {wire}"
+                    )
+        for name, coord in self.state_bits.items():
+            if coord not in self.clbs or not self.clbs[coord].ff_enable:
+                raise BitstreamError(f"state bit {name!r} points at non-FF CLB {coord}")
+
+    # -- derived ---------------------------------------------------------------
+    @property
+    def n_state_bits(self) -> int:
+        return len(self.state_bits)
+
+    def frames_touched(self, arch: Architecture) -> Set[int]:
+        """Configuration frames this bitstream writes.
+
+        By the ownership rule every owned resource of the region lives in
+        the region's own CLB-column frames, and the *whole* region is the
+        allocation unit — every region column is (re)written on load so no
+        stale bits survive, exactly like frame-addressed hardware.
+        Dedicated bitstreams also touch the final (IOB) frame.
+        """
+        frames: Set[int] = set(self.region.columns())
+        if self.iobs:
+            frames.add(arch.width)
+        return frames
+
+    def state_frames(self, arch: Architecture) -> Set[int]:
+        """Frames containing flip-flops — what readback must touch."""
+        return {coord.x for coord in self.state_bits.values()}
+
+    # -- relocation ---------------------------------------------------------------
+    def translated(self, dx: int, dy: int) -> "Bitstream":
+        """The same circuit anchored at ``region.translated(dx, dy)``.
+
+        Pure coordinate translation: legal because the fabric is
+        homogeneous and a region owns only resources that exist at every
+        anchor inside the device (validated at load time).
+        """
+        if not self.relocatable:
+            raise BitstreamError(f"bitstream {self.name!r} is not relocatable")
+        if dx == 0 and dy == 0:
+            return self
+        return replace(
+            self,
+            region=self.region.translated(dx, dy),
+            clbs={c.translated(dx, dy): cfg for c, cfg in self.clbs.items()},
+            switches={
+                Coord(x + dx, y + dy): en for (x, y), en in self.switches.items()
+            },
+            state_bits={
+                name: c.translated(dx, dy) for name, c in self.state_bits.items()
+            },
+            virtual_inputs={
+                p: w.translated(dx, dy) for p, w in self.virtual_inputs.items()
+            },
+            virtual_outputs={
+                p: w.translated(dx, dy) for p, w in self.virtual_outputs.items()
+            },
+        )
+
+    def anchored_at(self, x: int, y: int) -> "Bitstream":
+        """Relocate so the region's lower-left corner sits at ``(x, y)``."""
+        return self.translated(x - self.region.x, y - self.region.y)
+
+    # -- introspection ---------------------------------------------------------------
+    @property
+    def used_clbs(self) -> int:
+        return sum(1 for cfg in self.clbs.values() if cfg.is_used)
+
+    def ports(self) -> Tuple[List[str], List[str]]:
+        """(input port names, output port names), deterministic order."""
+        if self.relocatable:
+            return sorted(self.virtual_inputs), sorted(self.virtual_outputs)
+        return sorted(self.pad_inputs), sorted(self.pad_outputs)
+
+    def __str__(self) -> str:
+        flavour = "relocatable" if self.relocatable else "dedicated"
+        return (
+            f"Bitstream({self.name!r}, {flavour}, region={self.region}, "
+            f"{self.used_clbs} CLBs, {self.n_state_bits} state bits)"
+        )

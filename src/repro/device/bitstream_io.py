@@ -1,0 +1,133 @@
+"""Bitstream serialization (JSON-compatible dictionaries).
+
+A compiled configuration is the artifact a VFPGA deployment distributes;
+round-tripping it through JSON makes bitstreams storable, diffable and
+shippable without re-running the CAD flow.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from .bitstream import Bitstream
+from .clb import ClbConfig
+from .geometry import Coord, Rect
+from .interconnect import IobSite, Wire
+from .iob import IobConfig, IobDirection
+
+__all__ = [
+    "bitstream_to_dict",
+    "bitstream_from_dict",
+    "save_bitstream",
+    "load_bitstream",
+]
+
+_FORMAT = "repro-bitstream-v1"
+
+
+def _wire(w: Wire) -> list:
+    return [w.kind, w.x, w.y, w.t]
+
+
+def _site(s: IobSite) -> list:
+    return [s.side, s.pos, s.j]
+
+
+def bitstream_to_dict(bs: Bitstream) -> Dict[str, Any]:
+    return {
+        "format": _FORMAT,
+        "name": bs.name,
+        "arch": bs.arch_name,
+        "region": [bs.region.x, bs.region.y, bs.region.w, bs.region.h],
+        "relocatable": bs.relocatable,
+        "critical_path": bs.critical_path,
+        "clbs": [
+            {
+                "at": [c.x, c.y],
+                "truth": cfg.lut_truth,
+                "ff": int(cfg.ff_enable),
+                "init": cfg.ff_init,
+                "reg": int(cfg.out_registered),
+                "in": list(cfg.input_sel),
+                "out": sorted(cfg.out_drives),
+            }
+            for c, cfg in sorted(bs.clbs.items())
+        ],
+        "switches": [
+            {"at": [x, y], "keys": sorted(map(list, keys))}
+            for (x, y), keys in sorted(bs.switches.items())
+        ],
+        "iobs": [
+            {
+                "at": _site(site),
+                "enable": int(cfg.enable),
+                "dir": cfg.direction.value,
+                "track": cfg.track_sel,
+            }
+            for site, cfg in sorted(bs.iobs.items())
+        ],
+        "state_bits": {
+            name: [c.x, c.y] for name, c in sorted(bs.state_bits.items())
+        },
+        "virtual_inputs": {p: _wire(w) for p, w in sorted(bs.virtual_inputs.items())},
+        "virtual_outputs": {p: _wire(w) for p, w in sorted(bs.virtual_outputs.items())},
+        "pad_inputs": {p: _site(s) for p, s in sorted(bs.pad_inputs.items())},
+        "pad_outputs": {p: _site(s) for p, s in sorted(bs.pad_outputs.items())},
+    }
+
+
+def bitstream_from_dict(data: Dict[str, Any]) -> Bitstream:
+    if data.get("format") != _FORMAT:
+        raise ValueError(f"not a {_FORMAT} document: {data.get('format')!r}")
+    return Bitstream(
+        name=data["name"],
+        arch_name=data["arch"],
+        region=Rect(*data["region"]),
+        relocatable=data["relocatable"],
+        critical_path=data["critical_path"],
+        clbs={
+            Coord(*e["at"]): ClbConfig(
+                lut_truth=e["truth"],
+                ff_enable=bool(e["ff"]),
+                ff_init=e["init"],
+                out_registered=bool(e["reg"]),
+                input_sel=tuple(e["in"]),
+                out_drives=frozenset(e["out"]),
+            )
+            for e in data["clbs"]
+        },
+        switches={
+            Coord(*e["at"]): frozenset(tuple(k) for k in e["keys"])
+            for e in data["switches"]
+        },
+        iobs={
+            IobSite(*e["at"]): IobConfig(
+                enable=bool(e["enable"]),
+                direction=IobDirection(e["dir"]),
+                track_sel=e["track"],
+            )
+            for e in data["iobs"]
+        },
+        state_bits={
+            name: Coord(*at) for name, at in data["state_bits"].items()
+        },
+        virtual_inputs={
+            p: Wire(*w) for p, w in data["virtual_inputs"].items()
+        },
+        virtual_outputs={
+            p: Wire(*w) for p, w in data["virtual_outputs"].items()
+        },
+        pad_inputs={p: IobSite(*s) for p, s in data["pad_inputs"].items()},
+        pad_outputs={p: IobSite(*s) for p, s in data["pad_outputs"].items()},
+    )
+
+
+def save_bitstream(bs: Bitstream, path) -> None:
+    with open(path, "w") as fh:
+        json.dump(bitstream_to_dict(bs), fh, indent=1)
+
+
+def load_bitstream(path) -> Bitstream:
+    with open(path) as fh:
+        return bitstream_from_dict(json.load(fh))

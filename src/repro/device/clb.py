@@ -1,0 +1,81 @@
+"""Configurable logic block (CLB) configuration state.
+
+One CLB is a basic logic element (BLE): a K-input LUT feeding an optional
+D flip-flop, with an output multiplexer selecting the combinational or the
+registered value.  The input pins tap adjacent channel wires through the
+connection box; the output can drive any subset of the adjacent wires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Tuple
+
+from .families import Architecture
+
+__all__ = ["ClbConfig", "EMPTY_CLB"]
+
+
+@dataclass(frozen=True)
+class ClbConfig:
+    """Configuration of one CLB.
+
+    Attributes
+    ----------
+    lut_truth:
+        Truth table over the K inputs; bit *i* is the output for input
+        pattern *i* (pin 0 = LSB).  Open pins read as 0.
+    ff_enable:
+        Whether the flip-flop is used (if False the FF holds 0 and the
+        output must be combinational).
+    ff_init:
+        Flip-flop power-up / reset value.
+    out_registered:
+        Output multiplexer: True → FF output, False → LUT output.
+    input_sel:
+        Per-pin selector: 0 = open, ``i+1`` = i-th candidate wire of
+        :func:`repro.device.interconnect.clb_input_candidates`.
+    out_drives:
+        Indices of candidate wires driven by the CLB output (bitmask
+        semantics; empty = output unused).
+    """
+
+    lut_truth: int = 0
+    ff_enable: bool = False
+    ff_init: int = 0
+    out_registered: bool = False
+    input_sel: Tuple[int, ...] = ()
+    out_drives: FrozenSet[int] = field(default_factory=frozenset)
+
+    def validate(self, arch: Architecture) -> None:
+        """Check the config against the architecture's field widths."""
+        if not 0 <= self.lut_truth < (1 << (1 << arch.k)):
+            raise ValueError(f"LUT truth {self.lut_truth:#x} too wide for k={arch.k}")
+        if len(self.input_sel) != arch.k:
+            raise ValueError(
+                f"input_sel has {len(self.input_sel)} entries, expected {arch.k}"
+            )
+        n_candidates = 4 * arch.channel_width
+        for i, sel in enumerate(self.input_sel):
+            if not 0 <= sel <= n_candidates:
+                raise ValueError(f"input {i} selector {sel} out of range")
+        for idx in self.out_drives:
+            if not 0 <= idx < n_candidates:
+                raise ValueError(f"output drive index {idx} out of range")
+        if self.ff_init not in (0, 1):
+            raise ValueError(f"ff_init must be 0/1, got {self.ff_init}")
+        if self.out_registered and not self.ff_enable:
+            raise ValueError("registered output requires ff_enable")
+
+    @property
+    def is_used(self) -> bool:
+        """True if the CLB contributes logic or drives anything."""
+        return bool(self.out_drives) or self.ff_enable or self.lut_truth != 0
+
+    @staticmethod
+    def empty(arch: Architecture) -> "ClbConfig":
+        return ClbConfig(input_sel=(0,) * arch.k)
+
+
+#: Convenience constant for documentation/tests (k must match the arch).
+EMPTY_CLB = ClbConfig(input_sel=(0, 0, 0, 0))

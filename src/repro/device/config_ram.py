@@ -1,0 +1,275 @@
+"""Frame-organised configuration RAM and its bit-level codec.
+
+The configuration memory is a 2-D bit array: ``n_frames`` frames of
+``frame_bits`` bits each (all frames padded to the worst-case length, as in
+real devices).  Frame *x* for ``x < width`` holds CLB column *x* plus
+switch-box column *x*; the final frame holds switch-box column ``width``
+and every IOB's configuration.
+
+The codec is *bijective*: :class:`FrameCodec` encodes structured tile
+configurations into bits and decodes bits back into structures.  The
+functional device simulator works exclusively from decoded bits, so a
+bitstream is only "correct" if its raw bits are — there is no side channel
+from the CAD flow into device simulation.
+
+Field layouts (all little-endian within a field):
+
+* CLB: ``lut_truth[2^k] | ff_enable | ff_init | out_registered |
+  input_sel[k * input_sel_bits] | out_drives[4*channel_width]``
+* switch box: bit ``t*6 + s`` enables switch ``s`` (see
+  :data:`repro.device.interconnect.SWITCH_PAIRS`) on track ``t``; after the
+  ``6*channel_width`` regular bits, two bits per long index ``l`` enable
+  the long-line taps: key ``(l, 6)`` = H-long↔H-right, ``(l, 7)`` =
+  V-long↔V-above
+* IOB: ``enable | direction | track_sel[iob_sel_bits]``
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Tuple
+
+import numpy as np
+
+from .clb import ClbConfig
+from .families import Architecture
+from .geometry import Coord
+from .interconnect import IobSite, iob_sites
+from .iob import IobConfig, IobDirection
+
+__all__ = ["ConfigRam", "FrameCodec", "SwitchKey"]
+
+#: An enabled switch: (track, pair-index into SWITCH_PAIRS).
+SwitchKey = Tuple[int, int]
+
+
+def _int_to_bits(value: int, n: int) -> np.ndarray:
+    if value < 0 or (n < value.bit_length()):
+        raise ValueError(f"value {value} does not fit in {n} bits")
+    return np.array([(value >> i) & 1 for i in range(n)], dtype=np.uint8)
+
+
+def _bits_to_int(bits: np.ndarray) -> int:
+    value = 0
+    for i, b in enumerate(bits):
+        value |= int(b) << i
+    return value
+
+
+class ConfigRam:
+    """The device's static configuration memory.
+
+    Tracks write statistics so the timing model can charge exactly what was
+    touched.
+    """
+
+    def __init__(self, arch: Architecture) -> None:
+        self.arch = arch
+        self.frames = np.zeros((arch.n_frames, arch.frame_bits), dtype=np.uint8)
+        self.frame_writes = 0
+        self.bits_written = 0
+
+    def write_frame(self, index: int, bits: np.ndarray) -> None:
+        if not 0 <= index < self.arch.n_frames:
+            raise IndexError(f"frame {index} out of range")
+        if bits.shape != (self.arch.frame_bits,):
+            raise ValueError(
+                f"frame bits shape {bits.shape} != ({self.arch.frame_bits},)"
+            )
+        self.frames[index] = bits
+        self.frame_writes += 1
+        self.bits_written += self.arch.frame_bits
+
+    def read_frame(self, index: int) -> np.ndarray:
+        if not 0 <= index < self.arch.n_frames:
+            raise IndexError(f"frame {index} out of range")
+        return self.frames[index].copy()
+
+    def clear(self) -> None:
+        self.frames[:] = 0
+
+
+class FrameCodec:
+    """Encode/decode structured configurations ↔ frame bits."""
+
+    def __init__(self, arch: Architecture) -> None:
+        self.arch = arch
+        self._iob_order: List[IobSite] = iob_sites(arch)
+        self._iob_index = {site: i for i, site in enumerate(self._iob_order)}
+
+    # -- field encoders ------------------------------------------------------
+    def encode_clb(self, cfg: ClbConfig) -> np.ndarray:
+        arch = self.arch
+        cfg.validate(arch)
+        parts = [
+            _int_to_bits(cfg.lut_truth, 1 << arch.k),
+            np.array(
+                [int(cfg.ff_enable), cfg.ff_init, int(cfg.out_registered)],
+                dtype=np.uint8,
+            ),
+        ]
+        for sel in cfg.input_sel:
+            parts.append(_int_to_bits(sel, arch.input_sel_bits))
+        mask = np.zeros(4 * arch.channel_width, dtype=np.uint8)
+        for idx in cfg.out_drives:
+            mask[idx] = 1
+        parts.append(mask)
+        bits = np.concatenate(parts)
+        assert bits.size == arch.clb_config_bits
+        return bits
+
+    def decode_clb(self, bits: np.ndarray) -> ClbConfig:
+        arch = self.arch
+        if bits.size != arch.clb_config_bits:
+            raise ValueError("wrong CLB field width")
+        pos = 0
+        truth = _bits_to_int(bits[pos : pos + (1 << arch.k)])
+        pos += 1 << arch.k
+        ff_enable, ff_init, out_reg = (int(b) for b in bits[pos : pos + 3])
+        pos += 3
+        sels = []
+        for _ in range(arch.k):
+            sels.append(_bits_to_int(bits[pos : pos + arch.input_sel_bits]))
+            pos += arch.input_sel_bits
+        drives = frozenset(
+            int(i) for i in np.nonzero(bits[pos : pos + 4 * arch.channel_width])[0]
+        )
+        return ClbConfig(
+            lut_truth=truth,
+            ff_enable=bool(ff_enable),
+            ff_init=ff_init,
+            out_registered=bool(out_reg),
+            input_sel=tuple(sels),
+            out_drives=drives,
+        )
+
+    def encode_switchbox(self, enabled: FrozenSet[SwitchKey]) -> np.ndarray:
+        arch = self.arch
+        bits = np.zeros(arch.switchbox_config_bits, dtype=np.uint8)
+        long_base = 6 * arch.channel_width
+        for t, s in enabled:
+            if 0 <= s < 6 and 0 <= t < arch.channel_width:
+                bits[t * 6 + s] = 1
+            elif s in (6, 7) and 0 <= t < arch.long_per_channel:
+                bits[long_base + 2 * t + (s - 6)] = 1
+            else:
+                raise ValueError(f"bad switch key ({t}, {s})")
+        return bits
+
+    def decode_switchbox(self, bits: np.ndarray) -> FrozenSet[SwitchKey]:
+        arch = self.arch
+        if bits.size != arch.switchbox_config_bits:
+            raise ValueError("wrong switch-box field width")
+        long_base = 6 * arch.channel_width
+        keys = set()
+        for i in np.nonzero(bits)[0]:
+            i = int(i)
+            if i < long_base:
+                keys.add((i // 6, i % 6))
+            else:
+                off = i - long_base
+                keys.add((off // 2, 6 + off % 2))
+        return frozenset(keys)
+
+    def encode_iob(self, cfg: IobConfig) -> np.ndarray:
+        cfg.validate(self.arch)
+        head = np.array(
+            [int(cfg.enable), int(cfg.direction is IobDirection.OUTPUT)],
+            dtype=np.uint8,
+        )
+        return np.concatenate([head, _int_to_bits(cfg.track_sel, self.arch.iob_sel_bits)])
+
+    def decode_iob(self, bits: np.ndarray) -> IobConfig:
+        if bits.size != self.arch.iob_config_bits:
+            raise ValueError("wrong IOB field width")
+        return IobConfig(
+            enable=bool(bits[0]),
+            direction=IobDirection.OUTPUT if bits[1] else IobDirection.INPUT,
+            track_sel=_bits_to_int(bits[2:]),
+        )
+
+    # -- frame layout ----------------------------------------------------------
+    def clb_offset(self, y: int) -> int:
+        return y * self.arch.clb_config_bits
+
+    def switch_offset_in_clb_frame(self, y: int) -> int:
+        return self.arch.clb_column_bits + y * self.arch.switchbox_config_bits
+
+    def switch_offset_in_last_frame(self, y: int) -> int:
+        return y * self.arch.switchbox_config_bits
+
+    def iob_offset(self, site: IobSite) -> int:
+        return (
+            self.arch.switchbox_column_bits
+            + self._iob_index[site] * self.arch.iob_config_bits
+        )
+
+    # -- whole-device encode/decode ------------------------------------------------
+    def build_frames(
+        self,
+        clbs: Dict[Coord, ClbConfig],
+        switches: Dict[Coord, FrozenSet[SwitchKey]],
+        iobs: Dict[IobSite, IobConfig],
+    ) -> np.ndarray:
+        """Encode a full device configuration into an (n_frames, frame_bits)
+        array.  Unmentioned tiles stay all-zero (= unconfigured)."""
+        arch = self.arch
+        frames = np.zeros((arch.n_frames, arch.frame_bits), dtype=np.uint8)
+        for coord, cfg in clbs.items():
+            if not arch.full_rect.contains(coord):
+                raise ValueError(f"CLB {coord} outside device")
+            off = self.clb_offset(coord.y)
+            frames[coord.x, off : off + arch.clb_config_bits] = self.encode_clb(cfg)
+        for coord, enabled in switches.items():
+            x, y = coord
+            if not (0 <= x <= arch.width and 0 <= y <= arch.height):
+                raise ValueError(f"switch box ({x},{y}) outside device")
+            bits = self.encode_switchbox(enabled)
+            if x < arch.width:
+                off = self.switch_offset_in_clb_frame(y)
+                frames[x, off : off + arch.switchbox_config_bits] = bits
+            else:
+                off = self.switch_offset_in_last_frame(y)
+                frames[arch.width, off : off + arch.switchbox_config_bits] = bits
+        for site, cfg in iobs.items():
+            off = self.iob_offset(site)
+            frames[arch.width, off : off + arch.iob_config_bits] = self.encode_iob(cfg)
+        return frames
+
+    def decode_frames(
+        self, frames: np.ndarray
+    ) -> Tuple[
+        Dict[Coord, ClbConfig],
+        Dict[Coord, FrozenSet[SwitchKey]],
+        Dict[IobSite, IobConfig],
+    ]:
+        """Decode a full configuration.  Only *used* tiles are returned
+        (all-zero fields are skipped), so the result mirrors build_frames
+        input."""
+        arch = self.arch
+        if frames.shape != (arch.n_frames, arch.frame_bits):
+            raise ValueError(f"bad frame array shape {frames.shape}")
+        clbs: Dict[Coord, ClbConfig] = {}
+        switches: Dict[Coord, FrozenSet[SwitchKey]] = {}
+        iobs: Dict[IobSite, IobConfig] = {}
+        for x in range(arch.width):
+            for y in range(arch.height):
+                off = self.clb_offset(y)
+                field = frames[x, off : off + arch.clb_config_bits]
+                if field.any():
+                    clbs[Coord(x, y)] = self.decode_clb(field)
+            for y in range(arch.height + 1):
+                off = self.switch_offset_in_clb_frame(y)
+                field = frames[x, off : off + arch.switchbox_config_bits]
+                if field.any():
+                    switches[Coord(x, y)] = self.decode_switchbox(field)
+        for y in range(arch.height + 1):
+            off = self.switch_offset_in_last_frame(y)
+            field = frames[arch.width, off : off + arch.switchbox_config_bits]
+            if field.any():
+                switches[Coord(arch.width, y)] = self.decode_switchbox(field)
+        for site in self._iob_order:
+            off = self.iob_offset(site)
+            field = frames[arch.width, off : off + arch.iob_config_bits]
+            if field.any():
+                iobs[site] = self.decode_iob(field)
+        return clbs, switches, iobs

@@ -1,0 +1,288 @@
+"""The physical FPGA device: configuration RAM + port + residency.
+
+:class:`Fpga` is the object the VFPGA manager multiplexes.  It is purely
+*physical*: it loads/unloads bitstreams by read-modify-writing their frames,
+enforces non-overlap of resident regions, counts port traffic, and can
+instantiate a :class:`~repro.device.funcsim.DeviceFunctionalSimulator` from
+its (decoded) RAM content at any moment.  All *policy* — who gets the
+device when — lives in :mod:`repro.core`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from .bitstream import Bitstream, BitstreamError
+from .config_ram import ConfigRam, FrameCodec
+from .families import Architecture
+from .funcsim import DeviceFunctionalSimulator, Node
+from .geometry import Coord, Rect
+from .timing_model import ConfigPort, ConfigTimingBreakdown
+
+__all__ = ["Fpga", "DeviceView"]
+
+
+class Fpga:
+    """One physical device instance.
+
+    Attributes
+    ----------
+    arch:
+        The immutable architecture parameters.
+    ram:
+        The frame-organised configuration memory.
+    resident:
+        Currently loaded bitstreams, keyed by an instance handle chosen by
+        the caller (the VFPGA manager uses task/config identifiers).
+    """
+
+    def __init__(self, arch: Architecture) -> None:
+        self.arch = arch
+        self.ram = ConfigRam(arch)
+        self.codec = FrameCodec(arch)
+        self.port = ConfigPort(arch)
+        self.resident: Dict[str, Bitstream] = {}
+        #: Cumulative seconds spent on the configuration port.
+        self.port_busy_time = 0.0
+        self.n_loads = 0
+        self.n_unloads = 0
+
+    # -- masks ---------------------------------------------------------------
+    def _region_mask(self, bs: Bitstream) -> np.ndarray:
+        """Bit mask of everything ``bs`` owns (whole region, used or not).
+
+        Owned CLB fields and switch-box fields of the region live entirely
+        in the region's own column frames; dedicated bitstreams also own
+        their IOB fields in the final frame.
+        """
+        a = self.arch
+        mask = np.zeros((a.n_frames, a.frame_bits), dtype=np.uint8)
+        if not bs.relocatable:
+            # Dedicated bitstreams target the whole device (incl. edge
+            # switch boxes and IOBs): they own every configuration bit.
+            mask[:] = 1
+            return mask
+        r = bs.region
+        for x in r.columns():
+            for y in range(r.y, r.y2):
+                off = self.codec.clb_offset(y)
+                mask[x, off : off + a.clb_config_bits] = 1
+                off = self.codec.switch_offset_in_clb_frame(y)
+                mask[x, off : off + a.switchbox_config_bits] = 1
+        for site in bs.iobs:
+            off = self.codec.iob_offset(site)
+            mask[a.width, off : off + a.iob_config_bits] = 1
+        return mask
+
+    # -- load / unload ----------------------------------------------------------
+    def load(self, handle: str, bitstream: Bitstream) -> ConfigTimingBreakdown:
+        """Make ``bitstream`` resident under ``handle``.
+
+        Overlapping an already-resident region is a physical-sanity error:
+        the manager must unload the previous occupant first.
+        """
+        bitstream.validate(self.arch)
+        if handle in self.resident:
+            raise BitstreamError(f"handle {handle!r} already resident")
+        for other_handle, other in self.resident.items():
+            if other.region.overlaps(bitstream.region):
+                raise BitstreamError(
+                    f"region {bitstream.region} overlaps resident "
+                    f"{other_handle!r} at {other.region}"
+                )
+        new_bits = self.codec.build_frames(
+            bitstream.clbs, bitstream.switches, bitstream.iobs
+        )
+        mask = self._region_mask(bitstream)
+        touched = sorted(bitstream.frames_touched(self.arch))
+        for fx in touched:
+            merged = (self.ram.frames[fx] & ~mask[fx]) | (new_bits[fx] & mask[fx])
+            self.ram.write_frame(fx, merged)
+        self.resident[handle] = bitstream
+        timing = self.port.load_time(bitstream)
+        self.port_busy_time += timing.seconds
+        self.n_loads += 1
+        return timing
+
+    def unload(self, handle: str) -> ConfigTimingBreakdown:
+        """Clear ``handle``'s owned bits and forget it."""
+        try:
+            bitstream = self.resident.pop(handle)
+        except KeyError:
+            raise BitstreamError(f"handle {handle!r} is not resident") from None
+        mask = self._region_mask(bitstream)
+        for fx in sorted(bitstream.frames_touched(self.arch)):
+            self.ram.write_frame(fx, self.ram.frames[fx] & ~mask[fx])
+        timing = self.port.unload_time(bitstream)
+        self.port_busy_time += timing.seconds
+        self.n_unloads += 1
+        return timing
+
+    def wipe(self) -> None:
+        """Forget all residents and zero the RAM *without* port accounting.
+
+        Used when a full-serial download is about to overwrite the whole
+        configuration anyway: the overwrite is charged once by the caller,
+        and the previous residents simply cease to exist.
+        """
+        self.ram.frames[:] = 0
+        self.resident.clear()
+
+    def clear(self) -> ConfigTimingBreakdown:
+        """Full wipe (the power-up / reboot path)."""
+        self.ram.clear()
+        self.resident.clear()
+        timing = self.port.full_config()
+        self.port_busy_time += timing.seconds
+        return timing
+
+    # -- inspection ----------------------------------------------------------------
+    def free_area(self) -> int:
+        """CLBs not covered by any resident region."""
+        return self.arch.n_clbs - sum(
+            b.region.area for b in self.resident.values()
+        )
+
+    def region_is_free(self, region: Rect) -> bool:
+        return all(
+            not b.region.overlaps(region) for b in self.resident.values()
+        )
+
+    def find_handle_at(self, coord: Coord) -> Optional[str]:
+        for handle, b in self.resident.items():
+            if b.region.contains(coord):
+                return handle
+        return None
+
+    # -- integrity ---------------------------------------------------------------
+    def scrub(self) -> List[str]:
+        """Compare the RAM against every resident bitstream's expected
+        bits; returns the handles whose owned bits diverge.
+
+        This is the paper's §5 "periodic system testing and diagnosis"
+        primitive: a scrubber task can call it to detect configuration
+        upsets (and reload the offenders).  Reading the frames costs
+        readback time — the caller charges it via
+        ``port.state_save_time``-style accounting if simulating.
+        """
+        corrupted: List[str] = []
+        for handle, bs in self.resident.items():
+            expect = self.codec.build_frames(bs.clbs, bs.switches, bs.iobs)
+            mask = self._region_mask(bs)
+            for fx in sorted(bs.frames_touched(self.arch)):
+                got = self.ram.frames[fx] & mask[fx]
+                want = expect[fx] & mask[fx]
+                if not (got == want).all():
+                    corrupted.append(handle)
+                    break
+        return corrupted
+
+    def scrub_time(self) -> float:
+        """Seconds to read back every resident frame once."""
+        frames = set()
+        for bs in self.resident.values():
+            frames |= bs.frames_touched(self.arch)
+        a = self.arch
+        return len(frames) * (a.frame_overhead + a.frame_bits / a.readback_rate)
+
+    # -- simulation ----------------------------------------------------------------
+    def functional_simulator(
+        self, external_drivers: List[Node] = ()
+    ) -> DeviceFunctionalSimulator:
+        """Decode the RAM and build the whole-array simulator.
+
+        ``external_drivers`` lists virtual-pin wires / input pads that will
+        be driven from outside during simulation.
+        """
+        clbs, switches, iobs = self.codec.decode_frames(self.ram.frames)
+        return DeviceFunctionalSimulator(
+            self.arch, clbs, switches, iobs, external_drivers
+        )
+
+    def view(self, handle: str) -> "DeviceView":
+        """Port-name-level simulation view of one resident circuit."""
+        return DeviceView(self, handle)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Fpga {self.arch.name}: {len(self.resident)} resident, "
+            f"{self.free_area()}/{self.arch.n_clbs} CLBs free>"
+        )
+
+
+class DeviceView:
+    """Drive and observe one resident circuit by its port names.
+
+    The view simulates the *entire* configured device (one clock domain —
+    physically honest), but exposes only the named circuit's primary ports
+    and state bits.  Other resident circuits' external inputs are held at 0.
+    """
+
+    def __init__(self, fpga: Fpga, handle: str) -> None:
+        if handle not in fpga.resident:
+            raise BitstreamError(f"handle {handle!r} is not resident")
+        self.fpga = fpga
+        self.handle = handle
+        self.bitstream = fpga.resident[handle]
+        drivers: List[Node] = []
+        self._in_nodes: Dict[str, Node] = {}
+        self._out_nodes: Dict[str, Node] = {}
+        bs = self.bitstream
+        if bs.relocatable:
+            self._in_nodes = dict(bs.virtual_inputs)
+            self._out_nodes = dict(bs.virtual_outputs)
+        else:
+            self._in_nodes = dict(bs.pad_inputs)
+            self._out_nodes = dict(bs.pad_outputs)
+        drivers.extend(self._in_nodes.values())
+        # Other resident circuits' inputs must also be declared as external
+        # drivers (held at 0) or their nets would be reported driverless.
+        for other_handle, other in fpga.resident.items():
+            if other_handle == handle:
+                continue
+            src = other.virtual_inputs if other.relocatable else other.pad_inputs
+            drivers.extend(src.values())
+        self.sim = fpga.functional_simulator(external_drivers=drivers)
+        self._background = {
+            node: 0
+            for node in drivers
+            if node not in self._in_nodes.values()
+        }
+
+    # -- port-level API mirroring repro.netlist.LogicSimulator ----------------
+    def _stimulus(self, inputs) -> Dict[Node, int]:
+        stim: Dict[Node, int] = dict(self._background)
+        for port, node in self._in_nodes.items():
+            try:
+                stim[node] = inputs[port] & 1
+            except KeyError:
+                raise KeyError(f"missing stimulus for input {port!r}") from None
+        return stim
+
+    def _outputs(self, net_values) -> Dict[str, int]:
+        return {
+            port: self.sim.observe(node, net_values)
+            for port, node in self._out_nodes.items()
+        }
+
+    def evaluate(self, inputs) -> Dict[str, int]:
+        return self._outputs(self.sim.evaluate(self._stimulus(inputs)))
+
+    def step(self, inputs) -> Dict[str, int]:
+        return self._outputs(self.sim.step(self._stimulus(inputs)))
+
+    def read_state(self) -> Dict[str, int]:
+        """Named snapshot of this circuit's flip-flops (observability)."""
+        raw = self.sim.read_state()
+        return {name: raw[coord] for name, coord in self.bitstream.state_bits.items()}
+
+    def write_state(self, state) -> None:
+        """Restore a named snapshot (controllability)."""
+        self.sim.write_state(
+            {self.bitstream.state_bits[name]: v for name, v in state.items()}
+        )
+
+    def reset(self) -> None:
+        self.sim.reset()

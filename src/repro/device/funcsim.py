@@ -1,0 +1,265 @@
+"""Functional simulation of a *configured* device.
+
+This simulator is deliberately built from the **decoded configuration RAM
+bits only** — not from any CAD data structure.  It reconstructs electrical
+nets from enabled switches, connection-box selectors and IOB taps, checks
+electrical legality (single driver per net, no combinational loops, no
+switches hanging off the device edge), and then evaluates the array cycle
+by cycle.  If the CAD flow or the VFPGA manager corrupts so much as one
+frame bit, this is where it shows up — e.g. two partitions shorting a
+shared wire raises :class:`ConfigurationError` with both drivers named.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Mapping, Tuple
+
+from .clb import ClbConfig
+from .config_ram import SwitchKey
+from .families import Architecture
+from .geometry import Coord
+from .interconnect import (
+    SWITCH_PAIRS,
+    IobSite,
+    clb_input_candidates,
+    clb_output_candidates,
+    iob_candidates,
+    long_switch_stubs,
+    switch_stubs,
+)
+from .iob import IobConfig, IobDirection
+
+__all__ = ["DeviceFunctionalSimulator", "ConfigurationError"]
+
+#: A node in the electrical graph: a Wire, an IobSite (pad), or a CLB
+#: output ("O", x, y).
+Node = Hashable
+
+
+class ConfigurationError(Exception):
+    """The configuration bits describe an electrically illegal circuit."""
+
+
+class _UnionFind:
+    def __init__(self) -> None:
+        self.parent: Dict[Node, Node] = {}
+
+    def find(self, a: Node) -> Node:
+        path = []
+        while True:
+            p = self.parent.setdefault(a, a)
+            if p is a:
+                break
+            path.append(a)
+            a = p
+        for n in path:
+            self.parent[n] = a
+        return a
+
+    def union(self, a: Node, b: Node) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra is not rb:
+            self.parent[rb] = ra
+
+
+class DeviceFunctionalSimulator:
+    """Evaluates the whole configured array, one clock domain.
+
+    Parameters
+    ----------
+    arch:
+        Device architecture.
+    clbs / switches / iobs:
+        Decoded configuration (see
+        :meth:`repro.device.config_ram.FrameCodec.decode_frames`).
+    external_drivers:
+        Extra injection points: wires or pads driven from outside (virtual
+        pins of relocatable circuits, input pads).  Values are supplied per
+        evaluation via the ``inputs`` mapping keyed by these node objects.
+    """
+
+    def __init__(
+        self,
+        arch: Architecture,
+        clbs: Mapping[Coord, ClbConfig],
+        switches: Mapping[Coord, FrozenSet[SwitchKey]],
+        iobs: Mapping[IobSite, IobConfig],
+        external_drivers: Iterable[Node] = (),
+    ) -> None:
+        self.arch = arch
+        self.clbs = dict(clbs)
+        self.switches = dict(switches)
+        self.iobs = dict(iobs)
+        self.external_drivers: List[Node] = list(external_drivers)
+        self._build_nets()
+        self._check_drivers()
+        self._order = self._topo_order()
+        self.state: Dict[Coord, int] = {
+            c: cfg.ff_init for c, cfg in self.clbs.items() if cfg.ff_enable
+        }
+
+    # ------------------------------------------------------------------
+    # Electrical graph construction
+    # ------------------------------------------------------------------
+    def _build_nets(self) -> None:
+        uf = _UnionFind()
+        arch = self.arch
+        # Switch boxes join wire stubs (incl. long-line taps, keys s >= 6).
+        for (x, y), enabled in self.switches.items():
+            for t, s in enabled:
+                if s >= 6:
+                    pair = long_switch_stubs(arch, x, y, t)[s - 6]
+                    a, b = pair
+                else:
+                    stubs = switch_stubs(arch, x, y, t)
+                    a_idx, b_idx = SWITCH_PAIRS[s]
+                    a, b = stubs[a_idx], stubs[b_idx]
+                if a is None or b is None:
+                    raise ConfigurationError(
+                        f"switch box ({x},{y}) track {t} enables switch "
+                        f"{s} off the device edge"
+                    )
+                uf.union(a, b)
+        # CLB outputs join the wires they drive; inputs join their taps.
+        self._clb_input_net: Dict[Tuple[Coord, int], Node] = {}
+        for coord, cfg in self.clbs.items():
+            out_node = ("O", coord.x, coord.y)
+            out_cands = clb_output_candidates(arch, coord.x, coord.y)
+            for idx in cfg.out_drives:
+                uf.union(out_node, out_cands[idx])
+            in_cands = clb_input_candidates(arch, coord.x, coord.y)
+            for pin, sel in enumerate(cfg.input_sel):
+                if sel:
+                    wire = in_cands[sel - 1]
+                    self._clb_input_net[(coord, pin)] = wire
+                    uf.find(wire)  # materialise the node
+        # IOBs join their selected track.
+        for site, cfg in self.iobs.items():
+            if cfg.enable and cfg.track_sel:
+                uf.union(site, iob_candidates(arch, site)[cfg.track_sel - 1])
+        for node in self.external_drivers:
+            uf.find(node)
+        self._uf = uf
+
+    def _check_drivers(self) -> None:
+        """Exactly one driver per net that is read by anything."""
+        drivers: Dict[Node, Dict[Node, None]] = {}  # root -> ordered node set
+        for coord, cfg in self.clbs.items():
+            if cfg.out_drives:
+                root = self._uf.find(("O", coord.x, coord.y))
+                drivers.setdefault(root, {})[("O", coord.x, coord.y)] = None
+        for site, cfg in self.iobs.items():
+            if cfg.enable and cfg.direction is IobDirection.INPUT and cfg.track_sel:
+                root = self._uf.find(site)
+                drivers.setdefault(root, {})[site] = None
+        # An externally driven node may coincide with an input pad — that is
+        # the same (one) driver, hence the dict-set semantics above.
+        for node in self.external_drivers:
+            root = self._uf.find(node)
+            drivers.setdefault(root, {})[node] = None
+        for root, who in drivers.items():
+            if len(who) > 1:
+                raise ConfigurationError(
+                    f"net {root!r} has {len(who)} drivers: {list(who)[:4]}"
+                )
+        self._net_driver: Dict[Node, Node] = {
+            root: next(iter(who)) for root, who in drivers.items()
+        }
+
+    def _topo_order(self) -> List[Coord]:
+        """CLB evaluation order over combinational dependencies."""
+        # reader CLB <- driver CLB when a reader input net is driven by the
+        # driver's *combinational* output.
+        readers: Dict[Coord, List[Coord]] = {c: [] for c in self.clbs}
+        indeg: Dict[Coord, int] = {c: 0 for c in self.clbs}
+        for (coord, _pin), wire in self._clb_input_net.items():
+            driver = self._net_driver.get(self._uf.find(wire))
+            if isinstance(driver, tuple) and driver and driver[0] == "O":
+                src = Coord(driver[1], driver[2])
+                if not self.clbs[src].out_registered:
+                    readers[src].append(coord)
+                    indeg[coord] += 1
+        ready = deque(c for c, d in sorted(indeg.items()) if d == 0)
+        order: List[Coord] = []
+        while ready:
+            c = ready.popleft()
+            order.append(c)
+            for r in readers[c]:
+                indeg[r] -= 1
+                if indeg[r] == 0:
+                    ready.append(r)
+        if len(order) != len(self.clbs):
+            cyclic = sorted(set(self.clbs) - set(order))
+            raise ConfigurationError(
+                f"combinational loop through CLBs {cyclic[:6]}"
+            )
+        return order
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def _net_values(self, inputs: Mapping[Node, int]) -> Dict[Node, int]:
+        """Evaluate every net; external inputs keyed by driver node."""
+        net_val: Dict[Node, int] = {}
+        for node, value in inputs.items():
+            net_val[self._uf.find(node)] = value & 1
+        # Registered outputs are state, known before any logic settles —
+        # publish them first so readers ordered before their driver see them.
+        for coord, cfg in self.clbs.items():
+            if cfg.out_registered and cfg.out_drives:
+                net_val[self._uf.find(("O", coord.x, coord.y))] = self.state[coord]
+
+        def input_value(coord: Coord, pin: int) -> int:
+            wire = self._clb_input_net.get((coord, pin))
+            if wire is None:
+                return 0  # open pin
+            return net_val.get(self._uf.find(wire), 0)  # undriven floats low
+
+        lut_out_map: Dict[Coord, int] = {}
+        for coord in self._order:
+            cfg = self.clbs[coord]
+            index = 0
+            for pin in range(self.arch.k):
+                index |= input_value(coord, pin) << pin
+            lut_out = (cfg.lut_truth >> index) & 1
+            lut_out_map[coord] = lut_out
+            if cfg.out_drives and not cfg.out_registered:
+                net_val[self._uf.find(("O", coord.x, coord.y))] = lut_out
+        self._last_lut_out = lut_out_map
+        return net_val
+
+    def evaluate(self, inputs: Mapping[Node, int]) -> Dict[Node, int]:
+        """Combinational settle; returns net values keyed by canonical
+        root.  Use :meth:`observe` to read a specific node."""
+        return self._net_values(inputs)
+
+    def observe(self, node: Node, net_values: Mapping[Node, int]) -> int:
+        """Value of ``node``'s net after an evaluate/step."""
+        return net_values.get(self._uf.find(node), 0)
+
+    def step(self, inputs: Mapping[Node, int]) -> Dict[Node, int]:
+        """One clock: settle, then every enabled FF latches its LUT output."""
+        net_val = self._net_values(inputs)
+        self.state = {
+            coord: self._last_lut_out[coord]
+            for coord, cfg in self.clbs.items()
+            if cfg.ff_enable
+        }
+        return net_val
+
+    # -- state access (paper §3 observability/controllability) ---------------
+    def read_state(self) -> Dict[Coord, int]:
+        return dict(self.state)
+
+    def write_state(self, state: Mapping[Coord, int]) -> None:
+        unknown = set(state) - set(self.state)
+        if unknown:
+            raise KeyError(f"no flip-flop at {sorted(unknown)[:4]}")
+        for coord, value in state.items():
+            self.state[coord] = value & 1
+
+    def reset(self) -> None:
+        self.state = {
+            c: cfg.ff_init for c, cfg in self.clbs.items() if cfg.ff_enable
+        }

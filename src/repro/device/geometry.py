@@ -1,0 +1,110 @@
+"""Grid geometry for the symmetrical-array FPGA model.
+
+Coordinates are zero-based: CLB ``(x, y)`` sits in column *x* (0 at the
+left), row *y* (0 at the bottom).  A :class:`Rect` describes a rectangular
+region of CLBs — the unit of partitioning, relocation and paging in the
+VFPGA manager.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, NamedTuple
+
+__all__ = ["Coord", "Rect"]
+
+
+class Coord(NamedTuple):
+    """A CLB location on the array."""
+
+    x: int
+    y: int
+
+    def translated(self, dx: int, dy: int) -> "Coord":
+        return Coord(self.x + dx, self.y + dy)
+
+
+@dataclass(frozen=True, order=True)
+class Rect:
+    """A ``w`` × ``h`` rectangle of CLBs whose lower-left corner is
+    ``(x, y)``.  Width and height must be positive."""
+
+    x: int
+    y: int
+    w: int
+    h: int
+
+    def __post_init__(self) -> None:
+        if self.w < 1 or self.h < 1:
+            raise ValueError(f"degenerate rect {self.w}x{self.h}")
+        if self.x < 0 or self.y < 0:
+            raise ValueError(f"negative origin ({self.x}, {self.y})")
+
+    # -- measures ---------------------------------------------------------
+    @property
+    def area(self) -> int:
+        return self.w * self.h
+
+    @property
+    def x2(self) -> int:
+        """One past the rightmost column."""
+        return self.x + self.w
+
+    @property
+    def y2(self) -> int:
+        """One past the topmost row."""
+        return self.y + self.h
+
+    # -- predicates ---------------------------------------------------------
+    def contains(self, c: Coord) -> bool:
+        return self.x <= c.x < self.x2 and self.y <= c.y < self.y2
+
+    def contains_rect(self, other: "Rect") -> bool:
+        return (
+            self.x <= other.x
+            and self.y <= other.y
+            and other.x2 <= self.x2
+            and other.y2 <= self.y2
+        )
+
+    def overlaps(self, other: "Rect") -> bool:
+        return (
+            self.x < other.x2
+            and other.x < self.x2
+            and self.y < other.y2
+            and other.y < self.y2
+        )
+
+    # -- construction -----------------------------------------------------------
+    def translated(self, dx: int, dy: int) -> "Rect":
+        return Rect(self.x + dx, self.y + dy, self.w, self.h)
+
+    def coords(self) -> Iterator[Coord]:
+        """All CLB coordinates, column-major (x outer) for frame locality."""
+        for x in range(self.x, self.x2):
+            for y in range(self.y, self.y2):
+                yield Coord(x, y)
+
+    def split_vertical(self, left_width: int) -> tuple["Rect", "Rect"]:
+        """Split into left/right parts; ``left_width`` columns on the left."""
+        if not 0 < left_width < self.w:
+            raise ValueError(f"cannot split width {self.w} at {left_width}")
+        return (
+            Rect(self.x, self.y, left_width, self.h),
+            Rect(self.x + left_width, self.y, self.w - left_width, self.h),
+        )
+
+    def split_horizontal(self, bottom_height: int) -> tuple["Rect", "Rect"]:
+        """Split into bottom/top parts; ``bottom_height`` rows at the bottom."""
+        if not 0 < bottom_height < self.h:
+            raise ValueError(f"cannot split height {self.h} at {bottom_height}")
+        return (
+            Rect(self.x, self.y, self.w, bottom_height),
+            Rect(self.x, self.y + bottom_height, self.w, self.h - bottom_height),
+        )
+
+    def columns(self) -> range:
+        return range(self.x, self.x2)
+
+    def __str__(self) -> str:
+        return f"{self.w}x{self.h}@({self.x},{self.y})"

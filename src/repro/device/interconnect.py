@@ -1,0 +1,252 @@
+"""Routing fabric enumeration: wires, switch boxes, pin candidates.
+
+The fabric is a classic island-style segmented-channel interconnect:
+
+* a horizontal channel runs between every pair of CLB rows (and along the
+  top and bottom edges): ``H(x, y, t)`` is the single-length wire in track
+  *t* spanning column *x* of horizontal channel *y* (``y`` in ``0..height``);
+* vertical channels likewise: ``V(x, y, t)`` with ``x`` in ``0..width``;
+* a *disjoint* switch box sits at every channel crossing ``(x, y)`` and can
+  connect, per track, any pair of its up-to-four incident wire stubs;
+* connection boxes give every CLB pin full access to the four adjacent
+  channels (fc = 1.0), and every IOB access to its edge channel span.
+
+This module is pure enumeration — deterministic candidate orderings that
+the configuration codec (:mod:`repro.device.config_ram`), the routing
+resource graph (:mod:`repro.cad.rrg`) and the functional simulator all
+share.  If these orderings disagree anywhere, bitstreams stop being
+interpretable, so everything routes through here.
+"""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple, Optional, Tuple
+
+from .families import Architecture
+from .geometry import Rect
+
+__all__ = [
+    "Wire",
+    "IobSite",
+    "hwires",
+    "vwires",
+    "hlong_wires",
+    "vlong_wires",
+    "long_wires",
+    "long_switch_stubs",
+    "all_wires",
+    "clb_input_candidates",
+    "clb_output_candidates",
+    "switch_stubs",
+    "SWITCH_PAIRS",
+    "iob_sites",
+    "iob_candidates",
+    "wires_in_region",
+    "wire_in_region",
+    "switchboxes_in_region",
+]
+
+
+class Wire(NamedTuple):
+    """One routing wire.  ``kind``:
+
+    * ``"H"`` / ``"V"`` — single-length channel segments (span one tile);
+    * ``"HL"`` — long line crossing every column of horizontal channel
+      ``y`` on long index ``t`` (``x`` is always 0);
+    * ``"VL"`` — long line crossing every row of vertical channel ``x``
+      (``y`` is always 0).
+
+    Long lines are device-global: they are never owned by a region, so
+    only dedicated (full-device) compilations may use them (paper §2 uses
+    them exactly for large single-application circuits).
+    """
+
+    kind: str
+    x: int
+    y: int
+    t: int
+
+    def translated(self, dx: int, dy: int) -> "Wire":
+        return Wire(self.kind, self.x + dx, self.y + dy, self.t)
+
+
+class IobSite(NamedTuple):
+    """One bonded pad.  ``side`` in NSEW; ``pos`` indexes the perimeter
+    position along that side; ``j`` disambiguates multiple pads per
+    position."""
+
+    side: str
+    pos: int
+    j: int
+
+
+def hwires(arch: Architecture) -> List[Wire]:
+    """All horizontal wires, deterministic order (y, x, t)."""
+    return [
+        Wire("H", x, y, t)
+        for y in range(arch.height + 1)
+        for x in range(arch.width)
+        for t in range(arch.channel_width)
+    ]
+
+
+def vwires(arch: Architecture) -> List[Wire]:
+    """All vertical wires, deterministic order (x, y, t)."""
+    return [
+        Wire("V", x, y, t)
+        for x in range(arch.width + 1)
+        for y in range(arch.height)
+        for t in range(arch.channel_width)
+    ]
+
+
+def hlong_wires(arch: Architecture) -> List[Wire]:
+    """Horizontal long lines, order (y, t)."""
+    return [
+        Wire("HL", 0, y, t)
+        for y in range(arch.height + 1)
+        for t in range(arch.long_per_channel)
+    ]
+
+
+def vlong_wires(arch: Architecture) -> List[Wire]:
+    """Vertical long lines, order (x, t)."""
+    return [
+        Wire("VL", x, 0, t)
+        for x in range(arch.width + 1)
+        for t in range(arch.long_per_channel)
+    ]
+
+
+def long_wires(arch: Architecture) -> List[Wire]:
+    return hlong_wires(arch) + vlong_wires(arch)
+
+
+def all_wires(arch: Architecture) -> List[Wire]:
+    return hwires(arch) + vwires(arch) + long_wires(arch)
+
+
+def long_switch_stubs(
+    arch: Architecture, x: int, y: int, l: int
+) -> Tuple[Tuple[Wire, Optional[Wire]], Tuple[Wire, Optional[Wire]]]:
+    """The two long-line taps at switch box ``(x, y)`` for long index
+    ``l``: (H-long ↔ H-right stub), (V-long ↔ V-above stub).  The stub is
+    None at the far device edge (no wire to tap there)."""
+    hr = Wire("H", x, y, l) if x < arch.width else None
+    va = Wire("V", x, y, l) if y < arch.height else None
+    return (
+        (Wire("HL", 0, y, l), hr),
+        (Wire("VL", x, 0, l), va),
+    )
+
+
+def clb_input_candidates(arch: Architecture, x: int, y: int) -> List[Wire]:
+    """Wires a CLB input pin at ``(x, y)`` may tap, in codec order:
+    below, above, left, right channel; tracks ascending.  Selector value 0
+    means "open"; value ``i+1`` selects ``candidates[i]``."""
+    cw = arch.channel_width
+    out: List[Wire] = []
+    out += [Wire("H", x, y, t) for t in range(cw)]        # below
+    out += [Wire("H", x, y + 1, t) for t in range(cw)]    # above
+    out += [Wire("V", x, y, t) for t in range(cw)]        # left
+    out += [Wire("V", x + 1, y, t) for t in range(cw)]    # right
+    return out
+
+
+def clb_output_candidates(arch: Architecture, x: int, y: int) -> List[Wire]:
+    """Wires the CLB output at ``(x, y)`` may drive — same list and order
+    as the input candidates; the output config is a bitmask over it."""
+    return clb_input_candidates(arch, x, y)
+
+
+def switch_stubs(
+    arch: Architecture, x: int, y: int, t: int
+) -> Tuple[Optional[Wire], Optional[Wire], Optional[Wire], Optional[Wire]]:
+    """The four wire stubs incident to switch box ``(x, y)`` on track ``t``:
+    (H-left, H-right, V-below, V-above).  ``None`` where the device edge
+    truncates the channel."""
+    hl = Wire("H", x - 1, y, t) if x > 0 else None
+    hr = Wire("H", x, y, t) if x < arch.width else None
+    vb = Wire("V", x, y - 1, t) if y > 0 else None
+    va = Wire("V", x, y, t) if y < arch.height else None
+    return (hl, hr, vb, va)
+
+
+#: Per-track programmable switch ordering: indices into the stub tuple.
+#: Switch ``s < 6`` of track ``t`` occupies config bit ``t*6 + s``; the
+#: long-line taps use pseudo-pair indices 6 (H-long↔H-right) and 7
+#: (V-long↔V-above) with ``t`` as the long index, stored after the
+#: regular bits (see FrameCodec).
+SWITCH_PAIRS: Tuple[Tuple[int, int], ...] = (
+    (0, 1),  # H-left  <-> H-right
+    (0, 2),  # H-left  <-> V-below
+    (0, 3),  # H-left  <-> V-above
+    (1, 2),  # H-right <-> V-below
+    (1, 3),  # H-right <-> V-above
+    (2, 3),  # V-below <-> V-above
+)
+
+
+def iob_sites(arch: Architecture) -> List[IobSite]:
+    """All pads in pin-number order: south, north (pos = column), then
+    west, east (pos = row); ``io_per_edge`` pads per position."""
+    sites: List[IobSite] = []
+    for side, count in (("S", arch.width), ("N", arch.width),
+                        ("W", arch.height), ("E", arch.height)):
+        for pos in range(count):
+            for j in range(arch.io_per_edge):
+                sites.append(IobSite(side, pos, j))
+    return sites
+
+
+def iob_candidates(arch: Architecture, site: IobSite) -> List[Wire]:
+    """Wires of the edge channel span adjacent to ``site`` (track order)."""
+    cw = arch.channel_width
+    if site.side == "S":
+        return [Wire("H", site.pos, 0, t) for t in range(cw)]
+    if site.side == "N":
+        return [Wire("H", site.pos, arch.height, t) for t in range(cw)]
+    if site.side == "W":
+        return [Wire("V", 0, site.pos, t) for t in range(cw)]
+    if site.side == "E":
+        return [Wire("V", arch.width, site.pos, t) for t in range(cw)]
+    raise ValueError(f"bad side {site.side!r}")
+
+
+def wire_in_region(wire: Wire, region: Rect) -> bool:
+    """Whether ``wire`` is *owned* by ``region``.
+
+    Ownership is deliberately asymmetric — a region owns only its bottom
+    horizontal channels and left vertical channels (both indices in
+    ``region.x .. region.x2-1`` × ``region.y .. region.y2-1``).  Two
+    disjoint regions therefore never own a common wire, switch box or
+    configuration frame, which is what makes partition loading free of
+    interference (paper §4) and relocation a pure coordinate translation.
+    """
+    if wire.kind in ("HL", "VL"):
+        return False  # long lines are device-global, owned by nobody
+    return (
+        region.x <= wire.x < region.x2 and region.y <= wire.y < region.y2
+    )
+
+
+def wires_in_region(arch: Architecture, region: Rect) -> List[Wire]:
+    """All wires owned by ``region``, deterministic order."""
+    cw = arch.channel_width
+    out: List[Wire] = []
+    for y in range(region.y, region.y2):
+        for x in range(region.x, region.x2):
+            out += [Wire("H", x, y, t) for t in range(cw)]
+    for x in range(region.x, region.x2):
+        for y in range(region.y, region.y2):
+            out += [Wire("V", x, y, t) for t in range(cw)]
+    return out
+
+
+def switchboxes_in_region(region: Rect) -> List[Tuple[int, int]]:
+    """Switch boxes whose every owned-wire switch stays inside ``region``."""
+    return [
+        (x, y)
+        for x in range(region.x, region.x2)
+        for y in range(region.y, region.y2)
+    ]

@@ -1,0 +1,51 @@
+"""Input/output block (IOB) configuration state.
+
+Each bonded pad can be configured as an input (pad drives a channel wire)
+or an output (a channel wire drives the pad), tapping one track of its
+adjacent edge-channel span.  The pad count is the paper's second physical
+barrier; :mod:`repro.core.iomux` virtualises it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from .families import Architecture
+
+__all__ = ["IobDirection", "IobConfig"]
+
+
+class IobDirection(enum.Enum):
+    INPUT = "input"    # pad → fabric
+    OUTPUT = "output"  # fabric → pad
+
+
+@dataclass(frozen=True)
+class IobConfig:
+    """Configuration of one IOB.
+
+    Attributes
+    ----------
+    enable:
+        Whether the pad is in use at all.
+    direction:
+        Data direction (meaningful only when enabled).
+    track_sel:
+        0 = open, ``t+1`` = track *t* of the adjacent channel span (see
+        :func:`repro.device.interconnect.iob_candidates`).
+    """
+
+    enable: bool = False
+    direction: IobDirection = IobDirection.INPUT
+    track_sel: int = 0
+
+    def validate(self, arch: Architecture) -> None:
+        if not 0 <= self.track_sel <= arch.channel_width:
+            raise ValueError(f"track_sel {self.track_sel} out of range")
+        if self.enable and self.track_sel == 0:
+            raise ValueError("enabled IOB must select a track")
+
+    @staticmethod
+    def empty() -> "IobConfig":
+        return IobConfig()

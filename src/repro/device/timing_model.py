@@ -1,0 +1,99 @@
+"""Configuration-port timing: the quantity the whole paper turns on.
+
+The paper (§2) observes that VFPGA feasibility "is strictly related to the
+configuration time": full-serial devices (XC4000-style, ≤ 200 ms) restrict
+virtualization to occasional reconfiguration, while partially
+reconfigurable families make frequent reprogramming feasible.  This module
+prices every configuration-port transaction:
+
+* full serial download of the entire RAM,
+* partial (frame-addressed) writes of only the frames a bitstream touches,
+* state readback (observe all flip-flops, §3),
+* state restore (control all flip-flops, §3).
+
+Readback and restore are frame-granular, as in real devices: touching one
+flip-flop costs its whole frame.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .bitstream import Bitstream
+from .families import Architecture
+
+__all__ = ["ConfigPort", "ConfigTimingBreakdown"]
+
+
+@dataclass(frozen=True)
+class ConfigTimingBreakdown:
+    """Per-cause accounting for one configuration transaction."""
+
+    n_frames: int
+    seconds: float
+    mode: str  # "full-serial" | "partial" | "readback" | "state-restore"
+
+
+class ConfigPort:
+    """Prices configuration transactions for one architecture."""
+
+    def __init__(self, arch: Architecture) -> None:
+        self.arch = arch
+
+    # -- whole-device -----------------------------------------------------
+    def full_config(self) -> ConfigTimingBreakdown:
+        """Serial download of every frame (the only option on
+        non-partially-reconfigurable devices)."""
+        a = self.arch
+        return ConfigTimingBreakdown(
+            n_frames=a.n_frames,
+            seconds=a.total_config_bits / a.serial_rate,
+            mode="full-serial",
+        )
+
+    # -- per-bitstream ------------------------------------------------------
+    def frame_write_time(self, n_frames: int) -> float:
+        a = self.arch
+        return n_frames * (a.frame_overhead + a.frame_bits / a.serial_rate)
+
+    def load_time(self, bitstream: Bitstream) -> ConfigTimingBreakdown:
+        """Time to make ``bitstream`` resident.
+
+        On a partial-reconfig device only the touched frames are written;
+        otherwise the entire device must be re-downloaded regardless of the
+        circuit's size — exactly the §2 restriction experiment E12 measures.
+        """
+        if not self.arch.supports_partial:
+            return self.full_config()
+        n = len(bitstream.frames_touched(self.arch))
+        return ConfigTimingBreakdown(
+            n_frames=n, seconds=self.frame_write_time(n), mode="partial"
+        )
+
+    def unload_time(self, bitstream: Bitstream) -> ConfigTimingBreakdown:
+        """Clearing a region costs the same frame writes as loading it."""
+        return self.load_time(bitstream)
+
+    # -- state save/restore (paper §3) ------------------------------------------
+    def _state_frames(self, bitstream: Bitstream) -> int:
+        return len(bitstream.state_frames(self.arch))
+
+    def state_save_time(self, bitstream: Bitstream) -> ConfigTimingBreakdown:
+        """Observe every memory element: read each frame holding a FF."""
+        a = self.arch
+        n = self._state_frames(bitstream)
+        return ConfigTimingBreakdown(
+            n_frames=n,
+            seconds=n * (a.frame_overhead + a.frame_bits / a.readback_rate),
+            mode="readback",
+        )
+
+    def state_restore_time(self, bitstream: Bitstream) -> ConfigTimingBreakdown:
+        """Control every memory element: read-modify-write each FF frame."""
+        a = self.arch
+        n = self._state_frames(bitstream)
+        per_frame = a.frame_overhead + a.frame_bits / a.readback_rate \
+            + a.frame_bits / a.serial_rate
+        return ConfigTimingBreakdown(
+            n_frames=n, seconds=n * per_frame, mode="state-restore"
+        )

@@ -1,0 +1,68 @@
+"""Gate-level netlists: cells, containers, builders, generators, simulation.
+
+This is the "application circuit" substrate: everything the VFPGA manager
+loads onto the device model starts life here as a :class:`Netlist`.
+"""
+
+from .builder import NetlistBuilder
+from .cells import Cell, CellKind, evaluate_kind
+from .generators import (
+    CIRCUIT_GENERATORS,
+    accumulator,
+    alu,
+    array_multiplier,
+    barrel_shifter,
+    comparator,
+    counter,
+    gray_counter,
+    johnson_counter,
+    kogge_stone_adder,
+    priority_encoder,
+    lfsr,
+    moore_fsm,
+    moving_sum_fir,
+    parity_tree,
+    random_logic,
+    ripple_adder,
+    serial_crc,
+    shift_register,
+)
+from .io import load_netlist, netlist_from_dict, netlist_to_dict, save_netlist
+from .logicsim import LogicSimulator
+from .netlist import Netlist, NetlistError
+from .stats import NetlistStats, netlist_stats
+
+__all__ = [
+    "CIRCUIT_GENERATORS",
+    "Cell",
+    "CellKind",
+    "LogicSimulator",
+    "Netlist",
+    "NetlistBuilder",
+    "NetlistError",
+    "NetlistStats",
+    "accumulator",
+    "alu",
+    "array_multiplier",
+    "barrel_shifter",
+    "comparator",
+    "counter",
+    "evaluate_kind",
+    "gray_counter",
+    "johnson_counter",
+    "kogge_stone_adder",
+    "lfsr",
+    "load_netlist",
+    "moore_fsm",
+    "moving_sum_fir",
+    "netlist_from_dict",
+    "netlist_stats",
+    "netlist_to_dict",
+    "parity_tree",
+    "priority_encoder",
+    "random_logic",
+    "ripple_adder",
+    "save_netlist",
+    "serial_crc",
+    "shift_register",
+]

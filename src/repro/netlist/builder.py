@@ -1,0 +1,147 @@
+"""Fluent construction API for netlists.
+
+The circuit generators build everything through :class:`NetlistBuilder`,
+which handles unique naming, bus (multi-bit) signals, and common structural
+idioms (reduction trees, adders) so generators stay readable.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Sequence
+
+from .cells import Cell, CellKind
+from .netlist import Netlist
+
+__all__ = ["NetlistBuilder"]
+
+
+class NetlistBuilder:
+    """Builds a :class:`~repro.netlist.netlist.Netlist` incrementally.
+
+    All gate methods return the *name* of the created cell (= its output
+    net), so calls compose naturally::
+
+        b = NetlistBuilder("demo")
+        a, c = b.input("a"), b.input("c")
+        b.output("y", b.xor(a, c))
+        nl = b.build()
+    """
+
+    def __init__(self, name: str) -> None:
+        self.netlist = Netlist(name)
+        self._counter = itertools.count()
+
+    # -- naming ------------------------------------------------------------
+    def _fresh(self, stem: str) -> str:
+        while True:
+            name = f"{stem}_{next(self._counter)}"
+            if name not in self.netlist:
+                return name
+
+    def _gate(self, kind: CellKind, fanin: Sequence[str], name: str | None = None, **kw) -> str:
+        cell = Cell(name or self._fresh(kind.value), kind, tuple(fanin), **kw)
+        self.netlist.add(cell)
+        return cell.name
+
+    # -- sources / sinks -----------------------------------------------------
+    def input(self, name: str) -> str:
+        return self._gate(CellKind.INPUT, (), name=name)
+
+    def input_bus(self, stem: str, width: int) -> List[str]:
+        return [self.input(f"{stem}[{i}]") for i in range(width)]
+
+    def output(self, name: str, src: str) -> str:
+        return self._gate(CellKind.OUTPUT, (src,), name=name)
+
+    def output_bus(self, stem: str, srcs: Sequence[str]) -> List[str]:
+        return [self.output(f"{stem}[{i}]", s) for i, s in enumerate(srcs)]
+
+    def const(self, value: int, name: str | None = None) -> str:
+        kind = CellKind.CONST1 if value else CellKind.CONST0
+        return self._gate(kind, (), name=name)
+
+    # -- gates ---------------------------------------------------------------
+    def buf(self, a: str, name: str | None = None) -> str:
+        return self._gate(CellKind.BUF, (a,), name=name)
+
+    def not_(self, a: str, name: str | None = None) -> str:
+        return self._gate(CellKind.NOT, (a,), name=name)
+
+    def and_(self, *srcs: str, name: str | None = None) -> str:
+        return self._gate(CellKind.AND, srcs, name=name)
+
+    def or_(self, *srcs: str, name: str | None = None) -> str:
+        return self._gate(CellKind.OR, srcs, name=name)
+
+    def nand(self, *srcs: str, name: str | None = None) -> str:
+        return self._gate(CellKind.NAND, srcs, name=name)
+
+    def nor(self, *srcs: str, name: str | None = None) -> str:
+        return self._gate(CellKind.NOR, srcs, name=name)
+
+    def xor(self, *srcs: str, name: str | None = None) -> str:
+        return self._gate(CellKind.XOR, srcs, name=name)
+
+    def xnor(self, *srcs: str, name: str | None = None) -> str:
+        return self._gate(CellKind.XNOR, srcs, name=name)
+
+    def mux(self, sel: str, a: str, b: str, name: str | None = None) -> str:
+        """2:1 mux: returns ``b`` when ``sel`` else ``a``."""
+        return self._gate(CellKind.MUX, (sel, a, b), name=name)
+
+    def lut(self, truth: int, srcs: Sequence[str], name: str | None = None) -> str:
+        return self._gate(CellKind.LUT, srcs, name=name, truth=truth)
+
+    def dff(self, d: str, init: int = 0, name: str | None = None) -> str:
+        return self._gate(CellKind.DFF, (d,), name=name, init=init)
+
+    # -- idioms ----------------------------------------------------------------
+    def reduce_tree(self, kind: CellKind, srcs: Sequence[str]) -> str:
+        """Balanced binary reduction (e.g. wide AND as a tree of 2-ANDs)."""
+        level = list(srcs)
+        if not level:
+            raise ValueError("reduce_tree needs at least one source")
+        while len(level) > 1:
+            nxt = []
+            for i in range(0, len(level) - 1, 2):
+                nxt.append(self._gate(kind, (level[i], level[i + 1])))
+            if len(level) % 2:
+                nxt.append(level[-1])
+            level = nxt
+        return level[0]
+
+    def full_adder(self, a: str, b: str, cin: str) -> tuple[str, str]:
+        """Returns (sum, carry-out) built from basic gates."""
+        axb = self.xor(a, b)
+        s = self.xor(axb, cin)
+        carry = self.or_(self.and_(a, b), self.and_(axb, cin))
+        return s, carry
+
+    def ripple_add(self, a_bits: Sequence[str], b_bits: Sequence[str], cin: str | None = None) -> tuple[List[str], str]:
+        """Width-matched ripple-carry addition; returns (sum_bits, carry)."""
+        if len(a_bits) != len(b_bits):
+            raise ValueError("ripple_add operands must have equal width")
+        carry = cin if cin is not None else self.const(0)
+        sums: List[str] = []
+        for a, b in zip(a_bits, b_bits):
+            s, carry = self.full_adder(a, b, carry)
+            sums.append(s)
+        return sums, carry
+
+    def equals(self, a_bits: Sequence[str], b_bits: Sequence[str]) -> str:
+        """Wide equality comparator."""
+        if len(a_bits) != len(b_bits):
+            raise ValueError("equals operands must have equal width")
+        eqs = [self.xnor(a, b) for a, b in zip(a_bits, b_bits)]
+        return self.reduce_tree(CellKind.AND, eqs)
+
+    def register_bus(self, srcs: Sequence[str], init: int = 0) -> List[str]:
+        """One DFF per bit; ``init`` is interpreted as a little-endian word."""
+        return [self.dff(s, init=(init >> i) & 1) for i, s in enumerate(srcs)]
+
+    # -- finish -----------------------------------------------------------------
+    def build(self) -> Netlist:
+        """Validate and return the netlist."""
+        self.netlist.validate()
+        return self.netlist

@@ -1,0 +1,193 @@
+"""Cell library for gate-level netlists.
+
+A netlist is a graph of named single-output cells.  A cell's ``fanin`` is a
+tuple of *names of other cells* whose outputs it reads — i.e. nets are
+identified with their (unique) driving cell, which keeps the representation
+compact and makes single-driver violations unrepresentable.
+
+Supported kinds:
+
+=========  =============================================================
+``INPUT``  primary input (no fanin)
+``OUTPUT`` primary output marker (one fanin, no logic)
+``CONST0`` constant 0        ``CONST1``  constant 1
+``BUF``    identity          ``NOT``     inverter
+``AND`` / ``OR`` / ``NAND`` / ``NOR`` / ``XOR`` / ``XNOR``  n-ary gates
+``MUX``    2:1 multiplexer, fanin = (sel, a, b): out = b if sel else a
+``LUT``    k-input lookup table with an explicit truth table
+``DFF``    D flip-flop, fanin = (d,); clocking is implicit (one domain)
+=========  =============================================================
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Tuple
+
+__all__ = ["CellKind", "Cell", "evaluate_kind", "COMBINATIONAL_KINDS"]
+
+
+class CellKind(enum.Enum):
+    INPUT = "input"
+    OUTPUT = "output"
+    CONST0 = "const0"
+    CONST1 = "const1"
+    BUF = "buf"
+    NOT = "not"
+    AND = "and"
+    OR = "or"
+    NAND = "nand"
+    NOR = "nor"
+    XOR = "xor"
+    XNOR = "xnor"
+    MUX = "mux"
+    LUT = "lut"
+    DFF = "dff"
+
+
+#: Kinds that compute a boolean function of their fanin (everything except
+#: sources, sinks and state elements).
+COMBINATIONAL_KINDS = frozenset(
+    {
+        CellKind.BUF,
+        CellKind.NOT,
+        CellKind.AND,
+        CellKind.OR,
+        CellKind.NAND,
+        CellKind.NOR,
+        CellKind.XOR,
+        CellKind.XNOR,
+        CellKind.MUX,
+        CellKind.LUT,
+    }
+)
+
+_MIN_ARITY = {
+    CellKind.INPUT: 0,
+    CellKind.OUTPUT: 1,
+    CellKind.CONST0: 0,
+    CellKind.CONST1: 0,
+    CellKind.BUF: 1,
+    CellKind.NOT: 1,
+    CellKind.AND: 2,
+    CellKind.OR: 2,
+    CellKind.NAND: 2,
+    CellKind.NOR: 2,
+    CellKind.XOR: 2,
+    CellKind.XNOR: 2,
+    CellKind.MUX: 3,
+    CellKind.LUT: 0,  # a 0-input LUT is a constant (truth bit 0)
+    CellKind.DFF: 1,
+}
+
+_MAX_ARITY = {
+    CellKind.INPUT: 0,
+    CellKind.OUTPUT: 1,
+    CellKind.CONST0: 0,
+    CellKind.CONST1: 0,
+    CellKind.BUF: 1,
+    CellKind.NOT: 1,
+    CellKind.MUX: 3,
+    CellKind.DFF: 1,
+    # n-ary gates and LUTs have no hard upper bound here; the CAD flow's
+    # technology mapper enforces the device's K.
+}
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One netlist cell.  Immutable; netlists are edited by replacement.
+
+    Parameters
+    ----------
+    name:
+        Unique identifier within the netlist; also names the output net.
+    kind:
+        The cell's :class:`CellKind`.
+    fanin:
+        Names of the driving cells, in port order.
+    truth:
+        LUT truth table as an integer bitmask over ``2**len(fanin)``
+        entries (bit *i* = output for input pattern *i*, where fanin[0]
+        is the least-significant address bit).  Only valid for ``LUT``.
+    init:
+        Reset value of a ``DFF``.
+    """
+
+    name: str
+    kind: CellKind
+    fanin: Tuple[str, ...] = field(default_factory=tuple)
+    truth: int = 0
+    init: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("cell name must be non-empty")
+        fanin = tuple(self.fanin)
+        object.__setattr__(self, "fanin", fanin)
+        lo = _MIN_ARITY[self.kind]
+        hi = _MAX_ARITY.get(self.kind)
+        if len(fanin) < lo or (hi is not None and len(fanin) > hi):
+            raise ValueError(
+                f"{self.kind.value} cell {self.name!r}: fanin arity "
+                f"{len(fanin)} outside [{lo}, {hi if hi is not None else 'inf'}]"
+            )
+        if self.kind is CellKind.LUT:
+            entries = 1 << len(fanin)
+            if not 0 <= self.truth < (1 << entries):
+                raise ValueError(
+                    f"LUT {self.name!r}: truth table {self.truth:#x} does not "
+                    f"fit {entries} entries"
+                )
+        elif self.truth:
+            raise ValueError(f"{self.kind.value} cell {self.name!r} cannot carry a truth table")
+        if self.init not in (0, 1):
+            raise ValueError(f"DFF init must be 0 or 1, got {self.init}")
+        if self.init and self.kind is not CellKind.DFF:
+            raise ValueError(f"{self.kind.value} cell {self.name!r} cannot carry an init value")
+
+    @property
+    def is_combinational(self) -> bool:
+        return self.kind in COMBINATIONAL_KINDS
+
+    @property
+    def is_state(self) -> bool:
+        return self.kind is CellKind.DFF
+
+
+def evaluate_kind(kind: CellKind, values: Tuple[int, ...], truth: int = 0) -> int:
+    """Evaluate one combinational cell over bit values (0/1).
+
+    ``DFF``/``INPUT`` are not evaluable here — the logic simulator supplies
+    their values from state / stimulus.
+    """
+    if kind is CellKind.BUF or kind is CellKind.OUTPUT:
+        return values[0]
+    if kind is CellKind.NOT:
+        return 1 - values[0]
+    if kind is CellKind.AND:
+        return int(all(values))
+    if kind is CellKind.OR:
+        return int(any(values))
+    if kind is CellKind.NAND:
+        return 1 - int(all(values))
+    if kind is CellKind.NOR:
+        return 1 - int(any(values))
+    if kind is CellKind.XOR:
+        return sum(values) & 1
+    if kind is CellKind.XNOR:
+        return 1 - (sum(values) & 1)
+    if kind is CellKind.MUX:
+        sel, a, b = values
+        return b if sel else a
+    if kind is CellKind.LUT:
+        index = 0
+        for i, v in enumerate(values):
+            index |= (v & 1) << i
+        return (truth >> index) & 1
+    if kind is CellKind.CONST0:
+        return 0
+    if kind is CellKind.CONST1:
+        return 1
+    raise ValueError(f"cannot evaluate {kind.value} combinationally")

@@ -1,0 +1,505 @@
+"""Circuit generators — the "application algorithms" of the paper.
+
+The paper motivates VFPGAs with application classes (multimedia codecs,
+telecom encoders/modems, embedded diagnostics, device drivers, §1/§5) but
+publishes no netlists.  These generators produce parameterised circuits of
+the same structural classes (substitution S4 in DESIGN.md): datapath
+arithmetic, coding/CRC, filters, and control FSMs, plus seeded random logic
+for stress tests.  All are pure functions of their arguments (seeded RNG),
+so every experiment is reproducible bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Sequence
+
+from .builder import NetlistBuilder
+from .cells import Cell, CellKind
+from .netlist import Netlist
+
+__all__ = [
+    "barrel_shifter",
+    "kogge_stone_adder",
+    "gray_counter",
+    "johnson_counter",
+    "priority_encoder",
+    "ripple_adder",
+    "array_multiplier",
+    "comparator",
+    "parity_tree",
+    "alu",
+    "random_logic",
+    "counter",
+    "lfsr",
+    "shift_register",
+    "serial_crc",
+    "accumulator",
+    "moore_fsm",
+    "moving_sum_fir",
+    "CIRCUIT_GENERATORS",
+]
+
+
+# --------------------------------------------------------------------------
+# Combinational datapath circuits
+# --------------------------------------------------------------------------
+
+def ripple_adder(width: int) -> Netlist:
+    """``width``-bit ripple-carry adder: ``s = a + b + cin``.
+
+    Interfaces: inputs ``a[i]``, ``b[i]``, ``cin``; outputs ``s[i]``, ``cout``.
+    """
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    b = NetlistBuilder(f"adder{width}")
+    a_bits = b.input_bus("a", width)
+    b_bits = b.input_bus("b", width)
+    cin = b.input("cin")
+    sums, cout = b.ripple_add(a_bits, b_bits, cin)
+    b.output_bus("s", sums)
+    b.output("cout", cout)
+    return b.build()
+
+
+def array_multiplier(width: int) -> Netlist:
+    """``width``×``width`` unsigned array multiplier, ``p = a * b``.
+
+    Classic carry-save partial-product array; ~O(width²) gates, which makes
+    it the "large circuit" workhorse of the size-sweep experiments.
+    """
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    b = NetlistBuilder(f"mult{width}")
+    a_bits = b.input_bus("a", width)
+    b_bits = b.input_bus("b", width)
+    # Partial products pp[i][j] = a[j] & b[i], accumulated row by row.
+    acc: List[str] = [b.and_(a_bits[j], b_bits[0]) for j in range(width)]
+    product: List[str] = [acc[0]]
+    acc = acc[1:] + [b.const(0)]
+    for i in range(1, width):
+        row = [b.and_(a_bits[j], b_bits[i]) for j in range(width)]
+        carry = b.const(0)
+        nxt: List[str] = []
+        for j in range(width):
+            s, carry = b.full_adder(acc[j], row[j], carry)
+            nxt.append(s)
+        product.append(nxt[0])
+        acc = nxt[1:] + [carry]
+    product.extend(acc)
+    b.output_bus("p", product[: 2 * width])
+    return b.build()
+
+
+def comparator(width: int) -> Netlist:
+    """Magnitude comparator: outputs ``eq`` and ``lt`` (a < b, unsigned)."""
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    b = NetlistBuilder(f"cmp{width}")
+    a_bits = b.input_bus("a", width)
+    b_bits = b.input_bus("b", width)
+    b.output("eq", b.equals(a_bits, b_bits))
+    # lt = OR over i of (a[i]<b[i] AND a[j]==b[j] for j>i)
+    terms: List[str] = []
+    eq_above: str | None = None
+    for i in reversed(range(width)):
+        bit_lt = b.and_(b.not_(a_bits[i]), b_bits[i])
+        terms.append(bit_lt if eq_above is None else b.and_(eq_above, bit_lt))
+        bit_eq = b.xnor(a_bits[i], b_bits[i])
+        eq_above = bit_eq if eq_above is None else b.and_(eq_above, bit_eq)
+    b.output("lt", b.reduce_tree(CellKind.OR, terms) if len(terms) > 1 else terms[0])
+    return b.build()
+
+
+def parity_tree(width: int) -> Netlist:
+    """XOR reduction over ``width`` inputs (even-parity generator)."""
+    if width < 2:
+        raise ValueError("width must be >= 2")
+    b = NetlistBuilder(f"parity{width}")
+    bits = b.input_bus("d", width)
+    b.output("p", b.reduce_tree(CellKind.XOR, bits))
+    return b.build()
+
+
+def alu(width: int) -> Netlist:
+    """Four-function ALU (ADD / AND / OR / XOR) selected by ``op[1:0]``.
+
+    Models the paper's "merged circuit" idea in miniature: all four
+    functions coexist; the selector picks the one in use.
+    """
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    b = NetlistBuilder(f"alu{width}")
+    a_bits = b.input_bus("a", width)
+    b_bits = b.input_bus("b", width)
+    op = b.input_bus("op", 2)
+    add_bits, _ = b.ripple_add(a_bits, b_bits)
+    and_bits = [b.and_(x, y) for x, y in zip(a_bits, b_bits)]
+    or_bits = [b.or_(x, y) for x, y in zip(a_bits, b_bits)]
+    xor_bits = [b.xor(x, y) for x, y in zip(a_bits, b_bits)]
+    out_bits = []
+    for i in range(width):
+        lo = b.mux(op[0], add_bits[i], and_bits[i])
+        hi = b.mux(op[0], or_bits[i], xor_bits[i])
+        out_bits.append(b.mux(op[1], lo, hi))
+    b.output_bus("y", out_bits)
+    return b.build()
+
+
+def kogge_stone_adder(width: int) -> Netlist:
+    """Kogge–Stone parallel-prefix adder: ``s = a + b + cin``.
+
+    Same interface as :func:`ripple_adder` but with O(log width) carry
+    depth instead of O(width) — the pair lets the timing experiments show
+    topology, not just size, driving the critical path.
+    """
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    b = NetlistBuilder(f"ksadder{width}")
+    a_bits = b.input_bus("a", width)
+    b_bits = b.input_bus("b", width)
+    cin = b.input("cin")
+    g = [b.and_(x, y) for x, y in zip(a_bits, b_bits)]
+    p = [b.xor(x, y) for x, y in zip(a_bits, b_bits)]
+    G, P = list(g), list(p)
+    d = 1
+    while d < width:
+        nG, nP = list(G), list(P)
+        for i in range(d, width):
+            nG[i] = b.or_(G[i], b.and_(P[i], G[i - d]))
+            nP[i] = b.and_(P[i], P[i - d])
+        G, P = nG, nP
+        d *= 2
+    # carry into bit i: c[0] = cin; c[i] = G[i-1] | (P[i-1] & cin).
+    carries = [cin]
+    for i in range(1, width):
+        carries.append(b.or_(G[i - 1], b.and_(P[i - 1], cin)))
+    sums = [b.xor(p[i], carries[i]) for i in range(width)]
+    cout = b.or_(G[width - 1], b.and_(P[width - 1], cin))
+    b.output_bus("s", sums)
+    b.output("cout", cout)
+    return b.build()
+
+
+def barrel_shifter(width: int) -> Netlist:
+    """Logarithmic barrel shifter: ``y = d << s`` (zero fill).
+
+    Inputs ``d[width]`` and ``s[ceil(log2 width)]``; output ``y[width]``.
+    A mux ladder per shift-amount bit — the datapath shape of the DSP
+    kernels the paper's multimedia class implies.
+    """
+    if width < 2:
+        raise ValueError("width must be >= 2")
+    b = NetlistBuilder(f"bshift{width}")
+    d = b.input_bus("d", width)
+    n_sel = (width - 1).bit_length()
+    sel = b.input_bus("s", n_sel)
+    zero = b.const(0)
+    stage = list(d)
+    for k in range(n_sel):
+        shift = 1 << k
+        nxt = []
+        for i in range(width):
+            shifted = stage[i - shift] if i >= shift else zero
+            nxt.append(b.mux(sel[k], stage[i], shifted))
+        stage = nxt
+    b.output_bus("y", stage)
+    return b.build()
+
+
+def priority_encoder(width: int) -> Netlist:
+    """Highest-set-bit priority encoder.
+
+    Inputs ``d[width]``; outputs ``q[ceil(log2 width)]`` (index of the
+    highest set bit) and ``valid`` (any bit set).
+    """
+    if width < 2:
+        raise ValueError("width must be >= 2")
+    b = NetlistBuilder(f"prienc{width}")
+    d = b.input_bus("d", width)
+    n_out = (width - 1).bit_length()
+    # higher_clear[i] = no input above i is set.
+    grants: List[str] = [None] * width
+    higher = None
+    for i in reversed(range(width)):
+        grants[i] = d[i] if higher is None else b.and_(d[i], higher)
+        not_i = b.not_(d[i])
+        higher = not_i if higher is None else b.and_(higher, not_i)
+    for bit in range(n_out):
+        terms = [grants[i] for i in range(width) if (i >> bit) & 1]
+        if not terms:
+            b.output(f"q[{bit}]", b.const(0))
+        elif len(terms) == 1:
+            b.output(f"q[{bit}]", b.buf(terms[0]))
+        else:
+            b.output(f"q[{bit}]", b.reduce_tree(CellKind.OR, terms))
+    b.output("valid", b.reduce_tree(CellKind.OR, list(d)))
+    return b.build()
+
+
+def gray_counter(width: int) -> Netlist:
+    """Gray-code counter: outputs ``g[i]`` follow the reflected binary
+    code.  Implemented as a binary counter plus binary→Gray conversion,
+    so consecutive outputs differ in exactly one bit."""
+    if width < 2:
+        raise ValueError("width must be >= 2")
+    b = NetlistBuilder(f"gray{width}")
+    en = b.input("en")
+    q_names = [f"b{i}_ff" for i in range(width)]
+    next_names = [f"n{i}" for i in range(width)]
+    for i in range(width):
+        b.netlist.add(Cell(q_names[i], CellKind.DFF, (next_names[i],)))
+    carry = en
+    for i in range(width):
+        b.xor(q_names[i], carry, name=next_names[i])
+        if i < width - 1:
+            carry = b.and_(carry, q_names[i])
+    gray = []
+    for i in range(width):
+        if i == width - 1:
+            gray.append(b.buf(q_names[i]))
+        else:
+            gray.append(b.xor(q_names[i], q_names[i + 1]))
+    b.output_bus("g", gray)
+    return b.build()
+
+
+def johnson_counter(width: int) -> Netlist:
+    """Johnson (twisted-ring) counter: a shift register whose inverted
+    tail feeds its head; period ``2*width`` with one-bit transitions."""
+    if width < 2:
+        raise ValueError("width must be >= 2")
+    b = NetlistBuilder(f"johnson{width}")
+    q_names = [f"q{i}_ff" for i in range(width)]
+    b.netlist.add(Cell(q_names[0], CellKind.DFF, ("fb",)))
+    for i in range(1, width):
+        b.netlist.add(Cell(q_names[i], CellKind.DFF, (q_names[i - 1],)))
+    b.not_(q_names[width - 1], name="fb")
+    b.output_bus("q", q_names)
+    return b.build()
+
+
+def random_logic(
+    n_gates: int, n_inputs: int, n_outputs: int, seed: int, max_fanin: int = 3
+) -> Netlist:
+    """Seeded random combinational DAG — the stress/soak workload.
+
+    Each gate's fanin is drawn from earlier gates and primary inputs, so the
+    result is acyclic by construction.  Outputs tap the last gates so depth
+    is exercised.
+    """
+    if n_gates < 1 or n_inputs < 1 or n_outputs < 1:
+        raise ValueError("n_gates, n_inputs, n_outputs must be >= 1")
+    rng = random.Random(seed)
+    b = NetlistBuilder(f"rand{n_gates}g{n_inputs}i_s{seed}")
+    pool: List[str] = b.input_bus("x", n_inputs)
+    kinds = [CellKind.AND, CellKind.OR, CellKind.XOR, CellKind.NAND, CellKind.NOR]
+    gates: List[str] = []
+    for _ in range(n_gates):
+        kind = rng.choice(kinds)
+        fanin_n = rng.randint(2, max_fanin)
+        fanin = rng.sample(pool, min(fanin_n, len(pool)))
+        if len(fanin) < 2:
+            fanin = fanin * 2
+        name = b._gate(kind, fanin)
+        pool.append(name)
+        gates.append(name)
+    taps = gates[-n_outputs:] if len(gates) >= n_outputs else gates * n_outputs
+    b.output_bus("y", taps[:n_outputs])
+    return b.build()
+
+
+# --------------------------------------------------------------------------
+# Sequential circuits (these have state — the hard case of paper §3)
+# --------------------------------------------------------------------------
+
+def counter(width: int) -> Netlist:
+    """``width``-bit binary up-counter with enable.
+
+    Inputs ``en``; outputs ``q[i]``.  Increments when ``en`` is 1.
+    """
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    b = NetlistBuilder(f"counter{width}")
+    en = b.input("en")
+    # Create DFFs with placeholder feedback via two-phase construction:
+    # next[i] = q[i] XOR (en AND q[0..i-1]) — but DFF fanin must exist, so
+    # build next-state logic referencing DFF names chosen up front.
+    q_names = [f"q{i}_ff" for i in range(width)]
+    carry = en
+    next_bits: List[str] = []
+    # DFF cells are added *after* their input logic exists; to allow the
+    # feedback reference we insert the DFFs first with a temporary driver,
+    # then the builder pattern: declare DFFs reading named next-state nets.
+    next_names = [f"next{i}" for i in range(width)]
+    for i in range(width):
+        b.netlist.add(Cell(q_names[i], CellKind.DFF, (next_names[i],)))
+    for i in range(width):
+        nxt = b.xor(q_names[i], carry, name=next_names[i])
+        next_bits.append(nxt)
+        if i < width - 1:
+            carry = b.and_(carry, q_names[i])
+    b.output_bus("q", q_names)
+    return b.build()
+
+
+def lfsr(width: int, taps: Sequence[int] | None = None) -> Netlist:
+    """Fibonacci LFSR with XOR feedback on ``taps`` (default: maximal-ish).
+
+    Outputs ``q[i]``.  DFF[0] initialises to 1 so the register is nonzero.
+    """
+    if width < 2:
+        raise ValueError("width must be >= 2")
+    if taps is None:
+        taps = (width - 1, 0)
+    taps = tuple(taps)
+    if any(t < 0 or t >= width for t in taps) or len(set(taps)) < 2:
+        raise ValueError(f"invalid taps {taps} for width {width}")
+    b = NetlistBuilder(f"lfsr{width}")
+    q_names = [f"q{i}_ff" for i in range(width)]
+    b.netlist.add(Cell(q_names[0], CellKind.DFF, ("fb",), init=1))
+    for i in range(1, width):
+        b.netlist.add(Cell(q_names[i], CellKind.DFF, (q_names[i - 1],)))
+    b.xor(*[q_names[t] for t in taps], name="fb")
+    b.output_bus("q", q_names)
+    return b.build()
+
+
+def shift_register(width: int) -> Netlist:
+    """Serial-in shift register: input ``din``, outputs ``q[i]``."""
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    b = NetlistBuilder(f"shift{width}")
+    din = b.input("din")
+    prev = din
+    q_names = []
+    for i in range(width):
+        prev = b.dff(prev, name=f"q{i}_ff")
+        q_names.append(prev)
+    b.output_bus("q", q_names)
+    return b.build()
+
+
+def serial_crc(width: int, poly: int) -> Netlist:
+    """Bit-serial CRC register (the paper's telecom encoding example, §5).
+
+    ``poly`` is the generator polynomial without the leading x^width term,
+    e.g. CRC-8-ATM is ``width=8, poly=0x07``.  Input ``din``; outputs
+    ``crc[i]``.  Each clock shifts one message bit through.
+    """
+    if width < 2:
+        raise ValueError("width must be >= 2")
+    if not 0 < poly < (1 << width):
+        raise ValueError(f"poly {poly:#x} out of range for width {width}")
+    b = NetlistBuilder(f"crc{width}_{poly:x}")
+    din = b.input("din")
+    reg = [f"c{i}_ff" for i in range(width)]
+    next_names = [f"n{i}" for i in range(width)]
+    for i in range(width):
+        b.netlist.add(Cell(reg[i], CellKind.DFF, (next_names[i],)))
+    fb = b.xor(din, reg[width - 1], name="fb")
+    for i in range(width):
+        src = fb if i == 0 else reg[i - 1]
+        if i > 0 and (poly >> i) & 1:
+            b.xor(src, fb, name=next_names[i])
+        else:
+            b.buf(src, name=next_names[i])
+    b.output_bus("crc", reg)
+    return b.build()
+
+
+def accumulator(width: int) -> Netlist:
+    """Registered accumulator: ``acc += d`` each clock; outputs ``acc[i]``."""
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    b = NetlistBuilder(f"accum{width}")
+    d_bits = b.input_bus("d", width)
+    acc_names = [f"acc{i}_ff" for i in range(width)]
+    next_names = [f"next{i}" for i in range(width)]
+    for i in range(width):
+        b.netlist.add(Cell(acc_names[i], CellKind.DFF, (next_names[i],)))
+    sums, _ = b.ripple_add(acc_names, d_bits)
+    for i, s in enumerate(sums):
+        b.buf(s, name=next_names[i])
+    b.output_bus("acc", acc_names)
+    return b.build()
+
+
+def moore_fsm(n_states: int, n_inputs: int, seed: int) -> Netlist:
+    """Seeded random Moore machine (the paper's control/driver workload).
+
+    State is one-hot-free binary-encoded in ``ceil(log2 n_states)`` DFFs;
+    next-state and output logic are random LUTs.  Inputs ``x[i]``; output
+    ``y``.  The dense random next-state function makes the state vector
+    genuinely history-dependent, which is what makes preemption without
+    save/restore observable as corruption in the E6 experiment.
+    """
+    if n_states < 2 or n_inputs < 1:
+        raise ValueError("need n_states >= 2 and n_inputs >= 1")
+    rng = random.Random(seed)
+    state_bits = max(1, (n_states - 1).bit_length())
+    b = NetlistBuilder(f"fsm{n_states}s{n_inputs}i_s{seed}")
+    xs = b.input_bus("x", n_inputs)
+    s_names = [f"s{i}_ff" for i in range(state_bits)]
+    n_names = [f"ns{i}" for i in range(state_bits)]
+    for i in range(state_bits):
+        b.netlist.add(Cell(s_names[i], CellKind.DFF, (n_names[i],)))
+    support = s_names + xs
+    k = min(len(support), 4)
+    for i in range(state_bits):
+        fanin = rng.sample(support, k)
+        truth = rng.getrandbits(1 << k)
+        b.lut(truth, fanin, name=n_names[i])
+    out_fanin = rng.sample(support, k)
+    out_truth = rng.getrandbits(1 << k)
+    b.output("y", b.lut(out_truth, out_fanin))
+    return b.build()
+
+
+def moving_sum_fir(n_taps: int, width: int) -> Netlist:
+    """Transposed moving-sum FIR (all-ones coefficients) — the multimedia
+    filtering workload class (§5).
+
+    Input ``d[i]`` (a ``width``-bit sample per clock); output ``y[i]``
+    (``width + ceil(log2 n_taps)`` bits).  Heavy on both registers and
+    adders, so it stresses state saving *and* area simultaneously.
+    """
+    if n_taps < 2 or width < 1:
+        raise ValueError("need n_taps >= 2 and width >= 1")
+    b = NetlistBuilder(f"fir{n_taps}t{width}w")
+    out_width = width + (n_taps - 1).bit_length()
+    d_bits = b.input_bus("d", width)
+    zero = b.const(0)
+    d_ext = d_bits + [zero] * (out_width - width)
+    # Transposed form: y = d + z^-1(d + z^-1(d + ...)); each stage is a
+    # registered adder of the extended sample with the previous stage.
+    prev: List[str] = [zero] * out_width
+    for _ in range(n_taps - 1):
+        sums, _ = b.ripple_add(d_ext, prev)
+        prev = b.register_bus(sums)
+    sums, _ = b.ripple_add(d_ext, prev)
+    b.output_bus("y", sums)
+    return b.build()
+
+
+#: Name → factory registry used by workload generators in :mod:`repro.osim`.
+CIRCUIT_GENERATORS: Dict[str, object] = {
+    "barrel_shifter": barrel_shifter,
+    "kogge_stone_adder": kogge_stone_adder,
+    "priority_encoder": priority_encoder,
+    "gray_counter": gray_counter,
+    "johnson_counter": johnson_counter,
+    "ripple_adder": ripple_adder,
+    "array_multiplier": array_multiplier,
+    "comparator": comparator,
+    "parity_tree": parity_tree,
+    "alu": alu,
+    "random_logic": random_logic,
+    "counter": counter,
+    "lfsr": lfsr,
+    "shift_register": shift_register,
+    "serial_crc": serial_crc,
+    "accumulator": accumulator,
+    "moore_fsm": moore_fsm,
+    "moving_sum_fir": moving_sum_fir,
+}

@@ -1,0 +1,65 @@
+"""Netlist serialization (JSON-compatible dictionaries).
+
+Lets a library user save generated/synthesized circuits and reload them
+without re-running the generators — the "configuration files" a real
+VFPGA deployment would ship.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from .cells import Cell, CellKind
+from .netlist import Netlist
+
+__all__ = ["netlist_to_dict", "netlist_from_dict", "save_netlist", "load_netlist"]
+
+_FORMAT = "repro-netlist-v1"
+
+
+def netlist_to_dict(netlist: Netlist) -> Dict[str, Any]:
+    """Serialize; insertion order (and thus determinism) is preserved."""
+    return {
+        "format": _FORMAT,
+        "name": netlist.name,
+        "cells": [
+            {
+                "name": c.name,
+                "kind": c.kind.value,
+                "fanin": list(c.fanin),
+                **({"truth": c.truth} if c.kind is CellKind.LUT else {}),
+                **({"init": c.init} if c.init else {}),
+            }
+            for c in netlist.cells.values()
+        ],
+    }
+
+
+def netlist_from_dict(data: Dict[str, Any]) -> Netlist:
+    """Deserialize and validate."""
+    if data.get("format") != _FORMAT:
+        raise ValueError(f"not a {_FORMAT} document: {data.get('format')!r}")
+    nl = Netlist(data["name"])
+    for c in data["cells"]:
+        nl.add(
+            Cell(
+                c["name"],
+                CellKind(c["kind"]),
+                tuple(c["fanin"]),
+                truth=c.get("truth", 0),
+                init=c.get("init", 0),
+            )
+        )
+    nl.validate()
+    return nl
+
+
+def save_netlist(netlist: Netlist, path) -> None:
+    with open(path, "w") as fh:
+        json.dump(netlist_to_dict(netlist), fh, indent=1)
+
+
+def load_netlist(path) -> Netlist:
+    with open(path) as fh:
+        return netlist_from_dict(json.load(fh))

@@ -1,0 +1,104 @@
+"""Event-free gate-level logic simulator.
+
+Evaluates a netlist cycle by cycle: within a cycle every combinational cell
+is computed once in topological order; at the cycle boundary all DFFs latch
+their inputs simultaneously.  This is the golden reference the CAD flow's
+post-route verification compares against, and it also provides the state
+read/write hooks that model the paper's requirement that sequential circuits
+be *observable* and *controllable* for preemption (§3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping
+
+from .cells import CellKind, evaluate_kind
+from .netlist import Netlist
+
+__all__ = ["LogicSimulator"]
+
+
+class LogicSimulator:
+    """Cycle-accurate simulator for one netlist.
+
+    Parameters
+    ----------
+    netlist:
+        The circuit; validated on construction.
+    """
+
+    def __init__(self, netlist: Netlist) -> None:
+        netlist.validate()
+        self.netlist = netlist
+        self._order = [
+            c for c in netlist.topo_order()
+            if c.kind not in (CellKind.INPUT, CellKind.DFF)
+        ]
+        self._dffs = netlist.flipflops
+        self.state: Dict[str, int] = {ff.name: ff.init for ff in self._dffs}
+        self._input_names = [c.name for c in netlist.primary_inputs]
+        self._output_names = [c.name for c in netlist.primary_outputs]
+
+    # -- state observability / controllability (paper §3) -------------------
+    def read_state(self) -> Dict[str, int]:
+        """Observe all memory elements (a copy; safe to stash)."""
+        return dict(self.state)
+
+    def write_state(self, state: Mapping[str, int]) -> None:
+        """Control all memory elements — restore a previously read state."""
+        unknown = set(state) - set(self.state)
+        if unknown:
+            raise KeyError(f"unknown state elements: {sorted(unknown)[:5]}")
+        for name, value in state.items():
+            if value not in (0, 1):
+                raise ValueError(f"state bit {name!r} must be 0/1, got {value}")
+            self.state[name] = value
+
+    def reset(self) -> None:
+        """Return every DFF to its init value (the paper's roll-back)."""
+        self.state = {ff.name: ff.init for ff in self._dffs}
+
+    # -- evaluation -----------------------------------------------------------
+    def _settle(self, inputs: Mapping[str, int]) -> Dict[str, int]:
+        values: Dict[str, int] = dict(self.state)
+        for name in self._input_names:
+            try:
+                values[name] = inputs[name] & 1
+            except KeyError:
+                raise KeyError(f"missing stimulus for input {name!r}") from None
+        for cell in self._order:
+            operands = tuple(values[s] for s in cell.fanin)
+            values[cell.name] = evaluate_kind(cell.kind, operands, cell.truth)
+        return values
+
+    def evaluate(self, inputs: Mapping[str, int]) -> Dict[str, int]:
+        """Combinational evaluation: outputs for ``inputs`` and the current
+        state, *without* advancing the state."""
+        values = self._settle(inputs)
+        return {name: values[name] for name in self._output_names}
+
+    def step(self, inputs: Mapping[str, int]) -> Dict[str, int]:
+        """One clock cycle: evaluate, then latch all DFFs."""
+        values = self._settle(inputs)
+        self.state = {ff.name: values[ff.fanin[0]] for ff in self._dffs}
+        return {name: values[name] for name in self._output_names}
+
+    def run(self, stimulus: Iterable[Mapping[str, int]]) -> List[Dict[str, int]]:
+        """Apply a sequence of input maps; returns the per-cycle outputs."""
+        return [self.step(vec) for vec in stimulus]
+
+    # -- bus helpers ------------------------------------------------------------
+    @staticmethod
+    def pack_bus(prefix: str, value: int, width: int) -> Dict[str, int]:
+        """Little-endian word → per-bit stimulus map for ``prefix[i]`` nets."""
+        return {f"{prefix}[{i}]": (value >> i) & 1 for i in range(width)}
+
+    @staticmethod
+    def unpack_bus(outputs: Mapping[str, int], prefix: str) -> int:
+        """Per-bit outputs → little-endian integer for ``prefix[i]`` nets."""
+        value = 0
+        for name, bit in outputs.items():
+            if name.startswith(prefix + "["):
+                index = int(name[len(prefix) + 1 : -1])
+                value |= (bit & 1) << index
+        return value

@@ -1,0 +1,244 @@
+"""The :class:`Netlist` container and its structural queries.
+
+A netlist is a DAG of combinational cells plus D flip-flops.  Combinational
+cycles are illegal; cycles through DFFs are how sequential behaviour is
+expressed (the DFF output acts as a source for the combinational next-state
+logic, its input as a sink).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from typing import Dict, Iterable, List
+
+from .cells import Cell, CellKind
+
+__all__ = ["Netlist", "NetlistError"]
+
+
+class NetlistError(Exception):
+    """Structural error in a netlist."""
+
+
+class Netlist:
+    """A named collection of :class:`~repro.netlist.cells.Cell` objects.
+
+    Attributes
+    ----------
+    name:
+        Human-readable circuit name (used in bitstream / registry labels).
+    cells:
+        Mapping cell name → cell.  Insertion order is preserved and is the
+        construction order, which downstream passes use for determinism.
+    """
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise ValueError("netlist name must be non-empty")
+        self.name = name
+        self.cells: Dict[str, Cell] = {}
+        self._fanout: Dict[str, List[str]] | None = None
+
+    # -- construction ------------------------------------------------------
+    def add(self, cell: Cell) -> Cell:
+        """Insert ``cell``; duplicate names are an error."""
+        if cell.name in self.cells:
+            raise NetlistError(f"duplicate cell name {cell.name!r}")
+        self.cells[cell.name] = cell
+        self._fanout = None
+        return cell
+
+    def replace(self, cell: Cell) -> Cell:
+        """Replace the cell with the same name (used by CAD rewrites)."""
+        if cell.name not in self.cells:
+            raise NetlistError(f"replace() of unknown cell {cell.name!r}")
+        self.cells[cell.name] = cell
+        self._fanout = None
+        return cell
+
+    # -- queries -----------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.cells
+
+    def __getitem__(self, name: str) -> Cell:
+        return self.cells[name]
+
+    @property
+    def primary_inputs(self) -> List[Cell]:
+        return [c for c in self.cells.values() if c.kind is CellKind.INPUT]
+
+    @property
+    def primary_outputs(self) -> List[Cell]:
+        return [c for c in self.cells.values() if c.kind is CellKind.OUTPUT]
+
+    @property
+    def flipflops(self) -> List[Cell]:
+        return [c for c in self.cells.values() if c.kind is CellKind.DFF]
+
+    @property
+    def state_bits(self) -> int:
+        """Number of memory elements — the quantity the paper's state
+        save/restore cost scales with."""
+        return sum(1 for c in self.cells.values() if c.kind is CellKind.DFF)
+
+    @property
+    def io_count(self) -> int:
+        return len(self.primary_inputs) + len(self.primary_outputs)
+
+    def fanout(self, name: str) -> List[str]:
+        """Names of cells reading ``name``'s output."""
+        if self._fanout is None:
+            table: Dict[str, List[str]] = defaultdict(list)
+            for cell in self.cells.values():
+                for src in cell.fanin:
+                    table[src].append(cell.name)
+            self._fanout = dict(table)
+        return self._fanout.get(name, [])
+
+    # -- structure ---------------------------------------------------------
+    def validate(self) -> None:
+        """Raise :class:`NetlistError` on dangling fanin, combinational
+        cycles, or useless primary outputs."""
+        for cell in self.cells.values():
+            for src in cell.fanin:
+                if src not in self.cells:
+                    raise NetlistError(
+                        f"cell {cell.name!r} reads undefined net {src!r}"
+                    )
+                if self.cells[src].kind is CellKind.OUTPUT:
+                    raise NetlistError(
+                        f"cell {cell.name!r} reads primary output {src!r}"
+                    )
+        # Detect combinational cycles via Kahn's algorithm on the
+        # combinational sub-graph (DFF outputs act as sources).
+        self.topo_order()
+
+    def topo_order(self) -> List[Cell]:
+        """Topological order of the combinational evaluation graph.
+
+        Sources (INPUT, CONST*, DFF) come first; DFF *inputs* are edges into
+        the DFF cell but the DFF's own output does not propagate within the
+        same combinational pass.  Raises on combinational cycles.
+        """
+        indeg: Dict[str, int] = {}
+        for cell in self.cells.values():
+            if cell.kind in (CellKind.INPUT, CellKind.CONST0, CellKind.CONST1, CellKind.DFF):
+                indeg[cell.name] = 0
+            else:
+                indeg[cell.name] = len(cell.fanin)
+        # Edges from DFFs count as satisfied (state is available at cycle start).
+        for cell in self.cells.values():
+            if indeg[cell.name] == 0:
+                continue
+            for src in cell.fanin:
+                src_cell = self.cells.get(src)
+                if src_cell is not None and src_cell.kind is CellKind.DFF:
+                    indeg[cell.name] -= 1
+        ready = deque(
+            name for name, d in indeg.items() if d == 0
+        )
+        order: List[Cell] = []
+        seen = 0
+        while ready:
+            name = ready.popleft()
+            order.append(self.cells[name])
+            seen += 1
+            for reader in self.fanout(name):
+                reader_cell = self.cells[reader]
+                if reader_cell.kind is CellKind.DFF:
+                    continue  # DFF consumes the value but is already "ready"
+                indeg[reader] -= 1
+                if indeg[reader] == 0:
+                    ready.append(reader)
+        # DFFs that were never appended (no readers path) are sources and
+        # were enqueued above; check completeness.
+        if seen != len(self.cells):
+            missing = sorted(set(self.cells) - {c.name for c in order})
+            raise NetlistError(
+                f"combinational cycle involving cells: {missing[:8]}"
+                + ("…" if len(missing) > 8 else "")
+            )
+        return order
+
+    def logic_depth(self) -> int:
+        """Longest combinational path length, in cells (excluding
+        sources/sinks).  Used as a first-order delay estimate."""
+        depth: Dict[str, int] = {}
+        for cell in self.topo_order():
+            if cell.kind in (CellKind.INPUT, CellKind.CONST0, CellKind.CONST1, CellKind.DFF):
+                depth[cell.name] = 0
+            else:
+                base = max((depth[s] for s in cell.fanin), default=0)
+                cost = 0 if cell.kind is CellKind.OUTPUT else 1
+                depth[cell.name] = base + cost
+        return max(depth.values(), default=0)
+
+    def subcircuit(self, cell_names: Iterable[str], name: str) -> "Netlist":
+        """Extract the cells in ``cell_names`` as a new netlist.
+
+        Cut nets (fanin coming from outside the set) become new primary
+        inputs; cells whose output is read outside get a new primary
+        output.  This is how :mod:`repro.core.segmentation` carves a large
+        function into self-contained sub-functions.
+        """
+        chosen = set(cell_names)
+        unknown = chosen - set(self.cells)
+        if unknown:
+            raise NetlistError(f"subcircuit: unknown cells {sorted(unknown)[:5]}")
+        sub = Netlist(name)
+        # New boundary inputs for cut fanin nets.
+        for cname in self.cells:  # preserve deterministic order
+            if cname not in chosen:
+                continue
+            cell = self.cells[cname]
+            for src in cell.fanin:
+                if src not in chosen and src not in sub.cells:
+                    sub.add(Cell(src, CellKind.INPUT))
+        for cname in self.cells:
+            if cname in chosen:
+                sub.add(self.cells[cname])
+        # Boundary outputs for internally driven nets read outside.
+        for cname in self.cells:
+            if cname not in chosen:
+                continue
+            cell = self.cells[cname]
+            if cell.kind is CellKind.OUTPUT:
+                continue
+            if any(reader not in chosen for reader in self.fanout(cname)):
+                out_name = f"{cname}__cut_out"
+                if out_name not in sub.cells:
+                    sub.add(Cell(out_name, CellKind.OUTPUT, (cname,)))
+        sub.validate()
+        return sub
+
+    def merged_with(self, other: "Netlist", name: str) -> "Netlist":
+        """Disjoint union of two netlists with prefixed cell names.
+
+        This implements the paper's "trivial solution": merging all circuits
+        into one configuration when the device is large enough (§3).
+        """
+        merged = Netlist(name)
+        for nl in (self, other):
+            prefix = f"{nl.name}."
+            for cell in nl.cells.values():
+                merged.add(
+                    Cell(
+                        prefix + cell.name,
+                        cell.kind,
+                        tuple(prefix + s for s in cell.fanin),
+                        truth=cell.truth,
+                        init=cell.init,
+                    )
+                )
+        merged.validate()
+        return merged
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Netlist {self.name!r}: {len(self.cells)} cells, "
+            f"{len(self.primary_inputs)}i/{len(self.primary_outputs)}o, "
+            f"{self.state_bits} FFs>"
+        )

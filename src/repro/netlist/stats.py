@@ -1,0 +1,62 @@
+"""Structural statistics over netlists.
+
+These feed the VFPGA manager's admission decisions (does the circuit fit a
+partition?) and the experiment tables (circuit size columns).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict
+
+from .cells import CellKind
+from .netlist import Netlist
+
+__all__ = ["NetlistStats", "netlist_stats"]
+
+
+@dataclass(frozen=True)
+class NetlistStats:
+    """Summary of one netlist's structure."""
+
+    name: str
+    n_cells: int
+    n_gates: int          #: combinational cells (excl. BUF)
+    n_luts: int           #: cells already in LUT form
+    n_ffs: int            #: memory elements (state bits, paper §3)
+    n_inputs: int
+    n_outputs: int
+    depth: int            #: longest combinational path, in cells
+    kind_histogram: Dict[str, int]
+
+    @property
+    def io_count(self) -> int:
+        return self.n_inputs + self.n_outputs
+
+    def __str__(self) -> str:
+        return (
+            f"{self.name}: {self.n_gates} gates, {self.n_ffs} FFs, "
+            f"{self.n_inputs}i/{self.n_outputs}o, depth {self.depth}"
+        )
+
+
+def netlist_stats(netlist: Netlist) -> NetlistStats:
+    """Compute :class:`NetlistStats` for ``netlist``."""
+    hist = Counter(cell.kind.value for cell in netlist.cells.values())
+    n_gates = sum(
+        1
+        for c in netlist.cells.values()
+        if c.is_combinational and c.kind is not CellKind.BUF
+    )
+    return NetlistStats(
+        name=netlist.name,
+        n_cells=len(netlist),
+        n_gates=n_gates,
+        n_luts=hist.get(CellKind.LUT.value, 0),
+        n_ffs=netlist.state_bits,
+        n_inputs=len(netlist.primary_inputs),
+        n_outputs=len(netlist.primary_outputs),
+        depth=netlist.logic_depth(),
+        kind_histogram=dict(hist),
+    )

@@ -1,0 +1,46 @@
+"""Simulated multitasking operating system.
+
+Tasks (CPU bursts ↔ FPGA operations), CPU schedulers, a policy-free kernel
+and the :class:`FpgaService` boundary behind which :mod:`repro.core`
+implements every VFPGA strategy of the paper.
+"""
+
+from .kernel import DeadlockError, Kernel
+from .scheduler import Fifo, PriorityScheduler, RoundRobin, Scheduler
+from .syscalls import FpgaService, NullFpgaService, SyscallError
+from .task import CpuBurst, FpgaOp, Step, Task, TaskAccounting, TaskState
+from .trace import RunStats, Trace, TraceEvent, run_stats
+from .workload import (
+    alternating_task,
+    bursty_arrivals,
+    uniform_workload,
+    zipf_index,
+    zipf_workload,
+)
+
+__all__ = [
+    "CpuBurst",
+    "DeadlockError",
+    "Fifo",
+    "FpgaOp",
+    "FpgaService",
+    "Kernel",
+    "NullFpgaService",
+    "PriorityScheduler",
+    "RoundRobin",
+    "RunStats",
+    "Scheduler",
+    "Step",
+    "SyscallError",
+    "Task",
+    "TaskAccounting",
+    "TaskState",
+    "Trace",
+    "TraceEvent",
+    "alternating_task",
+    "bursty_arrivals",
+    "run_stats",
+    "uniform_workload",
+    "zipf_index",
+    "zipf_workload",
+]

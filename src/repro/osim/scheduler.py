@@ -1,0 +1,89 @@
+"""CPU scheduling policies for the simulated kernel.
+
+The kernel asks the scheduler two things: which ready task to dispatch
+next, and how long its quantum is.  Three classic policies are provided;
+the paper's observation that a non-preemptable FPGA "implicitly forces the
+scheduling to a strictly FIFO policy" (§4) is tested by comparing runs
+under :class:`RoundRobin` with different FPGA services.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import List, Optional
+
+from .task import Task
+
+__all__ = ["Scheduler", "RoundRobin", "Fifo", "PriorityScheduler"]
+
+
+class Scheduler(ABC):
+    """Ready-queue policy."""
+
+    def __init__(self) -> None:
+        self._ready: List[Task] = []
+
+    # -- queue ops ----------------------------------------------------------
+    def enqueue(self, task: Task) -> None:
+        self._ready.append(task)
+
+    def __len__(self) -> int:
+        return len(self._ready)
+
+    @property
+    def ready_tasks(self) -> List[Task]:
+        return list(self._ready)
+
+    @abstractmethod
+    def pick(self) -> Optional[Task]:
+        """Remove and return the next task to run (None if idle)."""
+
+    @abstractmethod
+    def quantum(self, task: Task) -> float:
+        """CPU time slice granted to ``task`` (inf = run burst to end)."""
+
+
+class RoundRobin(Scheduler):
+    """Time-shared FIFO with a fixed quantum — the paper's time-shared
+    multitasking baseline."""
+
+    def __init__(self, time_slice: float = 10e-3) -> None:
+        super().__init__()
+        if time_slice <= 0:
+            raise ValueError("time_slice must be positive")
+        self.time_slice = time_slice
+
+    def pick(self) -> Optional[Task]:
+        return self._ready.pop(0) if self._ready else None
+
+    def quantum(self, task: Task) -> float:
+        return self.time_slice
+
+
+class Fifo(Scheduler):
+    """Run-to-completion batch scheduling (each CPU burst runs whole)."""
+
+    def pick(self) -> Optional[Task]:
+        return self._ready.pop(0) if self._ready else None
+
+    def quantum(self, task: Task) -> float:
+        return float("inf")
+
+
+class PriorityScheduler(Scheduler):
+    """Preemptionless static priorities with round-robin inside a level."""
+
+    def __init__(self, time_slice: float = 10e-3) -> None:
+        super().__init__()
+        if time_slice <= 0:
+            raise ValueError("time_slice must be positive")
+        self.time_slice = time_slice
+
+    def pick(self) -> Optional[Task]:
+        if not self._ready:
+            return None
+        best = min(range(len(self._ready)), key=lambda i: (self._ready[i].priority, i))
+        return self._ready.pop(best)
+
+    def quantum(self, task: Task) -> float:
+        return self.time_slice

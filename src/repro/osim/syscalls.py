@@ -1,0 +1,67 @@
+"""The OS ↔ FPGA-service boundary.
+
+The paper folds FPGA management into the operating system "exactly as the
+operating system does for all the other shared resources" (§3).  Here that
+boundary is :class:`FpgaService`: the kernel is policy-free and delegates
+every FPGA operation to a service implementation.  All the paper's
+virtualization strategies (dynamic loading, partitioning, overlaying,
+segmentation, pagination) are drop-in :class:`FpgaService` subclasses in
+:mod:`repro.core` — swapping policies never touches kernel code.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING
+
+from .task import FpgaOp, Task
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .kernel import Kernel
+
+__all__ = ["FpgaService", "NullFpgaService", "SyscallError"]
+
+
+class SyscallError(Exception):
+    """A task invoked the FPGA service illegally (e.g. undeclared config)."""
+
+
+class FpgaService(ABC):
+    """Policy object the kernel delegates FPGA operations to.
+
+    Lifecycle: the kernel calls :meth:`attach` once, then
+    :meth:`register_task` at each task's admission (the ``fopen``-style
+    declaration), :meth:`execute` for every :class:`FpgaOp` (as a simulation
+    process — it may wait for partitions, charge reconfiguration time and so
+    on), :meth:`on_dispatch` at every context switch to the task, and
+    :meth:`on_task_exit` when the task finishes.
+    """
+
+    def attach(self, kernel: "Kernel") -> None:
+        """Called once when the kernel is constructed."""
+        self.kernel = kernel
+
+    def register_task(self, task: Task) -> None:
+        """Declare the task's configurations in the OS tables."""
+
+    def on_dispatch(self, task: Task) -> None:
+        """Hook at every context switch to ``task`` (eager loaders use it)."""
+
+    def on_task_exit(self, task: Task) -> None:
+        """The task finished; release anything it held."""
+
+    @abstractmethod
+    def execute(self, task: Task, op: FpgaOp):
+        """Simulation-process body (a generator) performing ``op`` for
+        ``task``; returns when the operation's results are available."""
+
+
+class NullFpgaService(FpgaService):
+    """Executes FPGA ops in zero time — for kernel-only tests."""
+
+    def execute(self, task: Task, op: FpgaOp):
+        if op.config not in task.configs:
+            raise SyscallError(
+                f"task {task.name!r} uses undeclared config {op.config!r}"
+            )
+        yield self.kernel.sim.timeout(0)

@@ -1,0 +1,132 @@
+"""Workload generators: reproducible task mixes for the experiments.
+
+The paper argues qualitatively over application classes (multimedia
+codecs, telecom encoders, device drivers, embedded diagnostics, §5);
+these builders produce the corresponding task populations with seeded
+randomness so every benchmark table regenerates identically.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence
+
+from .task import CpuBurst, FpgaOp, Step, Task
+
+__all__ = [
+    "alternating_task",
+    "uniform_workload",
+    "zipf_workload",
+    "bursty_arrivals",
+    "zipf_index",
+]
+
+
+def alternating_task(
+    name: str,
+    config: str,
+    n_ops: int,
+    cpu_burst: float,
+    cycles: int,
+    arrival: float = 0.0,
+    io_words: int = 0,
+    priority: int = 0,
+    configs: Optional[Sequence[str]] = None,
+) -> Task:
+    """The canonical paper task: compute on the CPU, offload, repeat.
+
+    ``n_ops`` FPGA operations on ``config``, separated (and preceded) by
+    ``cpu_burst``-second CPU sections.
+    """
+    program: List[Step] = []
+    for _ in range(n_ops):
+        program.append(CpuBurst(cpu_burst))
+        program.append(FpgaOp(config, cycles, io_words=io_words))
+    program.append(CpuBurst(cpu_burst))
+    return Task(name, program, configs=configs, arrival=arrival, priority=priority)
+
+
+def uniform_workload(
+    config_names: Sequence[str],
+    n_tasks: int,
+    ops_per_task: int,
+    cpu_burst: float,
+    cycles: int,
+    seed: int = 0,
+    arrival_spread: float = 0.0,
+    io_words: int = 0,
+) -> List[Task]:
+    """``n_tasks`` alternating tasks, configurations assigned round-robin,
+    arrivals uniform in ``[0, arrival_spread]`` (seeded)."""
+    if not config_names:
+        raise ValueError("need at least one configuration")
+    rng = random.Random(seed)
+    tasks = []
+    for i in range(n_tasks):
+        config = config_names[i % len(config_names)]
+        arrival = rng.uniform(0, arrival_spread) if arrival_spread else 0.0
+        tasks.append(
+            alternating_task(
+                f"task{i}", config, ops_per_task, cpu_burst, cycles,
+                arrival=arrival, io_words=io_words,
+            )
+        )
+    return tasks
+
+
+def zipf_index(rng: random.Random, n: int, s: float = 1.2) -> int:
+    """Sample an index in ``[0, n)`` with Zipf(s) popularity (0 hottest)."""
+    weights = [1.0 / (i + 1) ** s for i in range(n)]
+    total = sum(weights)
+    x = rng.uniform(0, total)
+    acc = 0.0
+    for i, w in enumerate(weights):
+        acc += w
+        if x <= acc:
+            return i
+    return n - 1
+
+
+def zipf_workload(
+    config_names: Sequence[str],
+    n_tasks: int,
+    ops_per_task: int,
+    cpu_burst: float,
+    cycles: int,
+    seed: int = 0,
+    s: float = 1.2,
+    arrival_spread: float = 0.0,
+) -> List[Task]:
+    """Tasks whose per-op configuration follows a Zipf popularity law —
+    the overlaying scenario (§2): a few functions are hot, the rest are
+    rarely used."""
+    rng = random.Random(seed)
+    tasks = []
+    for i in range(n_tasks):
+        program: List[Step] = []
+        used: Dict[str, None] = {}
+        for _ in range(ops_per_task):
+            config = config_names[zipf_index(rng, len(config_names), s)]
+            used[config] = None
+            program.append(CpuBurst(cpu_burst))
+            program.append(FpgaOp(config, cycles))
+        program.append(CpuBurst(cpu_burst))
+        arrival = rng.uniform(0, arrival_spread) if arrival_spread else 0.0
+        tasks.append(
+            Task(f"task{i}", program, configs=list(used), arrival=arrival)
+        )
+    return tasks
+
+
+def bursty_arrivals(
+    tasks: Sequence[Task], burst_gap: float, burst_size: int
+) -> List[Task]:
+    """Rewrite arrivals into bursts of ``burst_size`` tasks every
+    ``burst_gap`` seconds (the churn driver of the fragmentation
+    experiment E5)."""
+    out = []
+    for i, task in enumerate(tasks):
+        task.arrival = (i // burst_size) * burst_gap
+        task.accounting.arrival = task.arrival
+        out.append(task)
+    return out

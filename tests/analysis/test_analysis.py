@@ -1,0 +1,115 @@
+"""Tests for the analysis harness."""
+
+import pytest
+
+from repro.analysis import (
+    crossover_x,
+    fmt_pct,
+    fmt_ratio,
+    fmt_time,
+    format_series,
+    format_table,
+    geometric_mean,
+    summarize,
+    sweep,
+)
+
+
+class TestFormatters:
+    def test_fmt_time_scales(self):
+        assert fmt_time(0) == "0"
+        assert fmt_time(3e-9) == "3.0ns"
+        assert fmt_time(4.5e-6) == "4.5us"
+        assert fmt_time(12e-3) == "12.00ms"
+        assert fmt_time(2.0) == "2.000s"
+
+    def test_fmt_pct_ratio(self):
+        assert fmt_pct(0.1234) == "12.3%"
+        assert fmt_ratio(2.5) == "2.50x"
+
+
+class TestTable:
+    def test_alignment_and_columns(self):
+        rows = [{"a": 1, "b": "xx"}, {"a": 22, "b": "y"}]
+        out = format_table(rows, title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert len(lines) == 5
+
+    def test_explicit_column_order(self):
+        rows = [{"a": 1, "b": 2}]
+        out = format_table(rows, columns=["b", "a"])
+        assert out.splitlines()[0].index("b") < out.splitlines()[0].index("a")
+
+    def test_empty(self):
+        assert "(no rows)" in format_table([], title="empty")
+
+    def test_missing_cell_blank(self):
+        out = format_table([{"a": 1}, {"a": 2, "b": 3}], columns=["a", "b"])
+        assert out  # no crash
+
+
+class TestSeries:
+    def test_bars_proportional(self):
+        out = format_series([1, 2], [1.0, 2.0], width=10)
+        lines = out.splitlines()
+        assert lines[-1].count("#") == 10
+        assert lines[-2].count("#") == 5
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_series([1], [1.0, 2.0])
+
+    def test_all_zero_safe(self):
+        assert format_series([1], [0.0])
+
+
+class TestStats:
+    def test_summary(self):
+        s = summarize([1.0, 2.0, 3.0])
+        assert s.mean == 2.0 and s.min == 1.0 and s.max == 3.0 and s.n == 3
+
+    def test_summary_empty(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            geometric_mean([0.0, 1.0])
+
+    def test_crossover_found(self):
+        xs = [0, 1, 2, 3]
+        ya = [0, 1, 2, 3]        # grows
+        yb = [2, 2, 2, 2]        # flat
+        x = crossover_x(xs, ya, yb)
+        assert x == pytest.approx(2.0)
+
+    def test_crossover_none(self):
+        assert crossover_x([0, 1], [0, 0], [1, 1]) is None
+
+    def test_crossover_length_check(self):
+        with pytest.raises(ValueError):
+            crossover_x([0], [0, 1], [0, 1])
+
+
+class TestSweep:
+    def test_collects_rows(self):
+        res = sweep("n", [1, 2, 3], lambda n: {"sq": n * n})
+        assert res.xs() == [1, 2, 3]
+        assert res.column("sq") == [1, 4, 9]
+        assert all(r["outcome"] == "ok" for r in res)
+
+    def test_expected_errors_become_outcomes(self):
+        def run(n):
+            if n == 2:
+                raise RuntimeError("starved")
+            return {"v": n}
+
+        res = sweep("n", [1, 2, 3], run, expected_errors=(RuntimeError,))
+        assert res.column("outcome") == ["ok", "RuntimeError", "ok"]
+
+    def test_unexpected_error_propagates(self):
+        with pytest.raises(KeyError):
+            sweep("n", [1], lambda n: (_ for _ in ()).throw(KeyError("x")))

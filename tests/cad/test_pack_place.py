@@ -1,0 +1,121 @@
+"""Packing and placement tests."""
+
+import pytest
+
+from repro.cad import (
+    PackError,
+    PlacementError,
+    hpwl,
+    nets_of,
+    pack,
+    place,
+    technology_map,
+)
+from repro.cad.pack import IDENTITY_TRUTH
+from repro.device import Rect
+from repro.netlist import NetlistBuilder, counter, ripple_adder, serial_crc
+
+
+def mapped(nl, k=4):
+    return technology_map(nl, k)
+
+
+class TestPack:
+    def test_ble_count_at_most_luts_plus_ffs(self):
+        nl = mapped(serial_crc(8, 0x07))
+        design = pack(nl, 4)
+        n_luts = sum(1 for c in nl.cells.values() if c.kind.value == "lut")
+        n_ffs = nl.state_bits
+        assert n_ffs <= design.n_clbs <= n_luts + n_ffs
+
+    def test_lut_ff_fusion(self):
+        """A LUT feeding only a DFF shares the DFF's CLB."""
+        design = pack(mapped(counter(4)), 4)
+        fused = [b for b in design.bles if b.registered and b.lut_truth != IDENTITY_TRUTH]
+        assert fused, "expected at least one fused LUT+FF BLE"
+
+    def test_shared_driver_gets_passthrough(self):
+        b = NetlistBuilder("shared")
+        x = b.input("x")
+        g = b.not_(x, name="g")
+        b.dff(g, name="q")
+        b.output("y", g)  # g is read by both the DFF and the output
+        design = pack(mapped(b.build()), 4)
+        ble_q = next(ble for ble in design.bles if ble.name == "q")
+        assert ble_q.lut_truth == IDENTITY_TRUTH
+        assert ble_q.lut_inputs == ("g",)
+
+    def test_input_to_output_feedthrough(self):
+        b = NetlistBuilder("feed")
+        x = b.input("x")
+        b.output("y", x)
+        design = pack(mapped(b.build()), 4)
+        assert design.outputs["y"].endswith("__feed")
+        assert design.n_clbs == 1
+
+    def test_state_bit_names(self):
+        design = pack(mapped(counter(3)), 4)
+        assert sorted(design.state_bit_names) == ["q0_ff", "q1_ff", "q2_ff"]
+
+    def test_nets_of(self):
+        design = pack(mapped(ripple_adder(2)), 4)
+        nets = nets_of(design)
+        for src, sinks in nets.items():
+            assert sinks, f"net {src} has no sinks"
+
+    def test_validate_catches_unknown_net(self):
+        design = pack(mapped(ripple_adder(2)), 4)
+        design.outputs["bogus"] = "ghost_net"
+        with pytest.raises(PackError, match="unknown net"):
+            design.validate()
+
+
+class TestPlace:
+    def test_fits_and_valid(self):
+        design = pack(mapped(ripple_adder(3)), 4)
+        pl = place(design, Rect(0, 0, 4, 4), seed=0, effort="greedy")
+        pl.validate()
+        assert len(pl.coords) == design.n_clbs
+
+    def test_too_small_region_raises(self):
+        design = pack(mapped(ripple_adder(4)), 4)
+        with pytest.raises(PlacementError, match="needs"):
+            place(design, Rect(0, 0, 2, 2))
+
+    def test_exact_fit(self):
+        design = pack(mapped(counter(3)), 4)  # 4 BLEs
+        pl = place(design, Rect(0, 0, 2, 2), seed=0, effort="greedy")
+        pl.validate()
+
+    def test_sa_not_worse_than_greedy(self):
+        design = pack(mapped(ripple_adder(4)), 4)
+        region = Rect(0, 0, 6, 6)
+        greedy = place(design, region, seed=3, effort="greedy")
+        sa = place(design, region, seed=3, effort="sa")
+        assert sa.wirelength() <= greedy.wirelength()
+
+    def test_sa_deterministic(self):
+        design = pack(mapped(ripple_adder(4)), 4)
+        region = Rect(0, 0, 6, 6)
+        a = place(design, region, seed=7, effort="sa")
+        b = place(design, region, seed=7, effort="sa")
+        assert a.coords == b.coords
+
+    def test_region_offset_respected(self):
+        design = pack(mapped(counter(3)), 4)
+        region = Rect(3, 2, 3, 3)
+        pl = place(design, region, seed=0)
+        assert all(region.contains(c) for c in pl.coords.values())
+
+    def test_unknown_effort_rejected(self):
+        design = pack(mapped(counter(3)), 4)
+        with pytest.raises(ValueError):
+            place(design, Rect(0, 0, 4, 4), effort="quantum")
+
+    def test_hpwl_zero_for_single_ble(self):
+        b = NetlistBuilder("one")
+        x = b.input("x")
+        b.output("y", b.not_(x))
+        design = pack(mapped(b.build()), 4)
+        pl = place(design, Rect(0, 0, 2, 2), effort="greedy")
+        assert hpwl(design, pl.coords) == 0

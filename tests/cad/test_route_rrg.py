@@ -1,0 +1,161 @@
+"""Routing-graph and router tests."""
+
+import pytest
+
+from repro.cad import NetSpec, Router, RoutingError, RoutingGraph
+from repro.device import Architecture, Coord, Rect, Wire, wires_in_region
+
+
+@pytest.fixture
+def arch():
+    return Architecture("t", 6, 6, k=4, channel_width=4)
+
+
+class TestRoutingGraph:
+    def test_full_device_node_count(self, arch):
+        g = RoutingGraph(arch)
+        n_h = (arch.height + 1) * arch.width * arch.channel_width
+        n_v = (arch.width + 1) * arch.height * arch.channel_width
+        n_long = (arch.height + 1 + arch.width + 1) * arch.long_per_channel
+        assert g.n_wires == n_h + n_v + n_long
+
+    def test_pads_appended(self, arch):
+        g = RoutingGraph(arch, include_pads=True)
+        assert len(g) == g.n_wires + arch.n_pins
+        assert not g.is_wire(g.n_wires)
+
+    def test_region_scope_excludes_outside_wires(self, arch):
+        region = Rect(1, 1, 3, 3)
+        g = RoutingGraph(arch, region=region)
+        assert set(g.nodes) == set(wires_in_region(arch, region))
+
+    def test_region_with_pads_rejected(self, arch):
+        with pytest.raises(ValueError):
+            RoutingGraph(arch, region=Rect(0, 0, 2, 2), include_pads=True)
+
+    def test_adjacency_symmetric(self, arch):
+        g = RoutingGraph(arch)
+        for a in range(0, len(g), 17):
+            for b, _edge in g.adj[a]:
+                assert any(x == a for x, _ in g.adj[b])
+
+    def test_disjoint_switchboxes_keep_track(self, arch):
+        """Edges only connect same-track wires (track-plane property)."""
+        g = RoutingGraph(arch)
+        for a in range(g.n_wires):
+            wa = g.nodes[a]
+            for b, edge in g.adj[a]:
+                if edge[0] == "sw":
+                    assert g.nodes[b].t == wa.t
+
+    def test_wire_id_lookup(self, arch):
+        g = RoutingGraph(arch)
+        w = Wire("H", 0, 0, 0)
+        assert g.nodes[g.wire_id(w)] == w
+        with pytest.raises(KeyError):
+            RoutingGraph(arch, region=Rect(0, 0, 2, 2)).wire_id(Wire("H", 5, 5, 0))
+
+
+class TestRouter:
+    def test_wire_to_wire_same_track(self, arch):
+        g = RoutingGraph(arch)
+        r = Router(g)
+        net = NetSpec(
+            "n", ("wire", Wire("H", 0, 0, 1)), [("wire", Wire("H", 4, 0, 1))]
+        )
+        routed = r.route([net])["n"]
+        assert g.wire_id(Wire("H", 0, 0, 1)) in routed.nodes
+        assert g.wire_id(Wire("H", 4, 0, 1)) in routed.nodes
+        assert routed.switches  # must pass through switch boxes
+
+    def test_cross_track_unreachable(self, arch):
+        """Disjoint boxes: a fixed wire source cannot reach another track."""
+        g = RoutingGraph(arch)
+        r = Router(g, max_iterations=2)
+        net = NetSpec(
+            "n", ("wire", Wire("H", 0, 0, 0)), [("wire", Wire("H", 4, 0, 1))]
+        )
+        with pytest.raises(RoutingError):
+            r.route([net])
+
+    def test_clb_source_to_pin_sink(self, arch):
+        g = RoutingGraph(arch)
+        r = Router(g)
+        net = NetSpec("n", ("clb", Coord(1, 1)), [("clbpin", Coord(4, 4), 2)])
+        routed = r.route([net])["n"]
+        assert routed.source_taps
+        assert ("clbpin", Coord(4, 4), 2) in routed.sink_taps
+
+    def test_multi_sink_tree_shares_wires(self, arch):
+        g = RoutingGraph(arch)
+        r = Router(g)
+        net = NetSpec(
+            "n",
+            ("clb", Coord(0, 0)),
+            [("clbpin", Coord(5, 0), 0), ("clbpin", Coord(5, 1), 0)],
+        )
+        routed = r.route([net])["n"]
+        # A tree, not two disjoint paths: fewer wires than the sum of two
+        # independent routes of length ~6.
+        assert len(routed.nodes) < 14
+
+    def test_congestion_resolves(self, arch):
+        """Many nets across the same cut must spread over tracks."""
+        g = RoutingGraph(arch)
+        r = Router(g)
+        nets = [
+            NetSpec(
+                f"n{i}", ("clb", Coord(0, i)), [("clbpin", Coord(5, i), 0)]
+            )
+            for i in range(4)
+        ]
+        routed = r.route(nets)
+        used = {}
+        for rn in routed.values():
+            for nid in rn.nodes:
+                assert used.setdefault(nid, rn.name) == rn.name, "wire shared"
+
+    def test_occupancy_legal_after_route(self, arch):
+        g = RoutingGraph(arch)
+        r = Router(g)
+        nets = [
+            NetSpec(f"n{i}", ("clb", Coord(i, 0)), [("clbpin", Coord(i, 5), 0)])
+            for i in range(5)
+        ]
+        r.route(nets)
+        assert all(o <= 1 for o in r.occupancy)
+
+    def test_duplicate_net_names_rejected(self, arch):
+        g = RoutingGraph(arch)
+        r = Router(g)
+        net = NetSpec("n", ("clb", Coord(0, 0)), [("clbpin", Coord(1, 1), 0)])
+        with pytest.raises(ValueError):
+            r.route([net, net])
+
+    def test_pad_source_and_sink(self, arch):
+        from repro.device import iob_sites
+
+        g = RoutingGraph(arch, include_pads=True)
+        r = Router(g)
+        sites = iob_sites(arch)
+        net = NetSpec("n", ("pad", sites[0]), [("pad", sites[-1])])
+        routed = r.route([net])["n"]
+        assert sites[0] in routed.pad_taps
+        assert sites[-1] in routed.pad_taps
+
+    def test_sink_path_stats_monotone(self, arch):
+        """A farther sink accumulates at least as many wires."""
+        g = RoutingGraph(arch)
+        r = Router(g)
+        near = ("clbpin", Coord(1, 0), 0)
+        far = ("clbpin", Coord(5, 0), 0)
+        net = NetSpec("n", ("clb", Coord(0, 0)), [near, far])
+        routed = r.route([net])["n"]
+        assert routed.sink_path_stats[far][0] >= routed.sink_path_stats[near][0]
+
+    def test_source_wire_outside_scope_raises(self, arch):
+        g = RoutingGraph(arch, region=Rect(0, 0, 2, 2))
+        r = Router(g)
+        net = NetSpec("n", ("wire", Wire("H", 5, 5, 0)), [("clbpin", Coord(0, 0), 0)])
+        with pytest.raises(RoutingError, match="outside scope"):
+            r.route([net])

@@ -1,0 +1,173 @@
+"""Technology-mapping tests: truth-table math and functional preservation."""
+
+import random
+
+import pytest
+
+from repro.cad import TechmapError, absorb_fanin, check_mapped, gate_truth, technology_map
+from repro.netlist import (
+    Cell,
+    CellKind,
+    LogicSimulator,
+    Netlist,
+    NetlistBuilder,
+    alu,
+    comparator,
+    moore_fsm,
+    random_logic,
+    ripple_adder,
+    serial_crc,
+)
+
+rng = random.Random(99)
+
+
+class TestGateTruth:
+    def test_and2(self):
+        assert gate_truth(CellKind.AND, ["a", "b"], ["a", "b"]) == 0b1000
+
+    def test_or2(self):
+        assert gate_truth(CellKind.OR, ["a", "b"], ["a", "b"]) == 0b1110
+
+    def test_xor3(self):
+        truth = gate_truth(CellKind.XOR, ["a", "b", "c"], ["a", "b", "c"])
+        assert truth == 0b10010110
+
+    def test_duplicate_pins_collapse(self):
+        # XOR(a, a) == 0 over support [a]
+        assert gate_truth(CellKind.XOR, ["a"], ["a", "a"]) == 0b00
+        # AND(a, a) == a
+        assert gate_truth(CellKind.AND, ["a"], ["a", "a"]) == 0b10
+
+    def test_mux(self):
+        truth = gate_truth(CellKind.MUX, ["s", "a", "b"], ["s", "a", "b"])
+        for s in (0, 1):
+            for a in (0, 1):
+                for b in (0, 1):
+                    idx = s | (a << 1) | (b << 2)
+                    assert ((truth >> idx) & 1) == (b if s else a)
+
+
+class TestAbsorb:
+    def test_absorb_not_into_and(self):
+        # node = AND(x, y); sub at position 0 is NOT(z) -> AND(NOT z, y)
+        node_truth = gate_truth(CellKind.AND, ["x", "y"], ["x", "y"])
+        sub_truth = gate_truth(CellKind.NOT, ["z"], ["z"])
+        merged, truth = absorb_fanin(["x", "y"], node_truth, 0, ["z"], sub_truth)
+        assert merged == ["y", "z"]
+        for y in (0, 1):
+            for z in (0, 1):
+                idx = y | (z << 1)
+                assert ((truth >> idx) & 1) == ((1 - z) & y)
+
+    def test_absorb_shared_support(self):
+        # node = XOR(x, y), sub at pos 1 = AND(x, z): support stays 3 wide
+        node_truth = gate_truth(CellKind.XOR, ["x", "y"], ["x", "y"])
+        sub_truth = gate_truth(CellKind.AND, ["x", "z"], ["x", "z"])
+        merged, truth = absorb_fanin(["x", "y"], node_truth, 1, ["x", "z"], sub_truth)
+        assert merged == ["x", "z"]
+        for x in (0, 1):
+            for z in (0, 1):
+                idx = x | (z << 1)
+                assert ((truth >> idx) & 1) == (x ^ (x & z))
+
+
+def equivalent(a: Netlist, b: Netlist, n_vectors=24, n_cycles=24) -> bool:
+    sa, sb = LogicSimulator(a), LogicSimulator(b)
+    names = [c.name for c in a.primary_inputs]
+    if a.state_bits == 0:
+        for _ in range(n_vectors):
+            vec = {n: rng.randint(0, 1) for n in names}
+            if sa.evaluate(vec) != sb.evaluate(vec):
+                return False
+        return True
+    for _ in range(n_cycles):
+        vec = {n: rng.randint(0, 1) for n in names}
+        if sa.step(vec) != sb.step(vec):
+            return False
+    return True
+
+
+class TestTechnologyMap:
+    @pytest.mark.parametrize(
+        "nl_factory",
+        [
+            lambda: ripple_adder(4),
+            lambda: comparator(4),
+            lambda: alu(3),
+            lambda: serial_crc(8, 0x07),
+            lambda: moore_fsm(8, 2, seed=4),
+            lambda: random_logic(60, 8, 4, seed=5),
+        ],
+        ids=["adder", "cmp", "alu", "crc", "fsm", "rand"],
+    )
+    def test_equivalence_after_mapping(self, nl_factory):
+        nl = nl_factory()
+        mapped = technology_map(nl, k=4)
+        check_mapped(mapped, 4)
+        assert equivalent(nl, mapped)
+
+    def test_only_mapped_kinds_remain(self):
+        mapped = technology_map(ripple_adder(3), k=4)
+        kinds = {c.kind for c in mapped.cells.values()}
+        assert kinds <= {CellKind.INPUT, CellKind.OUTPUT, CellKind.LUT, CellKind.DFF}
+
+    def test_cone_packing_reduces_luts(self):
+        nl = ripple_adder(4)
+        mapped4 = technology_map(nl, k=4)
+        mapped2 = technology_map(nl, k=2)
+        n4 = sum(1 for c in mapped4.cells.values() if c.kind is CellKind.LUT)
+        n2 = sum(1 for c in mapped2.cells.values() if c.kind is CellKind.LUT)
+        assert n4 < n2
+
+    def test_wide_gate_decomposition(self):
+        b = NetlistBuilder("wide")
+        ins = b.input_bus("x", 9)
+        b.netlist.add(Cell("g", CellKind.AND, tuple(ins)))
+        b.output("y", "g")
+        nl = b.build()
+        mapped = technology_map(nl, k=4)
+        check_mapped(mapped, 4)
+        assert equivalent(nl, mapped)
+
+    def test_wide_inverted_gate(self):
+        b = NetlistBuilder("widenor")
+        ins = b.input_bus("x", 7)
+        b.netlist.add(Cell("g", CellKind.NOR, tuple(ins)))
+        b.output("y", "g")
+        nl = b.build()
+        mapped = technology_map(nl, k=3)
+        assert equivalent(nl, mapped)
+
+    def test_constants_become_luts(self):
+        b = NetlistBuilder("const")
+        one = b.const(1)
+        x = b.input("x")
+        b.output("y", b.and_(one, x))
+        mapped = technology_map(b.build(), k=4)
+        assert equivalent(b.netlist, mapped)
+
+    def test_dead_logic_swept(self):
+        b = NetlistBuilder("dead")
+        x = b.input("x")
+        b.not_(x, name="unused")  # drives nothing
+        b.output("y", b.buf(x))
+        mapped = technology_map(b.build(), k=4)
+        assert "unused" not in mapped
+
+    def test_k_too_small_rejected(self):
+        with pytest.raises(TechmapError):
+            technology_map(ripple_adder(2), k=1)
+
+    def test_lut_input_passthrough(self):
+        """Pre-existing LUT cells survive mapping (FSM generator emits them)."""
+        nl = moore_fsm(4, 1, seed=1)
+        mapped = technology_map(nl, k=4)
+        assert equivalent(nl, mapped)
+
+    def test_deterministic(self):
+        m1 = technology_map(random_logic(40, 6, 3, seed=8), k=4)
+        m2 = technology_map(random_logic(40, 6, 3, seed=8), k=4)
+        assert [(c.name, c.fanin, c.truth) for c in m1.cells.values()] == [
+            (c.name, c.fanin, c.truth) for c in m2.cells.values()
+        ]

@@ -1,0 +1,130 @@
+"""Static-timing-analysis unit tests with hand-built designs."""
+
+import pytest
+
+from repro.cad import analyze_timing, compile_netlist
+from repro.cad.pack import Ble, PackedDesign
+from repro.cad.place import Placement
+from repro.cad.route import RoutedNet
+from repro.device import Coord, Rect, get_family
+from repro.netlist import counter, parity_tree, ripple_adder
+
+ARCH = get_family("VF8")
+
+
+def make_design(bles, outputs, inputs=()):
+    d = PackedDesign(name="t", k=4, bles=list(bles), inputs=list(inputs),
+                     outputs=dict(outputs))
+    d.validate()
+    return d
+
+
+def chain_placement(design):
+    coords = {b.name: Coord(i % 8, i // 8) for i, b in enumerate(design.bles)}
+    return Placement(design=design, region=Rect(0, 0, 8, 8), coords=coords)
+
+
+def routed_with(stats_map):
+    """RoutedNet per net with given per-sink (wires, switches, long)."""
+    out = {}
+    for src, sinks in stats_map.items():
+        rn = RoutedNet(name=src)
+        for sink_key, stats in sinks.items():
+            rn.sink_path_stats[sink_key] = stats
+        out[src] = rn
+    return out
+
+
+class TestCombinationalPaths:
+    def test_single_lut_to_output(self):
+        design = make_design(
+            [Ble("g", ("x",), 0b10)], {"y": "g"}, inputs=["x"]
+        )
+        placement = chain_placement(design)
+        routed = routed_with({
+            "x": {("clbpin", placement.coords["g"], 0): (2, 1, 0)},
+        })
+        report = analyze_timing(ARCH, placement, routed)
+        expect = 2 * ARCH.wire_delay + 1 * ARCH.switch_delay + ARCH.lut_delay
+        assert report.critical_path == pytest.approx(expect)
+        assert report.critical_kind == "to-output"
+
+    def test_two_lut_chain_adds_delays(self):
+        design = make_design(
+            [Ble("g1", ("x",), 0b10), Ble("g2", ("g1",), 0b10)],
+            {"y": "g2"}, inputs=["x"],
+        )
+        placement = chain_placement(design)
+        routed = routed_with({
+            "x": {("clbpin", placement.coords["g1"], 0): (1, 0, 0)},
+            "g1": {("clbpin", placement.coords["g2"], 0): (3, 2, 0)},
+        })
+        report = analyze_timing(ARCH, placement, routed)
+        expect = (1 * ARCH.wire_delay + ARCH.lut_delay
+                  + 3 * ARCH.wire_delay + 2 * ARCH.switch_delay
+                  + ARCH.lut_delay)
+        assert report.critical_path == pytest.approx(expect)
+
+    def test_long_wires_use_long_delay(self):
+        design = make_design(
+            [Ble("g", ("x",), 0b10)], {"y": "g"}, inputs=["x"]
+        )
+        placement = chain_placement(design)
+        routed = routed_with({
+            "x": {("clbpin", placement.coords["g"], 0): (1, 2, 1)},
+        })
+        report = analyze_timing(ARCH, placement, routed)
+        expect = (ARCH.wire_delay + 2 * ARCH.switch_delay
+                  + ARCH.long_wire_delay + ARCH.lut_delay)
+        assert report.critical_path == pytest.approx(expect)
+
+
+class TestSequentialPaths:
+    def test_register_to_register(self):
+        # q1 (registered) -> LUT g (fused into registered q2).
+        design = make_design(
+            [
+                Ble("q1", ("q1",), 0b10, registered=True, ff_name="q1"),
+                Ble("q2", ("q1",), 0b01, registered=True, ff_name="q2"),
+            ],
+            {"y": "q2"},
+        )
+        placement = chain_placement(design)
+        routed = routed_with({
+            "q1": {
+                ("clbpin", placement.coords["q1"], 0): (1, 0, 0),
+                ("clbpin", placement.coords["q2"], 0): (2, 1, 0),
+            },
+        })
+        report = analyze_timing(ARCH, placement, routed)
+        reg2reg = (ARCH.clock_to_q + 2 * ARCH.wire_delay + ARCH.switch_delay
+                   + ARCH.lut_delay + ARCH.setup)
+        assert report.critical_path == pytest.approx(reg2reg)
+        assert report.critical_kind == "to-register"
+
+    def test_fmax_inverse(self):
+        design = make_design([Ble("g", ("x",), 0b10)], {"y": "g"}, ["x"])
+        placement = chain_placement(design)
+        report = analyze_timing(ARCH, placement, routed_with({"x": {}}))
+        assert report.fmax == pytest.approx(1.0 / report.critical_path)
+
+
+class TestAgainstFullFlow:
+    @pytest.mark.parametrize("factory,grows", [
+        (lambda w: ripple_adder(w), True),
+    ])
+    def test_deeper_circuits_have_longer_paths(self, factory, grows):
+        cp2 = compile_netlist(factory(2), ARCH, seed=1,
+                              effort="greedy").critical_path
+        cp5 = compile_netlist(factory(5), ARCH, seed=1,
+                              effort="greedy").critical_path
+        assert cp5 > cp2
+
+    def test_sequential_circuit_reports_register_paths(self):
+        res = compile_netlist(counter(4), ARCH, seed=1, effort="greedy")
+        assert res.timing.critical_kind == "to-register"
+        assert res.timing.n_timing_paths >= 4
+
+    def test_pure_combinational_reports_output_paths(self):
+        res = compile_netlist(parity_tree(6), ARCH, seed=1, effort="greedy")
+        assert res.timing.critical_kind == "to-output"

@@ -1,0 +1,138 @@
+"""ColumnAllocator tests: fits, splits, merges, fragmentation."""
+
+import pytest
+
+from repro.core import ColumnAllocator, VfpgaError
+
+
+class TestAllocate:
+    def test_first_fit_takes_leftmost(self):
+        a = ColumnAllocator(12)
+        assert a.allocate(4) == 0
+        assert a.allocate(4) == 4
+        assert a.total_free == 4
+
+    def test_best_fit_minimizes_leftover(self):
+        a = ColumnAllocator(12, coalesce=False)
+        a.reserve(0, 3)   # free: (3,9)
+        a.release(0, 3)   # free spans: (0,3) and (3,9) — unmerged
+        assert a.allocate(3, fit="best") == 0  # exact fit preferred
+
+    def test_worst_fit_takes_largest(self):
+        a = ColumnAllocator(12, coalesce=False)
+        a.reserve(0, 3)
+        a.release(0, 3)
+        assert a.allocate(2, fit="worst") == 3
+
+    def test_no_fit_returns_none(self):
+        a = ColumnAllocator(4)
+        assert a.allocate(5) is None
+
+    def test_bad_fit_name(self):
+        with pytest.raises(ValueError):
+            ColumnAllocator(4).allocate(1, fit="psychic")
+
+    def test_exhaustion(self):
+        a = ColumnAllocator(6)
+        a.allocate(6)
+        assert a.allocate(1) is None
+        assert a.total_free == 0
+
+
+class TestReleaseAndMerge:
+    def test_coalescing_release(self):
+        a = ColumnAllocator(10)  # coalesce=True
+        x1, x2 = a.allocate(5), a.allocate(5)
+        a.release(x1, 5)
+        a.release(x2, 5)
+        assert a.free_spans == [(0, 10)]
+
+    def test_non_coalescing_keeps_boundaries(self):
+        a = ColumnAllocator(10, coalesce=False)
+        x1, x2 = a.allocate(5), a.allocate(5)
+        a.release(x1, 5)
+        a.release(x2, 5)
+        assert a.free_spans == [(0, 5), (5, 5)]
+        assert a.largest_free == 5
+        # The paper's hazard: 10 columns free, an 8-wide request starves.
+        assert a.allocate(8) is None
+
+    def test_merge_free_fuses(self):
+        a = ColumnAllocator(10, coalesce=False)
+        x1, x2 = a.allocate(5), a.allocate(5)
+        a.release(x1, 5)
+        a.release(x2, 5)
+        assert a.merge_free() == 1
+        assert a.allocate(8) == 0
+
+    def test_double_free_rejected(self):
+        a = ColumnAllocator(10)
+        x = a.allocate(4)
+        a.release(x, 4)
+        with pytest.raises(VfpgaError, match="double free"):
+            a.release(x, 4)
+
+    def test_overlapping_free_rejected(self):
+        a = ColumnAllocator(10)
+        a.allocate(4)
+        with pytest.raises(VfpgaError):
+            a.release(2, 4)  # overlaps the free tail
+
+
+class TestReserve:
+    def test_reserve_specific_span(self):
+        a = ColumnAllocator(10)
+        a.reserve(3, 4)
+        assert sorted(a.free_spans) == [(0, 3), (7, 3)]
+
+    def test_reserve_unfree_rejected(self):
+        a = ColumnAllocator(10)
+        a.reserve(3, 4)
+        with pytest.raises(VfpgaError):
+            a.reserve(4, 2)
+
+
+class TestFragmentationGauge:
+    def test_zero_when_single_hole(self):
+        assert ColumnAllocator(10).fragmentation == 0.0
+
+    def test_grows_when_shattered(self):
+        a = ColumnAllocator(12, coalesce=False)
+        xs = [a.allocate(2) for _ in range(6)]
+        for x in xs[::2]:
+            a.release(x, 2)
+        assert a.total_free == 6
+        assert a.largest_free == 2
+        assert a.fragmentation == pytest.approx(1 - 2 / 6)
+
+    def test_full_device_zero(self):
+        a = ColumnAllocator(4)
+        a.allocate(4)
+        assert a.fragmentation == 0.0
+
+
+class TestInvariants:
+    def test_conservation_over_random_ops(self):
+        import random
+
+        rng = random.Random(42)
+        a = ColumnAllocator(32, coalesce=False)
+        held = []
+        for _ in range(500):
+            if held and rng.random() < 0.5:
+                x, w = held.pop(rng.randrange(len(held)))
+                a.release(x, w)
+            else:
+                w = rng.randint(1, 6)
+                x = a.allocate(w, fit=rng.choice(["first", "best", "worst"]))
+                if x is not None:
+                    held.append((x, w))
+            if rng.random() < 0.1:
+                a.merge_free()
+            # Invariants: no overlap, conservation of columns.
+            spans = sorted(a.free_spans) + sorted(held)
+            total = a.total_free + sum(w for _x, w in held)
+            assert total == 32
+            covered = sorted(a.free_spans + held)
+            for (x1, w1), (x2, _w2) in zip(covered, covered[1:]):
+                assert x1 + w1 <= x2, "overlap detected"

@@ -1,0 +1,160 @@
+"""Dynamic-loading service tests (paper §3)."""
+
+import pytest
+
+from repro.core import (
+    Adaptive,
+    DynamicLoadingService,
+    Rollback,
+    SaveRestore,
+)
+from repro.osim import CpuBurst, FpgaOp, Task
+
+CP = 20e-9  # synthetic entries' critical path (see conftest)
+
+
+def op_time(cycles):
+    return cycles * CP
+
+
+class TestResidencyAffinity:
+    def test_repeat_use_hits(self, registry, harness):
+        svc = DynamicLoadingService(registry)
+        h = harness(svc)
+        t = Task("t", [FpgaOp("a3", 100), FpgaOp("a3", 100)])
+        h.run([t])
+        assert svc.metrics.n_loads == 1
+        assert svc.metrics.n_hits == 1
+
+    def test_alternation_thrashes(self, registry, harness):
+        """a-b-a-b forces a download per op — the §3 overhead scenario."""
+        svc = DynamicLoadingService(registry)
+        h = harness(svc)
+        t = Task("t", [FpgaOp("a3", 100), FpgaOp("b3", 100),
+                       FpgaOp("a3", 100), FpgaOp("b3", 100)])
+        h.run([t])
+        assert svc.metrics.n_loads == 4
+        assert svc.metrics.n_hits == 0
+
+    def test_previous_config_unloaded(self, registry, harness):
+        svc = DynamicLoadingService(registry)
+        h = harness(svc)
+        h.run([Task("t", [FpgaOp("a3", 10), FpgaOp("b3", 10)])])
+        assert svc.resident_handles() == {"b3"}
+
+
+class TestNoPreemption:
+    def test_ops_run_to_completion(self, registry, harness):
+        svc = DynamicLoadingService(registry)  # fpga_time_slice=None
+        h = harness(svc)
+        tasks = [Task(f"t{i}", [FpgaOp("a3", 200000)]) for i in range(3)]
+        h.run(tasks)
+        assert svc.metrics.n_preemptions == 0
+
+
+class TestPreemption:
+    def test_combinational_time_sharing(self, registry, harness):
+        """Two combinational ops share the fabric in slices at no state
+        cost; both finish later than solo but neither monopolizes."""
+        svc = DynamicLoadingService(
+            registry, preemption=SaveRestore(), fpga_time_slice=op_time(50000)
+        )
+        h = harness(svc)
+        a = Task("ta", [FpgaOp("a3", 200000)])
+        b = Task("tb", [FpgaOp("a3", 200000)])
+        h.run([a, b])
+        assert svc.metrics.n_preemptions > 0
+        assert svc.metrics.n_state_saves == 0  # combinational: free
+        assert svc.metrics.n_rollbacks == 0
+        # Progress preserved: total useful time equals both ops exactly.
+        assert svc.metrics.exec_time == pytest.approx(2 * op_time(200000))
+
+    def test_sequential_save_restore_charged(self, registry, harness):
+        svc = DynamicLoadingService(
+            registry, preemption=SaveRestore(), fpga_time_slice=op_time(50000)
+        )
+        h = harness(svc)
+        a = Task("ta", [FpgaOp("seq4", 200000)])
+        b = Task("tb", [FpgaOp("seq4", 200000)])
+        h.run([a, b])
+        assert svc.metrics.n_state_saves > 0
+        assert svc.metrics.n_state_restores == svc.metrics.n_state_saves
+        assert svc.metrics.state_time > 0
+        assert svc.metrics.exec_time == pytest.approx(2 * op_time(200000))
+
+    def test_rollback_loses_progress(self, registry, harness):
+        svc = DynamicLoadingService(
+            registry, preemption=Rollback(), fpga_time_slice=op_time(50000)
+        )
+        h = harness(svc)
+        a = Task("ta", [FpgaOp("seq4", 200000)])
+        b = Task("tb", [FpgaOp("seq4", 200000)])
+        h.run([a, b])
+        assert svc.metrics.n_rollbacks > 0
+        # Redone work: fabric time exceeds the two ops' net demand.
+        assert svc.metrics.exec_time > 2 * op_time(200000)
+
+    def test_rollback_livelock_protection(self, registry, harness):
+        """Exponential patience guarantees completion even when the slice
+        is far smaller than the op (naive rollback would loop forever)."""
+        svc = DynamicLoadingService(
+            registry, preemption=Rollback(), fpga_time_slice=op_time(1000)
+        )
+        h = harness(svc)
+        tasks = [Task(f"t{i}", [FpgaOp("seq4", 500000)]) for i in range(3)]
+        stats = h.run(tasks)  # must terminate
+        assert stats.n_tasks == 3
+
+    def test_hidden_state_never_preempted(self, registry, harness):
+        svc = DynamicLoadingService(
+            registry, preemption=SaveRestore(), fpga_time_slice=op_time(1000)
+        )
+        h = harness(svc)
+        tasks = [Task(f"t{i}", [FpgaOp("hidden4", 100000)]) for i in range(2)]
+        h.run(tasks)
+        assert svc.metrics.n_preemptions == 0
+        assert svc.metrics.n_state_saves == 0
+
+    def test_adaptive_prefers_rollback_early(self, registry, harness):
+        svc = DynamicLoadingService(
+            registry, preemption=Adaptive(), fpga_time_slice=op_time(100)
+        )
+        h = harness(svc)
+        # Tiny slice: progress at first preemption is far below the state
+        # movement cost, so adaptive rolls back.
+        tasks = [Task(f"t{i}", [FpgaOp("seq4", 300000)]) for i in range(2)]
+        h.run(tasks)
+        assert svc.metrics.n_rollbacks > 0
+
+    def test_preemption_charges_preempted_task(self, registry, harness):
+        svc = DynamicLoadingService(
+            registry, preemption=SaveRestore(), fpga_time_slice=op_time(50000)
+        )
+        h = harness(svc)
+        a = Task("ta", [FpgaOp("seq4", 200000)])
+        b = Task("tb", [FpgaOp("seq4", 200000)])
+        h.run([a, b])
+        assert a.accounting.n_preemptions + b.accounting.n_preemptions == \
+            svc.metrics.n_preemptions
+        assert a.accounting.fpga_state_time > 0
+
+
+class TestAccounting:
+    def test_wait_time_recorded(self, registry, harness):
+        svc = DynamicLoadingService(registry)
+        h = harness(svc)
+        a = Task("ta", [FpgaOp("a3", 500000)])
+        b = Task("tb", [FpgaOp("b3", 100)])
+        h.run([a, b])
+        assert b.accounting.fpga_wait_time > 0
+
+    def test_validation(self, registry):
+        with pytest.raises(ValueError):
+            DynamicLoadingService(registry, fpga_time_slice=0)
+
+    def test_io_time_charged_once_per_op(self, registry, harness):
+        svc = DynamicLoadingService(registry)
+        h = harness(svc)
+        t = Task("t", [FpgaOp("a3", 100, io_words=1000)])
+        h.run([t])
+        assert t.accounting.fpga_io_time == pytest.approx(1000 / svc.mux.word_rate)

@@ -1,0 +1,77 @@
+"""Eager (implicit) dynamic loading tests (paper §3)."""
+
+import pytest
+
+from repro.core import DynamicLoadingService
+from repro.osim import CpuBurst, FpgaOp, Task
+
+CP = 20e-9
+
+
+class TestEagerLoading:
+    def test_prefetch_hides_download_under_cpu(self, registry, harness):
+        def makespan(eager):
+            svc = DynamicLoadingService(registry, eager=eager)
+            h = harness(svc)
+            t = Task("t", [
+                CpuBurst(20e-3), FpgaOp("a3", 1000),
+                CpuBurst(20e-3), FpgaOp("b3", 1000),
+            ])
+            stats = h.run([t])
+            return stats.makespan, svc
+
+        lazy, _ = makespan(False)
+        eager, svc = makespan(True)
+        assert eager < lazy
+        assert svc.n_prefetches >= 1
+
+    def test_prefetch_never_fires_when_fabric_busy(self, registry, harness):
+        svc = DynamicLoadingService(registry, eager=True)
+        h = harness(svc)
+        # Task A holds the fabric with a long op; task B's dispatches must
+        # not sneak a prefetch in (it would have to wait for A anyway).
+        a = Task("a", [FpgaOp("a3", 2_000_000)])
+        b = Task("b", [CpuBurst(1e-3), CpuBurst(1e-3), FpgaOp("b3", 100)],
+                 arrival=1e-4)
+        h.run([a, b])
+        # b's op loaded lazily after a finished: exactly 2 loads total,
+        # and the b3 load must not have interrupted a3's execution.
+        assert svc.metrics.n_loads == 2
+
+    def test_prefetch_skipped_when_config_resident(self, registry, harness):
+        svc = DynamicLoadingService(registry, eager=True)
+        h = harness(svc)
+        t = Task("t", [
+            CpuBurst(5e-3), FpgaOp("a3", 100),
+            CpuBurst(5e-3), FpgaOp("a3", 100),  # same config: no prefetch
+        ])
+        h.run([t])
+        assert svc.metrics.n_loads == 1
+        assert svc.n_prefetches <= 1
+
+    def test_lazy_by_default(self, registry, harness):
+        svc = DynamicLoadingService(registry)
+        h = harness(svc)
+        h.run([Task("t", [CpuBurst(5e-3), FpgaOp("a3", 100)])])
+        assert svc.n_prefetches == 0
+
+    def test_eager_preserves_corre(self, registry, harness):
+        """Same total useful work with and without prefetching."""
+        def exec_time(eager):
+            svc = DynamicLoadingService(registry, eager=eager)
+            h = harness(svc)
+            tasks = [
+                Task(f"t{i}", [CpuBurst(2e-3), FpgaOp("a3", 5000),
+                               CpuBurst(2e-3), FpgaOp("b3", 5000)])
+                for i in range(3)
+            ]
+            stats = h.run(tasks)
+            return stats.total_fpga_exec
+
+        assert exec_time(True) == pytest.approx(exec_time(False))
+
+    def test_factory_accepts_eager(self, registry, harness):
+        from repro.core import make_service
+
+        svc = make_service("dynamic", registry, eager=True)
+        assert svc.eager

@@ -1,0 +1,80 @@
+"""Pin multiplexer model tests (paper §2 I/O virtualization)."""
+
+import pytest
+
+from repro.core import CapacityError, PinMultiplexer
+
+
+class TestStaticModel:
+    def test_under_subscription_full_rate(self):
+        mux = PinMultiplexer(64, word_rate=1e6)
+        t = mux.transfer_time(1000, virtual_pins=32)
+        assert t.factor == 1.0
+        assert t.seconds == pytest.approx(1e-3)
+
+    def test_oversubscription_dilates(self):
+        mux = PinMultiplexer(64, word_rate=1e6)
+        t = mux.transfer_time(1000, virtual_pins=128)
+        assert t.factor == pytest.approx(2.0)
+        assert t.seconds == pytest.approx(2e-3)
+
+    def test_factor_scales_linearly(self):
+        mux = PinMultiplexer(10)
+        factors = [
+            mux.transfer_time(1, virtual_pins=v).factor for v in (10, 20, 40, 80)
+        ]
+        assert factors == [1.0, 2.0, 4.0, 8.0]
+
+    def test_concurrent_demand_counts(self):
+        mux = PinMultiplexer(64)
+        t = mux.transfer_time(100, virtual_pins=32, concurrent_pins=96)
+        assert t.factor == pytest.approx(2.0)
+
+    def test_negative_rejected(self):
+        mux = PinMultiplexer(8)
+        with pytest.raises(ValueError):
+            mux.transfer_time(-1, 1)
+        with pytest.raises(ValueError):
+            mux.transfer_time(1, -1)
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            PinMultiplexer(0)
+        with pytest.raises(ValueError):
+            PinMultiplexer(8, word_rate=0)
+
+
+class TestDynamicBookkeeping:
+    def test_begin_end_balance(self):
+        mux = PinMultiplexer(16)
+        mux.begin("a", 8)
+        mux.begin("b", 8)
+        assert mux.oversubscription() == 1.0
+        mux.begin("c", 16)
+        assert mux.oversubscription() == 2.0
+        mux.end("c", 16)
+        mux.end("a", 8)
+        mux.end("b", 8)
+        assert mux.active == {}
+
+    def test_over_release_raises(self):
+        mux = PinMultiplexer(16)
+        mux.begin("a", 4)
+        with pytest.raises(CapacityError):
+            mux.end("a", 8)
+
+    def test_price_excludes_own_pins_from_others(self):
+        mux = PinMultiplexer(16)
+        mux.begin("a", 16)
+        mux.begin("b", 16)
+        t = mux.price_active_transfer("a", 100, 16)
+        # a's 16 + b's 16 = 32 over 16 physical -> factor 2
+        assert t.factor == pytest.approx(2.0)
+        assert mux.metrics.io_time == pytest.approx(t.seconds)
+
+    def test_solo_transfer_full_rate(self):
+        mux = PinMultiplexer(16, word_rate=1e6)
+        mux.begin("a", 16)
+        t = mux.price_active_transfer("a", 500, 16)
+        assert t.factor == 1.0
+        assert t.seconds == pytest.approx(0.5e-3)

@@ -1,0 +1,84 @@
+"""Overlay service tests (paper §2 overlaying)."""
+
+import pytest
+
+from repro.core import CapacityError, OverlayService
+from repro.osim import FpgaOp, Task
+
+
+class TestBootLayout:
+    def test_pinned_set_loaded_at_boot(self, registry, harness):
+        svc = OverlayService(registry, resident_names=["a3", "b3"])
+        harness(svc)
+        assert {"a3", "b3"} <= svc.resident_handles()
+        assert svc.overlay_width == 12 - 6
+
+    def test_pinned_set_too_wide(self, registry, harness):
+        svc = OverlayService(registry, resident_names=["d6", "c4", "a3"])
+        with pytest.raises(CapacityError, match="pinned set"):
+            harness(svc)
+
+    def test_duplicates_deduped(self, registry, harness):
+        svc = OverlayService(registry, resident_names=["a3", "a3"])
+        harness(svc)
+        assert svc.overlay_width == 9
+
+
+class TestExecution:
+    def test_pinned_never_reloads(self, registry, harness):
+        svc = OverlayService(registry, resident_names=["a3"])
+        h = harness(svc)
+        boot_loads = svc.metrics.n_loads
+        h.run([Task("t", [FpgaOp("a3", 10)] * 5)])
+        assert svc.metrics.n_loads == boot_loads
+        assert svc.metrics.n_hits == 5
+
+    def test_overlay_area_dynamic_loading(self, registry, harness):
+        svc = OverlayService(registry, resident_names=["a3"])
+        h = harness(svc)
+        t = Task("t", [FpgaOp("b3", 10), FpgaOp("c4", 10), FpgaOp("b3", 10)])
+        h.run([t])
+        # b3, c4, b3 all thrash the single overlay slot.
+        assert svc.metrics.n_misses == 3
+
+    def test_overlay_affinity(self, registry, harness):
+        svc = OverlayService(registry, resident_names=["a3"])
+        h = harness(svc)
+        h.run([Task("t", [FpgaOp("b3", 10), FpgaOp("b3", 10)])])
+        assert svc.metrics.n_misses == 1
+        assert svc.metrics.n_hits == 1
+
+    def test_circuit_wider_than_overlay_area(self, registry, harness):
+        svc = OverlayService(registry, resident_names=["d6", "a3"])  # 9 cols
+        h = harness(svc)
+        with pytest.raises(CapacityError, match="overlay area"):
+            h.run([Task("t", [FpgaOp("c4", 10)])])
+
+    def test_pinned_and_overlay_overlap_free(self, registry, harness):
+        svc = OverlayService(registry, resident_names=["a3", "b3"])
+        h = harness(svc)
+        h.run([Task("t", [FpgaOp("c4", 10), FpgaOp("a3", 10)])])
+        regions = [b.region for b in svc.fpga.resident.values()]
+        for i, r1 in enumerate(regions):
+            for r2 in regions[i + 1:]:
+                assert not r1.overlaps(r2)
+
+    def test_hot_set_reduces_reconfig_vs_pure_dynamic(self, registry, harness):
+        """The paper's point: keeping frequent functions resident cuts the
+        download traffic of a skewed workload."""
+        from repro.core import DynamicLoadingService
+
+        def workload():
+            # a3 hot (3 of 4 ops), c4 rare.
+            prog = [FpgaOp("a3", 10), FpgaOp("a3", 10), FpgaOp("c4", 10),
+                    FpgaOp("a3", 10)] * 3
+            return [Task("t", prog)]
+
+        dyn = DynamicLoadingService(registry)
+        h1 = harness(dyn)
+        s1 = h1.run(workload())
+        ov = OverlayService(registry, resident_names=["a3"])
+        h2 = harness(ov)
+        s2 = h2.run(workload())
+        assert s2.total_fpga_reconfig < s1.total_fpga_reconfig
+        assert ov.metrics.n_hits > dyn.metrics.n_hits

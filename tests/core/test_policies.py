@@ -1,0 +1,123 @@
+"""Replacement-policy and access-trace tests."""
+
+import pytest
+
+from repro.core import access_trace, make_replacement
+from repro.core.policies import (
+    ClockReplacement,
+    FifoReplacement,
+    LruReplacement,
+    MruReplacement,
+    RandomReplacement,
+)
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name", ["fifo", "lru", "mru", "clock", "random"])
+    def test_known_names(self, name):
+        assert make_replacement(name).name == name
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            make_replacement("crystal-ball")
+
+
+class TestFifo:
+    def test_evicts_oldest_insert(self):
+        p = FifoReplacement()
+        for k in "abc":
+            p.on_insert(k)
+        p.on_access("a")  # FIFO ignores use
+        assert p.victim(["a", "b", "c"]) == "a"
+
+    def test_remove_forgets(self):
+        p = FifoReplacement()
+        p.on_insert("a")
+        p.on_insert("b")
+        p.on_remove("a")
+        p.on_insert("a")
+        assert p.victim(["a", "b"]) == "b"
+
+
+class TestLru:
+    def test_evicts_least_recent(self):
+        p = LruReplacement()
+        for k in "abc":
+            p.on_insert(k)
+        p.on_access("a")
+        assert p.victim(["a", "b", "c"]) == "b"
+
+
+class TestMru:
+    def test_evicts_most_recent(self):
+        p = MruReplacement()
+        for k in "abc":
+            p.on_insert(k)
+        p.on_access("a")
+        assert p.victim(["a", "b", "c"]) == "a"
+
+
+class TestClock:
+    def test_second_chance(self):
+        p = ClockReplacement()
+        for k in "abc":
+            p.on_insert(k)
+        # All referenced: the hand clears a's bit, then b's, then c's,
+        # then evicts a (first unreferenced on second lap).
+        assert p.victim(["a", "b", "c"]) == "a"
+
+    def test_reference_saves(self):
+        p = ClockReplacement()
+        for k in "abc":
+            p.on_insert(k)
+        p.victim(["a", "b", "c"])  # clears bits, picks a
+        p.on_access("b")
+        assert p.victim(["b", "c"]) == "c"
+
+    def test_remove_keeps_ring_consistent(self):
+        p = ClockReplacement()
+        for k in "abcd":
+            p.on_insert(k)
+        p.on_remove("b")
+        assert p.victim(["a", "c", "d"]) in ("a", "c", "d")
+
+
+class TestRandom:
+    def test_seeded_deterministic(self):
+        a = RandomReplacement(seed=7)
+        b = RandomReplacement(seed=7)
+        keys = list("abcdefg")
+        assert [a.victim(keys) for _ in range(10)] == [
+            b.victim(keys) for _ in range(10)
+        ]
+
+
+class TestAccessTrace:
+    def test_sequential_wraps(self):
+        assert access_trace(3, 7, pattern="sequential") == [0, 1, 2, 0, 1, 2, 0]
+
+    def test_looping_respects_working_set(self):
+        t = access_trace(10, 9, pattern="looping", working_set=3)
+        assert t == [0, 1, 2] * 3
+
+    def test_random_in_range_and_seeded(self):
+        t1 = access_trace(5, 50, pattern="random", seed=3)
+        t2 = access_trace(5, 50, pattern="random", seed=3)
+        assert t1 == t2
+        assert all(0 <= i < 5 for i in t1)
+
+    def test_zipf_skew(self):
+        t = access_trace(8, 400, pattern="zipf", seed=1, zipf_s=1.5)
+        assert t.count(0) > t.count(7) * 2
+
+    def test_bad_pattern(self):
+        with pytest.raises(ValueError):
+            access_trace(3, 3, pattern="brownian")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            access_trace(0, 3)
+
+    def test_working_set_clamped(self):
+        t = access_trace(3, 6, pattern="looping", working_set=99)
+        assert max(t) == 2

@@ -1,0 +1,119 @@
+"""Preemption policy decision tests (paper §3 semantics)."""
+
+import pytest
+
+from repro.core import (
+    Adaptive,
+    ConfigRegistry,
+    Rollback,
+    RunToCompletion,
+    SaveRestore,
+    StateAccessError,
+)
+from repro.device import ConfigPort, get_family
+
+
+@pytest.fixture
+def arch():
+    return get_family("VF8")
+
+
+@pytest.fixture
+def port(arch):
+    return ConfigPort(arch)
+
+
+@pytest.fixture
+def entries(arch):
+    reg = ConfigRegistry(arch)
+    return {
+        "comb": reg.register_synthetic("comb", 3, 3),
+        "seq": reg.register_synthetic("seq", 3, 3, n_state_bits=9),
+        "hidden": reg.register_synthetic(
+            "hidden", 3, 3, n_state_bits=9, state_accessible=False
+        ),
+    }
+
+
+class TestRunToCompletion:
+    def test_never_allows(self, entries, port):
+        policy = RunToCompletion()
+        for e in entries.values():
+            assert not policy.decide(e, port, 1.0).allowed
+
+
+class TestRollback:
+    def test_combinational_keeps_progress_free(self, entries, port):
+        d = Rollback().decide(entries["comb"], port, 1.0)
+        assert d.allowed and d.keep_progress
+        assert d.save_cost == 0 and d.restore_cost == 0
+
+    def test_sequential_discards_progress(self, entries, port):
+        d = Rollback().decide(entries["seq"], port, 1.0)
+        assert d.allowed and not d.keep_progress
+        assert d.save_cost == 0
+
+    def test_works_without_observability(self, entries, port):
+        assert Rollback().decide(entries["hidden"], port, 1.0).allowed
+
+
+class TestSaveRestore:
+    def test_sequential_pays_state_movement(self, entries, port):
+        d = SaveRestore().decide(entries["seq"], port, 1.0)
+        assert d.allowed and d.keep_progress and d.used_state_access
+        assert d.save_cost == pytest.approx(
+            port.state_save_time(entries["seq"].bitstream).seconds
+        )
+        assert d.restore_cost == pytest.approx(
+            port.state_restore_time(entries["seq"].bitstream).seconds
+        )
+
+    def test_combinational_is_free(self, entries, port):
+        d = SaveRestore().decide(entries["comb"], port, 1.0)
+        assert d.allowed and d.save_cost == 0
+
+    def test_hidden_state_refuses_by_default(self, entries, port):
+        d = SaveRestore().decide(entries["hidden"], port, 1.0)
+        assert not d.allowed  # falls back to run-to-completion: always safe
+
+    def test_hidden_state_strict_raises(self, entries, port):
+        with pytest.raises(StateAccessError, match="unobservable"):
+            SaveRestore(strict=True).decide(entries["hidden"], port, 1.0)
+
+
+class TestAdaptive:
+    def test_early_progress_prefers_rollback(self, entries, port):
+        d = Adaptive().decide(entries["seq"], port, progress_done=1e-9)
+        assert d.allowed and not d.keep_progress
+
+    def test_late_progress_prefers_save(self, entries, port):
+        d = Adaptive().decide(entries["seq"], port, progress_done=10.0)
+        assert d.allowed and d.keep_progress
+        assert d.save_cost > 0
+
+    def test_crossover_at_state_movement_cost(self, entries, port):
+        entry = entries["seq"]
+        move = (
+            port.state_save_time(entry.bitstream).seconds
+            + port.state_restore_time(entry.bitstream).seconds
+        )
+        just_below = Adaptive().decide(entry, port, progress_done=move * 0.99)
+        just_above = Adaptive().decide(entry, port, progress_done=move * 1.01)
+        assert not just_below.keep_progress
+        assert just_above.keep_progress
+
+    def test_hidden_state_rolls_back(self, entries, port):
+        d = Adaptive().decide(entries["hidden"], port, progress_done=10.0)
+        assert d.allowed and not d.keep_progress
+
+
+class TestCostModel:
+    def test_state_cost_scales_with_footprint(self, arch, port):
+        reg = ConfigRegistry(arch)
+        small = reg.register_synthetic("s", 2, 2, n_state_bits=4)
+        # 4 columns of FFs -> 4 frames to read back vs 2.
+        large = reg.register_synthetic("l", 4, 4, n_state_bits=16)
+        assert (
+            port.state_save_time(large.bitstream).seconds
+            > port.state_save_time(small.bitstream).seconds
+        )

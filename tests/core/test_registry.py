@@ -1,0 +1,94 @@
+"""ConfigRegistry and synthetic bitstream tests."""
+
+import pytest
+
+from repro.core import (
+    AdmissionError,
+    ConfigRegistry,
+    UnknownConfigError,
+    synthetic_bitstream,
+)
+from repro.device import Fpga, get_family
+from repro.netlist import parity_tree
+
+
+@pytest.fixture
+def arch():
+    return get_family("VF8")
+
+
+class TestSynthetic:
+    def test_footprint_and_state(self, arch):
+        bs = synthetic_bitstream("x", arch, 3, 4, n_state_bits=5)
+        assert bs.region.w == 3 and bs.region.h == 4
+        assert bs.n_state_bits == 5
+        bs.validate(arch)
+
+    def test_loads_on_device(self, arch):
+        bs = synthetic_bitstream("x", arch, 2, 2, n_state_bits=2)
+        fpga = Fpga(arch)
+        timing = fpga.load("x", bs)
+        assert timing.n_frames == 2
+        # Readback must see the FFs.
+        view_sim = fpga.functional_simulator()
+        assert len(view_sim.read_state()) == 2
+
+    def test_too_large_rejected(self, arch):
+        with pytest.raises(AdmissionError):
+            synthetic_bitstream("x", arch, 99, 2)
+
+    def test_too_many_state_bits(self, arch):
+        with pytest.raises(AdmissionError):
+            synthetic_bitstream("x", arch, 2, 2, n_state_bits=5)
+
+
+class TestRegistry:
+    def test_register_and_lookup(self, arch):
+        reg = ConfigRegistry(arch)
+        entry = reg.register_synthetic("a", 2, 2, critical_path=10e-9)
+        assert "a" in reg
+        assert reg.get("a") is entry
+        assert reg.names() == ["a"]
+
+    def test_duplicate_rejected(self, arch):
+        reg = ConfigRegistry(arch)
+        reg.register_synthetic("a", 2, 2)
+        with pytest.raises(AdmissionError):
+            reg.register_synthetic("a", 2, 2)
+
+    def test_unknown_raises(self, arch):
+        with pytest.raises(UnknownConfigError):
+            ConfigRegistry(arch).get("ghost")
+
+    def test_compile_and_register(self, arch):
+        reg = ConfigRegistry(arch)
+        entry = reg.compile_and_register(parity_tree(4), seed=1, effort="greedy")
+        assert entry.name == "parity4"
+        assert entry.critical_path > 0
+        assert entry.io_pins == 5
+        assert not entry.is_sequential
+
+    def test_dedicated_bitstream_rejected(self, arch):
+        from repro.cad import compile_netlist
+        from repro.core import ConfigEntry
+
+        res = compile_netlist(parity_tree(4), arch, mode="dedicated", seed=1)
+        reg = ConfigRegistry(arch)
+        with pytest.raises(AdmissionError, match="relocatable"):
+            reg.register(
+                ConfigEntry("p", res.bitstream, res.critical_path, 5)
+            )
+
+    def test_total_area(self, arch):
+        reg = ConfigRegistry(arch)
+        reg.register_synthetic("a", 2, 3)
+        reg.register_synthetic("b", 4, 2)
+        assert reg.total_area() == 14
+        assert reg.total_area(["a"]) == 6
+
+    def test_entry_flags(self, arch):
+        reg = ConfigRegistry(arch)
+        seq = reg.register_synthetic("s", 2, 2, n_state_bits=3)
+        comb = reg.register_synthetic("c", 2, 2)
+        assert seq.is_sequential and not comb.is_sequential
+        assert seq.region_shape == (2, 2)

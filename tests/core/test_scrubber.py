@@ -1,0 +1,98 @@
+"""Scrubber / upset-injection tests (paper §5 diagnosis)."""
+
+import pytest
+
+from repro.core import ConfigRegistry, Scrubber, UpsetInjector
+from repro.device import Fpga, get_family
+from repro.sim import Simulator
+
+ARCH = get_family("VF8")
+
+
+def loaded_fpga():
+    reg = ConfigRegistry(ARCH)
+    e1 = reg.register_synthetic("a", 3, ARCH.height, n_state_bits=4)
+    e2 = reg.register_synthetic("b", 3, ARCH.height)
+    fpga = Fpga(ARCH)
+    fpga.load("a", e1.bitstream.anchored_at(0, 0))
+    fpga.load("b", e2.bitstream.anchored_at(3, 0))
+    return fpga
+
+
+class TestUpsetInjector:
+    def test_injects_and_records(self):
+        sim = Simulator()
+        fpga = loaded_fpga()
+        inj = UpsetInjector(sim, fpga, mean_interval=1e-3, seed=2,
+                            stop_after=0.05)
+        sim.run()
+        assert len(inj.records) > 10
+        assert any(r.handle in ("a", "b") for r in inj.records)
+
+    def test_deterministic_per_seed(self):
+        def record_times(seed):
+            sim = Simulator()
+            fpga = loaded_fpga()
+            inj = UpsetInjector(sim, fpga, 1e-3, seed=seed, stop_after=0.02)
+            sim.run()
+            return [(r.time, r.frame, r.bit) for r in inj.records]
+
+        assert record_times(7) == record_times(7)
+        assert record_times(7) != record_times(8)
+
+    def test_validation(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            UpsetInjector(sim, loaded_fpga(), mean_interval=0)
+
+
+class TestScrubber:
+    def test_repairs_resident_corruption(self):
+        sim = Simulator()
+        fpga = loaded_fpga()
+        inj = UpsetInjector(sim, fpga, mean_interval=2e-3, seed=5,
+                            stop_after=0.08)
+        scrub = Scrubber(sim, fpga, period=5e-3, injector=inj,
+                         stop_after=0.1)
+        sim.run()
+        assert scrub.n_scrubs > 5
+        hits = [r for r in inj.records if r.handle is not None]
+        assert hits, "expected some upsets to land on residents"
+        assert scrub.n_repairs >= 1
+        # After the last scrub pass, everything repairable was repaired.
+        assert fpga.scrub() == [] or sim.now < 0.1
+        for r in hits:
+            if r.repaired_at is not None:
+                assert r.repaired_at >= r.time
+
+    def test_faster_scrubbing_shortens_exposure(self):
+        def mean_exposure(period):
+            sim = Simulator()
+            fpga = loaded_fpga()
+            inj = UpsetInjector(sim, fpga, mean_interval=3e-3, seed=11,
+                                stop_after=0.4)
+            Scrubber(sim, fpga, period=period, injector=inj, stop_after=0.5)
+            sim.run()
+            exposures = [r.exposure for r in inj.records
+                         if r.exposure is not None]
+            return sum(exposures) / len(exposures) if exposures else None
+
+        fast = mean_exposure(2e-3)
+        slow = mean_exposure(40e-3)
+        assert fast is not None and slow is not None
+        assert fast < slow
+
+    def test_scrub_cost_accumulates(self):
+        sim = Simulator()
+        fpga = loaded_fpga()
+        scrub = Scrubber(sim, fpga, period=1e-3, stop_after=0.02)
+        sim.run()
+        assert scrub.scrub_time_total > 0
+        assert scrub.scrub_time_total == pytest.approx(
+            scrub.n_scrubs * fpga.scrub_time()
+        )
+
+    def test_validation(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            Scrubber(sim, loaded_fpga(), period=0)

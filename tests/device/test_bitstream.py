@@ -1,0 +1,163 @@
+"""Bitstream validation, relocation and frame accounting tests."""
+
+import pytest
+
+from repro.device import (
+    Architecture,
+    Bitstream,
+    BitstreamError,
+    ClbConfig,
+    Coord,
+    IobConfig,
+    IobDirection,
+    Rect,
+    Wire,
+    iob_sites,
+)
+
+
+@pytest.fixture
+def arch():
+    return Architecture("t", 6, 6, k=4, channel_width=4)
+
+
+def small_reloc(arch, at=(0, 0)) -> Bitstream:
+    """A one-CLB inverter in a 2x2 region anchored at ``at``."""
+    x, y = at
+    clb = ClbConfig(
+        lut_truth=0x5555,          # NOT of pin 0
+        input_sel=(1, 0, 0, 0),    # pin 0 <- below channel track 0
+        out_drives=frozenset({2}),  # drive below channel track 2
+    )
+    return Bitstream(
+        name="inv",
+        arch_name=arch.name,
+        region=Rect(x, y, 2, 2),
+        clbs={Coord(x, y): clb},
+        switches={},
+        relocatable=True,
+        virtual_inputs={"a": Wire("H", x, y, 0)},
+        virtual_outputs={"y": Wire("H", x, y, 2)},
+    )
+
+
+class TestValidation:
+    def test_valid_bitstream_passes(self, arch):
+        small_reloc(arch).validate(arch)
+
+    def test_wrong_family_rejected(self, arch):
+        bs = small_reloc(arch)
+        other = Architecture("other", 6, 6, k=4, channel_width=4)
+        with pytest.raises(BitstreamError, match="targets"):
+            bs.validate(other)
+
+    def test_region_outside_device(self, arch):
+        bs = small_reloc(arch, at=(5, 5))
+        with pytest.raises(BitstreamError, match="outside"):
+            bs.validate(arch)
+
+    def test_clb_outside_region(self, arch):
+        bs = small_reloc(arch)
+        bad = Bitstream(
+            name=bs.name, arch_name=bs.arch_name, region=bs.region,
+            clbs={Coord(5, 5): ClbConfig(lut_truth=1, input_sel=(0,) * 4)},
+            relocatable=True,
+        )
+        with pytest.raises(BitstreamError, match="outside region"):
+            bad.validate(arch)
+
+    def test_relocatable_cannot_bind_iobs(self, arch):
+        site = iob_sites(arch)[0]
+        bad = Bitstream(
+            name="x", arch_name=arch.name, region=Rect(0, 0, 2, 2),
+            relocatable=True,
+            iobs={site: IobConfig(True, IobDirection.INPUT, 1)},
+        )
+        with pytest.raises(BitstreamError, match="IOB"):
+            bad.validate(arch)
+
+    def test_virtual_pin_must_be_owned(self, arch):
+        bs = small_reloc(arch)
+        bad = Bitstream(
+            name=bs.name, arch_name=bs.arch_name, region=bs.region,
+            clbs=bs.clbs, relocatable=True,
+            virtual_inputs={"a": Wire("H", 4, 4, 0)},
+        )
+        with pytest.raises(BitstreamError, match="unowned"):
+            bad.validate(arch)
+
+    def test_state_bit_must_point_at_ff(self, arch):
+        bs = small_reloc(arch)
+        bad = Bitstream(
+            name=bs.name, arch_name=bs.arch_name, region=bs.region,
+            clbs=bs.clbs, relocatable=True,
+            state_bits={"q": Coord(0, 0)},  # that CLB has no FF
+        )
+        with pytest.raises(BitstreamError, match="non-FF"):
+            bad.validate(arch)
+
+
+class TestFrames:
+    def test_frames_touched_are_region_columns(self, arch):
+        bs = small_reloc(arch, at=(2, 1))
+        assert bs.frames_touched(arch) == {2, 3}  # the whole 2-column region
+
+    def test_dedicated_touches_iob_frame(self, arch):
+        site = iob_sites(arch)[0]
+        bs = Bitstream(
+            name="d", arch_name=arch.name, region=arch.full_rect,
+            iobs={site: IobConfig(True, IobDirection.INPUT, 1)},
+        )
+        assert arch.width in bs.frames_touched(arch)
+
+    def test_state_frames(self, arch):
+        clb = ClbConfig(
+            lut_truth=0x5555, ff_enable=True, out_registered=True,
+            input_sel=(1, 0, 0, 0), out_drives=frozenset({0}),
+        )
+        bs = Bitstream(
+            name="ff", arch_name=arch.name, region=Rect(3, 3, 1, 1),
+            clbs={Coord(3, 3): clb}, relocatable=True,
+            state_bits={"q": Coord(3, 3)},
+        )
+        assert bs.state_frames(arch) == {3}
+
+
+class TestRelocation:
+    def test_translate_moves_everything(self, arch):
+        bs = small_reloc(arch)
+        moved = bs.translated(3, 2)
+        moved.validate(arch)
+        assert moved.region == Rect(3, 2, 2, 2)
+        assert Coord(3, 2) in moved.clbs
+        assert moved.virtual_inputs["a"] == Wire("H", 3, 2, 0)
+
+    def test_translate_zero_is_identity(self, arch):
+        bs = small_reloc(arch)
+        assert bs.translated(0, 0) is bs
+
+    def test_anchor_at(self, arch):
+        bs = small_reloc(arch, at=(2, 2))
+        assert bs.anchored_at(0, 0).region == Rect(0, 0, 2, 2)
+
+    def test_nonrelocatable_rejects_translate(self, arch):
+        bs = Bitstream(name="d", arch_name=arch.name, region=arch.full_rect)
+        with pytest.raises(BitstreamError, match="not relocatable"):
+            bs.translated(1, 0)
+
+    def test_translate_out_of_device_fails_validation(self, arch):
+        moved = small_reloc(arch).translated(5, 0)
+        with pytest.raises(BitstreamError):
+            moved.validate(arch)
+
+
+class TestIntrospection:
+    def test_used_clbs(self, arch):
+        assert small_reloc(arch).used_clbs == 1
+
+    def test_ports(self, arch):
+        ins, outs = small_reloc(arch).ports()
+        assert ins == ["a"] and outs == ["y"]
+
+    def test_str(self, arch):
+        assert "relocatable" in str(small_reloc(arch))

@@ -1,0 +1,156 @@
+"""Codec round-trip and ConfigRam tests."""
+
+import numpy as np
+import pytest
+
+from repro.device import (
+    Architecture,
+    ClbConfig,
+    ConfigRam,
+    Coord,
+    FrameCodec,
+    IobConfig,
+    IobDirection,
+    iob_sites,
+)
+
+
+@pytest.fixture
+def arch():
+    return Architecture("t", 4, 4, k=4, channel_width=4)
+
+
+@pytest.fixture
+def codec(arch):
+    return FrameCodec(arch)
+
+
+class TestClbCodec:
+    def test_roundtrip(self, codec):
+        cfg = ClbConfig(
+            lut_truth=0xBEEF,
+            ff_enable=True,
+            ff_init=1,
+            out_registered=True,
+            input_sel=(1, 0, 7, 16),
+            out_drives=frozenset({0, 5, 15}),
+        )
+        assert codec.decode_clb(codec.encode_clb(cfg)) == cfg
+
+    def test_empty_roundtrip(self, arch, codec):
+        cfg = ClbConfig.empty(arch)
+        bits = codec.encode_clb(cfg)
+        assert not bits.any()
+        assert codec.decode_clb(bits) == cfg
+
+    def test_invalid_selector_rejected(self, arch, codec):
+        cfg = ClbConfig(input_sel=(99, 0, 0, 0))
+        with pytest.raises(ValueError):
+            codec.encode_clb(cfg)
+
+    def test_registered_without_ff_rejected(self, arch, codec):
+        cfg = ClbConfig(out_registered=True, input_sel=(0,) * 4)
+        with pytest.raises(ValueError):
+            codec.encode_clb(cfg)
+
+
+class TestSwitchCodec:
+    def test_roundtrip(self, codec):
+        enabled = frozenset({(0, 0), (2, 5), (3, 3)})
+        assert codec.decode_switchbox(codec.encode_switchbox(enabled)) == enabled
+
+    def test_long_line_keys_roundtrip(self, codec):
+        enabled = frozenset({(0, 6), (1, 7), (2, 3)})
+        assert codec.decode_switchbox(codec.encode_switchbox(enabled)) == enabled
+
+    def test_bad_key_rejected(self, codec):
+        with pytest.raises(ValueError):
+            codec.encode_switchbox(frozenset({(0, 8)}))
+        with pytest.raises(ValueError):
+            codec.encode_switchbox(frozenset({(99, 0)}))
+        with pytest.raises(ValueError):
+            # long index beyond long_per_channel (default 2)
+            codec.encode_switchbox(frozenset({(3, 6)}))
+
+
+class TestIobCodec:
+    def test_roundtrip(self, codec):
+        cfg = IobConfig(enable=True, direction=IobDirection.OUTPUT, track_sel=3)
+        assert codec.decode_iob(codec.encode_iob(cfg)) == cfg
+
+    def test_enabled_needs_track(self, codec):
+        with pytest.raises(ValueError):
+            codec.encode_iob(IobConfig(enable=True, track_sel=0))
+
+
+class TestDeviceRoundtrip:
+    def test_build_and_decode_frames(self, arch, codec):
+        clbs = {
+            Coord(1, 2): ClbConfig(
+                lut_truth=0x8, input_sel=(1, 2, 0, 0), out_drives=frozenset({3})
+            ),
+            Coord(3, 0): ClbConfig(
+                lut_truth=0x1,
+                ff_enable=True,
+                out_registered=True,
+                input_sel=(0,) * 4,
+                out_drives=frozenset({0}),
+            ),
+        }
+        switches = {Coord(1, 1): frozenset({(0, 0), (1, 5)}),
+                    Coord(4, 2): frozenset({(2, 5)})}
+        sites = iob_sites(arch)
+        iobs = {sites[0]: IobConfig(True, IobDirection.INPUT, 2),
+                sites[-1]: IobConfig(True, IobDirection.OUTPUT, 4)}
+        frames = codec.build_frames(clbs, switches, iobs)
+        assert frames.shape == (arch.n_frames, arch.frame_bits)
+        d_clbs, d_switches, d_iobs = codec.decode_frames(frames)
+        assert d_clbs == clbs
+        assert d_switches == switches
+        assert d_iobs == iobs
+
+    def test_out_of_device_rejected(self, arch, codec):
+        with pytest.raises(ValueError):
+            codec.build_frames(
+                {Coord(9, 9): ClbConfig(lut_truth=1, input_sel=(0,) * 4)}, {}, {}
+            )
+        with pytest.raises(ValueError):
+            codec.build_frames({}, {Coord(9, 0): frozenset({(0, 0)})}, {})
+
+    def test_decode_skips_untouched_tiles(self, arch, codec):
+        frames = codec.build_frames({}, {}, {})
+        clbs, switches, iobs = codec.decode_frames(frames)
+        assert clbs == {} and switches == {} and iobs == {}
+
+
+class TestConfigRam:
+    def test_initial_zero(self, arch):
+        ram = ConfigRam(arch)
+        assert not ram.frames.any()
+
+    def test_write_read_frame(self, arch):
+        ram = ConfigRam(arch)
+        bits = np.ones(arch.frame_bits, dtype=np.uint8)
+        ram.write_frame(2, bits)
+        assert ram.read_frame(2).all()
+        assert not ram.read_frame(0).any()
+
+    def test_counters(self, arch):
+        ram = ConfigRam(arch)
+        ram.write_frame(0, np.zeros(arch.frame_bits, dtype=np.uint8))
+        ram.write_frame(1, np.zeros(arch.frame_bits, dtype=np.uint8))
+        assert ram.frame_writes == 2
+        assert ram.bits_written == 2 * arch.frame_bits
+
+    def test_bounds(self, arch):
+        ram = ConfigRam(arch)
+        with pytest.raises(IndexError):
+            ram.write_frame(99, np.zeros(arch.frame_bits, dtype=np.uint8))
+        with pytest.raises(ValueError):
+            ram.write_frame(0, np.zeros(3, dtype=np.uint8))
+
+    def test_read_returns_copy(self, arch):
+        ram = ConfigRam(arch)
+        frame = ram.read_frame(0)
+        frame[:] = 1
+        assert not ram.frames[0].any()

@@ -1,0 +1,63 @@
+"""Odds-and-ends device queries and kernel edge cases."""
+
+import pytest
+
+from repro.core import ConfigRegistry
+from repro.device import Coord, Fpga, Rect, get_family
+
+ARCH = get_family("VF8")
+
+
+@pytest.fixture
+def fpga_with_two():
+    reg = ConfigRegistry(ARCH)
+    a = reg.register_synthetic("a", 3, 4)
+    b = reg.register_synthetic("b", 2, 2)
+    fpga = Fpga(ARCH)
+    fpga.load("a", a.bitstream.anchored_at(0, 0))
+    fpga.load("b", b.bitstream.anchored_at(5, 5))
+    return fpga
+
+
+class TestResidencyQueries:
+    def test_find_handle_at(self, fpga_with_two):
+        fpga = fpga_with_two
+        assert fpga.find_handle_at(Coord(1, 1)) == "a"
+        assert fpga.find_handle_at(Coord(5, 5)) == "b"
+        assert fpga.find_handle_at(Coord(7, 0)) is None
+
+    def test_region_is_free(self, fpga_with_two):
+        fpga = fpga_with_two
+        assert not fpga.region_is_free(Rect(0, 0, 1, 1))
+        assert fpga.region_is_free(Rect(3, 0, 2, 2))
+
+    def test_free_area_accounts_regions(self, fpga_with_two):
+        assert fpga_with_two.free_area() == 64 - 12 - 4
+
+
+class TestKernelEdges:
+    def test_spawn_in_the_past_rejected(self):
+        from repro.osim import CpuBurst, Kernel, NullFpgaService, RoundRobin, Task
+        from repro.sim import Simulator
+
+        sim = Simulator()
+        kernel = Kernel(sim, RoundRobin(), NullFpgaService())
+        kernel.spawn(Task("t", [CpuBurst(1.0)]))
+        sim.run(until=5.0)
+        with pytest.raises(ValueError, match="past"):
+            kernel.spawn(Task("late", [CpuBurst(1.0)], arrival=1.0))
+
+    def test_next_fpga_config_unknown_task(self):
+        from repro.osim import Kernel, NullFpgaService, RoundRobin, Task
+        from repro.sim import Simulator
+
+        kernel = Kernel(Simulator(), RoundRobin(), NullFpgaService())
+        assert kernel.next_fpga_config(Task("ghost", [])) is None
+
+
+class TestAnalysisStrs:
+    def test_summary_str(self):
+        from repro.analysis import summarize
+
+        text = str(summarize([1.0, 2.0, 3.0]))
+        assert "n=3" in text and "2" in text

@@ -1,0 +1,78 @@
+"""Unit tests for grid geometry."""
+
+import pytest
+
+from repro.device import Coord, Rect
+
+
+class TestCoord:
+    def test_translate(self):
+        assert Coord(1, 2).translated(3, -1) == Coord(4, 1)
+
+    def test_tuple_behaviour(self):
+        x, y = Coord(5, 7)
+        assert (x, y) == (5, 7)
+
+
+class TestRect:
+    def test_degenerate_rejected(self):
+        with pytest.raises(ValueError):
+            Rect(0, 0, 0, 5)
+        with pytest.raises(ValueError):
+            Rect(0, 0, 5, -1)
+
+    def test_negative_origin_rejected(self):
+        with pytest.raises(ValueError):
+            Rect(-1, 0, 2, 2)
+
+    def test_area_and_bounds(self):
+        r = Rect(2, 3, 4, 5)
+        assert r.area == 20
+        assert (r.x2, r.y2) == (6, 8)
+
+    def test_contains(self):
+        r = Rect(1, 1, 2, 2)
+        assert r.contains(Coord(1, 1))
+        assert r.contains(Coord(2, 2))
+        assert not r.contains(Coord(3, 1))
+        assert not r.contains(Coord(0, 1))
+
+    def test_contains_rect(self):
+        outer = Rect(0, 0, 4, 4)
+        assert outer.contains_rect(Rect(1, 1, 2, 2))
+        assert outer.contains_rect(outer)
+        assert not outer.contains_rect(Rect(3, 3, 2, 2))
+
+    def test_overlaps(self):
+        a = Rect(0, 0, 2, 2)
+        assert a.overlaps(Rect(1, 1, 2, 2))
+        assert not a.overlaps(Rect(2, 0, 2, 2))  # edge-adjacent: no overlap
+        assert not a.overlaps(Rect(0, 2, 2, 2))
+
+    def test_translated(self):
+        assert Rect(1, 1, 2, 3).translated(2, 0) == Rect(3, 1, 2, 3)
+
+    def test_coords_column_major(self):
+        r = Rect(0, 0, 2, 2)
+        assert list(r.coords()) == [Coord(0, 0), Coord(0, 1), Coord(1, 0), Coord(1, 1)]
+
+    def test_split_vertical(self):
+        left, right = Rect(0, 0, 4, 2).split_vertical(1)
+        assert left == Rect(0, 0, 1, 2)
+        assert right == Rect(1, 0, 3, 2)
+        with pytest.raises(ValueError):
+            Rect(0, 0, 4, 2).split_vertical(4)
+
+    def test_split_horizontal(self):
+        bottom, top = Rect(0, 0, 2, 4).split_horizontal(3)
+        assert bottom == Rect(0, 0, 2, 3)
+        assert top == Rect(0, 3, 2, 1)
+        with pytest.raises(ValueError):
+            Rect(0, 0, 2, 4).split_horizontal(0)
+
+    def test_split_partition_is_exact(self):
+        r = Rect(2, 2, 6, 4)
+        a, b = r.split_vertical(2)
+        assert a.area + b.area == r.area
+        assert not a.overlaps(b)
+        assert r.contains_rect(a) and r.contains_rect(b)

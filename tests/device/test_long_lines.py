@@ -1,0 +1,129 @@
+"""Long-distance interconnect tests (paper §2's long busses)."""
+
+import pytest
+
+from repro.device import (
+    Architecture,
+    Bitstream,
+    BitstreamError,
+    ClbConfig,
+    Coord,
+    Fpga,
+    Rect,
+    Wire,
+    hlong_wires,
+    long_switch_stubs,
+    vlong_wires,
+)
+
+
+@pytest.fixture
+def arch():
+    return Architecture("t", 6, 6, k=4, channel_width=4, long_per_channel=2)
+
+
+class TestEnumeration:
+    def test_counts(self, arch):
+        assert len(hlong_wires(arch)) == (arch.height + 1) * 2
+        assert len(vlong_wires(arch)) == (arch.width + 1) * 2
+
+    def test_stubs_tap_same_index_track(self, arch):
+        (hl, hr), (vl, va) = long_switch_stubs(arch, 2, 3, 1)
+        assert hl == Wire("HL", 0, 3, 1)
+        assert hr == Wire("H", 2, 3, 1)
+        assert vl == Wire("VL", 2, 0, 1)
+        assert va == Wire("V", 2, 3, 1)
+
+    def test_stub_none_at_far_edge(self, arch):
+        (hl, hr), (vl, va) = long_switch_stubs(arch, arch.width, arch.height, 0)
+        assert hr is None and va is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="long_per_channel"):
+            Architecture("bad", 4, 4, channel_width=4, long_per_channel=5)
+
+    def test_disabled(self):
+        a = Architecture("nolong", 4, 4, long_per_channel=0)
+        assert hlong_wires(a) == []
+        assert a.switchbox_config_bits == 6 * a.channel_width
+
+
+class TestFunctionalLongRoute:
+    def test_long_line_carries_signal_across_device(self, arch):
+        """Hand-built: CLB (0,0) drives H(0,0,0) → HL(y=0,0) via box (1,0)
+        → back down to H(5,0,0) via box (5,0) → CLB (5,0) input."""
+        receiver = ClbConfig(
+            lut_truth=0xAAAA, input_sel=(1, 0, 0, 0),  # BUF of below trk 0
+            out_drives=frozenset({2}),                 # observe on trk 2
+        )
+        driver = ClbConfig(
+            lut_truth=0x5555, input_sel=(2, 0, 0, 0),  # NOT of below trk 1
+            out_drives=frozenset({0}),                 # drive below trk 0
+        )
+        fpga = Fpga(arch)
+        bs = Bitstream(
+            name="long", arch_name=arch.name, region=arch.full_rect,
+            clbs={Coord(0, 0): driver, Coord(5, 0): receiver},
+            switches={
+                Coord(0, 0): frozenset({(0, 6)}),
+                Coord(5, 0): frozenset({(0, 6)}),
+            },
+            relocatable=False,
+        )
+        fpga.load("t", bs)
+        stim_wire = Wire("H", 0, 0, 1)
+        sim = fpga.functional_simulator(external_drivers=[stim_wire])
+        out_wire = Wire("H", 5, 0, 2)
+        for v in (0, 1):
+            nets = sim.evaluate({stim_wire: v})
+            assert sim.observe(out_wire, nets) == 1 - v
+
+    def test_relocatable_cannot_use_long_lines(self, arch):
+        bs = Bitstream(
+            name="bad", arch_name=arch.name, region=Rect(1, 1, 2, 2),
+            switches={Coord(1, 1): frozenset({(0, 6)})},
+            relocatable=True,
+        )
+        with pytest.raises(BitstreamError, match="long lines"):
+            bs.validate(arch)
+
+
+class TestRoutingWithLongLines:
+    def test_dedicated_cross_chip_net_uses_long_line(self):
+        """On a wide device a corner-to-corner net should take the long
+        line (cheaper than ~20 segment hops)."""
+        from repro.cad import NetSpec, Router, RoutingGraph
+
+        arch = Architecture("wide", 16, 16, channel_width=4, long_per_channel=2)
+        g = RoutingGraph(arch)
+        r = Router(g)
+        net = NetSpec(
+            "n", ("clb", Coord(0, 0)), [("clbpin", Coord(15, 0), 0)]
+        )
+        routed = r.route([net])["n"]
+        long_used = [
+            nid for nid in routed.nodes if g.is_long(nid)
+        ]
+        assert long_used, "expected the router to take a long line"
+        # And the path stats record it for timing.
+        stats = routed.sink_path_stats[("clbpin", Coord(15, 0), 0)]
+        assert stats[2] >= 1
+
+    def test_long_lines_shorten_critical_path(self):
+        """Dedicated compile of a cross-chip circuit: enabling long lines
+        must not lengthen (and normally shortens) the max net delay."""
+        from repro.cad import NetSpec, Router, RoutingGraph
+
+        def max_delay(long_per_channel):
+            arch = Architecture("w", 16, 16, channel_width=4,
+                                long_per_channel=long_per_channel)
+            g = RoutingGraph(arch)
+            r = Router(g)
+            net = NetSpec("n", ("clb", Coord(0, 8)),
+                          [("clbpin", Coord(15, 8), 0)])
+            routed = r.route([net])["n"]
+            w, s, lw = routed.sink_path_stats[("clbpin", Coord(15, 8), 0)]
+            return (w * arch.wire_delay + s * arch.switch_delay
+                    + lw * arch.long_wire_delay)
+
+        assert max_delay(2) < max_delay(0)

@@ -1,0 +1,90 @@
+"""ConfigPort timing-model unit tests."""
+
+import pytest
+
+from repro.core import synthetic_bitstream
+from repro.device import Architecture, ConfigPort
+
+
+@pytest.fixture
+def arch():
+    return Architecture("t", 8, 8, channel_width=4, serial_rate=1e6,
+                        frame_overhead=5e-6, readback_rate=2e6)
+
+
+@pytest.fixture
+def port(arch):
+    return ConfigPort(arch)
+
+
+class TestFullConfig:
+    def test_full_serial_time(self, arch, port):
+        t = port.full_config()
+        assert t.mode == "full-serial"
+        assert t.n_frames == arch.n_frames
+        assert t.seconds == pytest.approx(arch.total_config_bits / 1e6)
+
+    def test_full_config_matches_arch_property(self, arch, port):
+        assert port.full_config().seconds == pytest.approx(
+            arch.full_config_time
+        )
+
+
+class TestPartialLoads:
+    def test_load_time_frame_proportional(self, arch, port):
+        narrow = synthetic_bitstream("n", arch, 2, 4)
+        wide = synthetic_bitstream("w", arch, 6, 4)
+        tn, tw = port.load_time(narrow), port.load_time(wide)
+        assert tn.mode == tw.mode == "partial"
+        assert tn.n_frames == 2 and tw.n_frames == 6
+        assert tw.seconds == pytest.approx(3 * tn.seconds)
+
+    def test_frame_write_formula(self, arch, port):
+        per_frame = arch.frame_overhead + arch.frame_bits / arch.serial_rate
+        assert port.frame_write_time(5) == pytest.approx(5 * per_frame)
+
+    def test_unload_costs_like_load(self, arch, port):
+        bs = synthetic_bitstream("x", arch, 3, 3)
+        assert port.unload_time(bs).seconds == pytest.approx(
+            port.load_time(bs).seconds
+        )
+
+    def test_non_partial_always_full(self, arch):
+        serial_only = arch.scaled(supports_partial=False)
+        port = ConfigPort(serial_only)
+        bs = synthetic_bitstream("x", serial_only, 2, 2)
+        t = port.load_time(bs)
+        assert t.mode == "full-serial"
+        assert t.seconds == pytest.approx(serial_only.full_config_time)
+
+
+class TestStateMovement:
+    def test_save_touches_only_ff_frames(self, arch, port):
+        # 4 state bits in a 2-wide region: FFs packed column-major into
+        # column 0 (height 8 >= 4), so exactly 1 frame.
+        bs = synthetic_bitstream("s", arch, 2, 8, n_state_bits=4)
+        t = port.state_save_time(bs)
+        assert t.mode == "readback"
+        assert t.n_frames == 1
+
+    def test_save_cost_uses_readback_rate(self, arch, port):
+        bs = synthetic_bitstream("s", arch, 2, 8, n_state_bits=4)
+        expect = 1 * (arch.frame_overhead + arch.frame_bits / arch.readback_rate)
+        assert port.state_save_time(bs).seconds == pytest.approx(expect)
+
+    def test_restore_is_read_modify_write(self, arch, port):
+        bs = synthetic_bitstream("s", arch, 2, 8, n_state_bits=4)
+        save = port.state_save_time(bs).seconds
+        restore = port.state_restore_time(bs).seconds
+        assert restore > save  # adds the write-back
+
+    def test_combinational_state_is_free(self, arch, port):
+        bs = synthetic_bitstream("c", arch, 3, 3, n_state_bits=0)
+        assert port.state_save_time(bs).seconds == 0
+        assert port.state_restore_time(bs).seconds == 0
+
+    def test_state_cost_scales_with_ff_spread(self, arch, port):
+        packed = synthetic_bitstream("p", arch, 2, 8, n_state_bits=8)   # 1 col
+        spread = synthetic_bitstream("q", arch, 8, 8, n_state_bits=64)  # 8 cols
+        assert (port.state_save_time(spread).seconds
+                > port.state_save_time(packed).seconds)

@@ -1,0 +1,37 @@
+"""Example-script health: quickstart runs end to end; all examples at
+least parse/compile (their work is __main__-guarded)."""
+
+import pathlib
+import py_compile
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parents[2] / "examples").glob("*.py")
+)
+
+
+def test_examples_exist():
+    names = {p.name for p in EXAMPLES}
+    assert "quickstart.py" in names
+    assert len(EXAMPLES) >= 4  # quickstart + three domain scenarios
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=[p.stem for p in EXAMPLES])
+def test_example_compiles(path):
+    py_compile.compile(str(path), doraise=True)
+
+
+def test_quickstart_runs():
+    proc = subprocess.run(
+        [sys.executable, "examples/quickstart.py"],
+        cwd=pathlib.Path(__file__).parents[2],
+        capture_output=True, text=True, timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr
+    out = proc.stdout
+    assert "9 + 5 = 14" in out
+    assert "hidden cost" in out
+    assert "partitioned virtualization" in out

@@ -1,0 +1,139 @@
+"""Serialization round-trips and configuration scrubbing."""
+
+import pytest
+
+from repro.cad import compile_netlist, verify_bitstream
+from repro.device import (
+    Fpga,
+    bitstream_from_dict,
+    bitstream_to_dict,
+    get_family,
+    load_bitstream,
+    save_bitstream,
+)
+from repro.netlist import (
+    LogicSimulator,
+    load_netlist,
+    netlist_from_dict,
+    netlist_to_dict,
+    parity_tree,
+    ripple_adder,
+    save_netlist,
+    serial_crc,
+)
+
+ARCH = get_family("VF8")
+
+
+class TestNetlistRoundtrip:
+    @pytest.mark.parametrize("factory", [
+        lambda: ripple_adder(4),
+        lambda: serial_crc(8, 0x07),
+    ], ids=["adder", "crc"])
+    def test_dict_roundtrip_preserves_function(self, factory):
+        import random
+
+        nl = factory()
+        back = netlist_from_dict(netlist_to_dict(nl))
+        assert [c.name for c in back.cells.values()] == \
+            [c.name for c in nl.cells.values()]
+        s1, s2 = LogicSimulator(nl), LogicSimulator(back)
+        rng = random.Random(1)
+        names = [c.name for c in nl.primary_inputs]
+        stim = [{n: rng.randint(0, 1) for n in names} for _ in range(10)]
+        assert s1.run(stim) == s2.run(stim)
+
+    def test_file_roundtrip(self, tmp_path):
+        nl = ripple_adder(3)
+        path = tmp_path / "adder.json"
+        save_netlist(nl, path)
+        assert load_netlist(path).name == "adder3"
+
+    def test_bad_format_rejected(self):
+        with pytest.raises(ValueError, match="repro-netlist"):
+            netlist_from_dict({"format": "pdf", "name": "x", "cells": []})
+
+
+class TestBitstreamRoundtrip:
+    @pytest.fixture(scope="class")
+    def compiled(self):
+        nl = serial_crc(4, 0x3)
+        return nl, compile_netlist(nl, ARCH, seed=1, effort="greedy").bitstream
+
+    def test_dict_roundtrip_equal(self, compiled):
+        _nl, bs = compiled
+        back = bitstream_from_dict(bitstream_to_dict(bs))
+        assert back.clbs == bs.clbs
+        assert back.switches == bs.switches
+        assert back.state_bits == bs.state_bits
+        assert back.virtual_inputs == bs.virtual_inputs
+        assert back.region == bs.region
+
+    def test_roundtripped_bitstream_still_verifies(self, compiled, tmp_path):
+        nl, bs = compiled
+        path = tmp_path / "crc.json"
+        save_bitstream(bs, path)
+        back = load_bitstream(path)
+        verify_bitstream(nl, back, ARCH)
+
+    def test_roundtrip_then_relocate(self, compiled):
+        nl, bs = compiled
+        back = bitstream_from_dict(bitstream_to_dict(bs))
+        moved = back.anchored_at(3, 3)
+        verify_bitstream(nl, moved, ARCH)
+
+    def test_dedicated_roundtrip(self):
+        nl = parity_tree(4)
+        bs = compile_netlist(nl, ARCH, mode="dedicated", seed=1).bitstream
+        back = bitstream_from_dict(bitstream_to_dict(bs))
+        assert back.pad_inputs == bs.pad_inputs
+        verify_bitstream(nl, back, ARCH)
+
+    def test_bad_format_rejected(self):
+        with pytest.raises(ValueError, match="repro-bitstream"):
+            bitstream_from_dict({"format": "elf"})
+
+
+class TestScrub:
+    @pytest.fixture
+    def loaded(self):
+        nl = parity_tree(4)
+        bs = compile_netlist(nl, ARCH, seed=1, effort="greedy").bitstream
+        fpga = Fpga(ARCH)
+        fpga.load("p", bs)
+        return fpga, bs
+
+    def test_clean_device_scrubs_clean(self, loaded):
+        fpga, _bs = loaded
+        assert fpga.scrub() == []
+
+    def test_corruption_detected_and_named(self, loaded):
+        fpga, bs = loaded
+        coord = next(iter(bs.clbs))
+        off = fpga.codec.clb_offset(coord.y)
+        fpga.ram.frames[coord.x, off] ^= 1
+        assert fpga.scrub() == ["p"]
+
+    def test_reload_heals(self, loaded):
+        fpga, bs = loaded
+        coord = next(iter(bs.clbs))
+        fpga.ram.frames[coord.x, fpga.codec.clb_offset(coord.y)] ^= 1
+        fpga.unload("p")
+        fpga.load("p", bs)
+        assert fpga.scrub() == []
+
+    def test_corruption_outside_regions_ignored(self, loaded):
+        fpga, bs = loaded
+        # A bit in an unowned frame (far column) is not any resident's
+        # problem.
+        fpga.ram.frames[ARCH.width - 1, 0] ^= 1
+        assert fpga.scrub() == []
+
+    def test_scrub_time_positive_and_frame_scaled(self, loaded):
+        fpga, bs = loaded
+        t1 = fpga.scrub_time()
+        assert t1 > 0
+        nl2 = parity_tree(5)
+        bs2 = compile_netlist(nl2, ARCH, seed=1, effort="greedy").bitstream
+        fpga.load("q", bs2.anchored_at(4, 4))
+        assert fpga.scrub_time() > t1

@@ -1,0 +1,162 @@
+"""System-level consistency: accounting, work conservation, determinism,
+and functional integrity under OS management."""
+
+import pytest
+
+from repro.core import ConfigRegistry, VirtualFpga, make_service
+from repro.device import get_family
+from repro.netlist import LogicSimulator, counter, parity_tree
+from repro.osim import FpgaOp, Kernel, RoundRobin, Task, uniform_workload
+from repro.sim import Simulator
+
+CP = 25e-9
+
+
+def build_registry():
+    arch = get_family("VF12")
+    reg = ConfigRegistry(arch)
+    for i, w in enumerate([3, 4, 5]):
+        reg.register_synthetic(f"f{i}", w, arch.height, critical_path=CP)
+    return reg
+
+
+def run(policy, tasks, **kw):
+    reg = build_registry()
+    sim = Simulator()
+    service = make_service(policy, reg, **kw)
+    kernel = Kernel(sim, RoundRobin(time_slice=1e-3), service)
+    kernel.spawn_all(tasks)
+    return kernel.run(), service
+
+
+def workload(cycles=100_000):
+    return uniform_workload(["f0", "f1", "f2"], n_tasks=6, ops_per_task=3,
+                            cpu_burst=1e-3, cycles=cycles, seed=31)
+
+
+POLICIES = [
+    ("nonpreemptable", {}),
+    ("dynamic", {}),
+    ("dynamic", {"preemption": "save-restore", "fpga_time_slice": 2e-3}),
+    ("fixed", {"n_partitions": 2}),
+    ("variable", {"gc": "compact"}),
+    ("overlay", {"resident_names": ["f0"]}),
+]
+
+
+@pytest.mark.parametrize("policy,kw", POLICIES,
+                         ids=[f"{p}-{i}" for i, (p, _k) in enumerate(POLICIES)])
+class TestInvariantsAcrossPolicies:
+    def test_work_conservation(self, policy, kw):
+        """Progress-preserving policies deliver exactly the demanded fabric
+        time, no matter how it was scheduled."""
+        stats, service = run(policy, workload(), **kw)
+        demanded = 6 * 3 * 100_000 * CP
+        assert stats.total_fpga_exec == pytest.approx(demanded, rel=1e-9)
+
+    def test_task_vs_service_accounting_agree(self, policy, kw):
+        stats, service = run(policy, workload(), **kw)
+        assert stats.total_fpga_exec == pytest.approx(
+            service.metrics.exec_time, rel=1e-9
+        )
+        assert stats.total_fpga_state == pytest.approx(
+            service.metrics.state_time, rel=1e-9
+        )
+        # Boot-time loads (the overlay's pinned set) are system work, not
+        # task work; everything else must match one-for-one.
+        boot_loads = len(kw.get("resident_names", []))
+        assert stats.n_reconfigs == service.metrics.n_loads - boot_loads
+
+    def test_deterministic_replay(self, policy, kw):
+        s1, _ = run(policy, workload(), **kw)
+        s2, _ = run(policy, workload(), **kw)
+        assert s1.makespan == s2.makespan
+        assert s1.mean_turnaround == s2.mean_turnaround
+        assert s1.n_reconfigs == s2.n_reconfigs
+
+    def test_makespan_bounds(self, policy, kw):
+        """Makespan at least the critical-path lower bound, at most the
+        fully serial upper bound (sanity envelope)."""
+        stats, service = run(policy, workload(), **kw)
+        one_op = 100_000 * CP
+        per_task_floor = 3 * one_op  # each task's own ops are serial
+        assert stats.makespan >= per_task_floor
+        serial_ceiling = (
+            stats.total_fpga_exec
+            + stats.total_fpga_reconfig
+            + stats.total_fpga_state
+            + stats.total_cpu_time
+            + 1.0  # context switches etc.
+        )
+        assert stats.makespan <= serial_ceiling
+
+
+class TestFunctionalIntegrityUnderManagement:
+    def test_resident_circuits_stay_correct_after_simulation(self):
+        """After a managed run with real compiled circuits, decode the
+        device RAM and functionally verify whatever is still resident —
+        managed multiplexing must never corrupt a configuration."""
+        vf = VirtualFpga("VF12")
+        vf.add_circuit(parity_tree(4), effort="greedy", seed=1)
+        vf.add_circuit(counter(3), effort="greedy", seed=1)
+        vf.add_circuit(parity_tree(6), name="parity6", effort="greedy", seed=1)
+        tasks = uniform_workload(vf.circuits, n_tasks=5, ops_per_task=4,
+                                 cpu_burst=0.5e-3, cycles=50_000, seed=8)
+        vf.simulate(tasks, policy="variable", gc="compact")
+        service = vf.last_service
+        goldens = {
+            "parity4": parity_tree(4),
+            "counter3": counter(3),
+            "parity6": parity_tree(6),
+        }
+        assert service.fpga.resident, "expected cached residents after run"
+        for handle in service.fpga.resident:
+            nl = goldens[handle]
+            view = service.fpga.view(handle)
+            golden = LogicSimulator(nl)
+            names = [c.name for c in nl.primary_inputs]
+            import random
+
+            rng = random.Random(5)
+            for _ in range(8):
+                vec = {n: rng.randint(0, 1) for n in names}
+                if nl.state_bits:
+                    assert view.step(vec) == golden.step(vec)
+                else:
+                    assert view.evaluate(vec) == golden.evaluate(vec)
+
+    def test_mixed_policy_registry_reuse(self):
+        """One registry drives several simulations back to back; compiled
+        bitstreams are immutable so nothing leaks between runs."""
+        vf = VirtualFpga("VF12")
+        vf.add_circuit(parity_tree(4), effort="greedy", seed=1)
+        vf.add_circuit(counter(3), effort="greedy", seed=1)
+        results = []
+        for policy, kw in [("nonpreemptable", {}), ("variable", {}),
+                           ("nonpreemptable", {})]:
+            tasks = uniform_workload(vf.circuits, 4, 2, 1e-3, 50_000, seed=2)
+            results.append(vf.simulate(tasks, policy=policy, **kw).makespan)
+        assert results[0] == results[2]  # same policy, same answer
+
+
+class TestCrossPolicyOrdering:
+    def test_partitioned_never_slower_than_nonpreemptable(self):
+        """On a multi-config contention workload, keeping circuits
+        resident can only help (modulo tiny scheduling noise)."""
+        s_np, _ = run("nonpreemptable", workload())
+        s_fx, _ = run("fixed", workload(), n_partitions=2)
+        assert s_fx.makespan <= s_np.makespan * 1.05
+
+    def test_merged_is_the_lower_bound(self):
+        arch = get_family("VF24")
+        reg = ConfigRegistry(arch)
+        for i, w in enumerate([3, 4, 5]):
+            reg.register_synthetic(f"f{i}", w, arch.height, critical_path=CP)
+        sim = Simulator()
+        service = make_service("merged", reg)
+        kernel = Kernel(sim, RoundRobin(time_slice=1e-3), service)
+        kernel.spawn_all(workload())
+        merged = kernel.run()
+        for policy, kw in [("dynamic", {}), ("variable", {})]:
+            stats, _ = run(policy, workload(), **kw)
+            assert merged.makespan <= stats.makespan * 1.001

@@ -1,0 +1,108 @@
+"""NetlistBuilder idioms and netlist statistics tests."""
+
+import pytest
+
+from repro.netlist import (
+    CellKind,
+    LogicSimulator,
+    NetlistBuilder,
+    netlist_stats,
+    ripple_adder,
+    serial_crc,
+)
+
+
+class TestBuilderIdioms:
+    def test_fresh_names_unique(self):
+        b = NetlistBuilder("t")
+        x, y = b.input("x"), b.input("y")
+        names = {b.and_(x, y) for _ in range(10)}
+        assert len(names) == 10
+
+    def test_reduce_tree_wide_and(self):
+        b = NetlistBuilder("t")
+        ins = b.input_bus("x", 9)
+        b.output("y", b.reduce_tree(CellKind.AND, ins))
+        sim = LogicSimulator(b.build())
+        assert sim.evaluate(LogicSimulator.pack_bus("x", (1 << 9) - 1, 9))["y"] == 1
+        assert sim.evaluate(LogicSimulator.pack_bus("x", (1 << 9) - 2, 9))["y"] == 0
+
+    def test_reduce_tree_single_element(self):
+        b = NetlistBuilder("t")
+        x = b.input("x")
+        assert b.reduce_tree(CellKind.OR, [x]) == x
+
+    def test_reduce_tree_empty_rejected(self):
+        b = NetlistBuilder("t")
+        with pytest.raises(ValueError):
+            b.reduce_tree(CellKind.AND, [])
+
+    def test_full_adder_truth(self):
+        b = NetlistBuilder("t")
+        a, c, ci = b.input("a"), b.input("c"), b.input("ci")
+        s, co = b.full_adder(a, c, ci)
+        b.output("s", s)
+        b.output("co", co)
+        sim = LogicSimulator(b.build())
+        for x in (0, 1):
+            for y in (0, 1):
+                for z in (0, 1):
+                    out = sim.evaluate({"a": x, "c": y, "ci": z})
+                    assert out["s"] + 2 * out["co"] == x + y + z
+
+    def test_ripple_add_width_mismatch(self):
+        b = NetlistBuilder("t")
+        with pytest.raises(ValueError):
+            b.ripple_add(b.input_bus("a", 2), b.input_bus("c", 3))
+
+    def test_equals_width_mismatch(self):
+        b = NetlistBuilder("t")
+        with pytest.raises(ValueError):
+            b.equals(b.input_bus("a", 2), b.input_bus("c", 3))
+
+    def test_register_bus_init_word(self):
+        b = NetlistBuilder("t")
+        d = b.input_bus("d", 3)
+        q = b.register_bus(d, init=0b101)
+        b.output_bus("q", q)
+        sim = LogicSimulator(b.build())
+        out = sim.step(LogicSimulator.pack_bus("d", 0, 3))
+        assert LogicSimulator.unpack_bus(out, "q") == 0b101
+
+    def test_mux_semantics(self):
+        b = NetlistBuilder("t")
+        s, a, c = b.input("s"), b.input("a"), b.input("c")
+        b.output("y", b.mux(s, a, c))
+        sim = LogicSimulator(b.build())
+        assert sim.evaluate({"s": 0, "a": 1, "c": 0})["y"] == 1
+        assert sim.evaluate({"s": 1, "a": 1, "c": 0})["y"] == 0
+
+
+class TestStats:
+    def test_adder_stats(self):
+        st = netlist_stats(ripple_adder(4))
+        assert st.n_inputs == 9 and st.n_outputs == 5
+        assert st.n_ffs == 0
+        assert st.depth >= 4  # carries ripple
+        assert st.io_count == 14
+        assert st.kind_histogram["xor"] > 0
+
+    def test_sequential_stats(self):
+        st = netlist_stats(serial_crc(8, 0x07))
+        assert st.n_ffs == 8
+        assert st.n_inputs == 1 and st.n_outputs == 8
+
+    def test_str_is_informative(self):
+        st = netlist_stats(ripple_adder(2))
+        text = str(st)
+        assert "adder2" in text and "gates" in text and "depth" in text
+
+    def test_gates_exclude_buf_and_io(self):
+        b = NetlistBuilder("t")
+        x = b.input("x")
+        g = b.not_(x)
+        buf = b.buf(g)
+        b.output("y", buf)
+        st = netlist_stats(b.build())
+        assert st.n_gates == 1  # only the NOT
+        assert st.n_cells == 4

@@ -1,0 +1,106 @@
+"""Unit tests for the cell library."""
+
+import pytest
+
+from repro.netlist import Cell, CellKind, evaluate_kind
+
+
+class TestCellValidation:
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Cell("", CellKind.INPUT)
+
+    def test_input_takes_no_fanin(self):
+        with pytest.raises(ValueError):
+            Cell("x", CellKind.INPUT, ("a",))
+
+    def test_output_needs_exactly_one(self):
+        with pytest.raises(ValueError):
+            Cell("y", CellKind.OUTPUT)
+        with pytest.raises(ValueError):
+            Cell("y", CellKind.OUTPUT, ("a", "b"))
+        Cell("y", CellKind.OUTPUT, ("a",))  # ok
+
+    def test_and_needs_two(self):
+        with pytest.raises(ValueError):
+            Cell("g", CellKind.AND, ("a",))
+        Cell("g", CellKind.AND, ("a", "b", "c"))  # n-ary ok
+
+    def test_mux_needs_three(self):
+        with pytest.raises(ValueError):
+            Cell("m", CellKind.MUX, ("s", "a"))
+
+    def test_dff_single_input(self):
+        with pytest.raises(ValueError):
+            Cell("q", CellKind.DFF, ("d", "e"))
+
+    def test_lut_truth_range(self):
+        Cell("l", CellKind.LUT, ("a", "b"), truth=0b1001)
+        with pytest.raises(ValueError):
+            Cell("l", CellKind.LUT, ("a", "b"), truth=1 << 4)
+
+    def test_truth_only_on_lut(self):
+        with pytest.raises(ValueError):
+            Cell("g", CellKind.AND, ("a", "b"), truth=3)
+
+    def test_init_only_on_dff(self):
+        Cell("q", CellKind.DFF, ("d",), init=1)
+        with pytest.raises(ValueError):
+            Cell("g", CellKind.AND, ("a", "b"), init=1)
+        with pytest.raises(ValueError):
+            Cell("q", CellKind.DFF, ("d",), init=2)
+
+    def test_fanin_normalised_to_tuple(self):
+        c = Cell("g", CellKind.AND, ["a", "b"])
+        assert c.fanin == ("a", "b")
+
+    def test_is_flags(self):
+        assert Cell("g", CellKind.XOR, ("a", "b")).is_combinational
+        assert not Cell("q", CellKind.DFF, ("d",)).is_combinational
+        assert Cell("q", CellKind.DFF, ("d",)).is_state
+
+
+class TestEvaluateKind:
+    @pytest.mark.parametrize(
+        "kind,values,expect",
+        [
+            (CellKind.BUF, (0,), 0),
+            (CellKind.BUF, (1,), 1),
+            (CellKind.NOT, (0,), 1),
+            (CellKind.NOT, (1,), 0),
+            (CellKind.AND, (1, 1, 1), 1),
+            (CellKind.AND, (1, 0, 1), 0),
+            (CellKind.OR, (0, 0), 0),
+            (CellKind.OR, (0, 1), 1),
+            (CellKind.NAND, (1, 1), 0),
+            (CellKind.NOR, (0, 0), 1),
+            (CellKind.XOR, (1, 1, 1), 1),
+            (CellKind.XOR, (1, 1), 0),
+            (CellKind.XNOR, (1, 0), 0),
+            (CellKind.CONST0, (), 0),
+            (CellKind.CONST1, (), 1),
+        ],
+    )
+    def test_gates(self, kind, values, expect):
+        assert evaluate_kind(kind, values) == expect
+
+    def test_mux_selects(self):
+        # fanin = (sel, a, b): b when sel else a
+        assert evaluate_kind(CellKind.MUX, (0, 0, 1)) == 0
+        assert evaluate_kind(CellKind.MUX, (1, 0, 1)) == 1
+
+    def test_lut_indexing_lsb_first(self):
+        # truth bit i corresponds to pattern i with fanin[0] as LSB.
+        truth = 0b0110  # XOR of two inputs
+        assert evaluate_kind(CellKind.LUT, (0, 0), truth) == 0
+        assert evaluate_kind(CellKind.LUT, (1, 0), truth) == 1
+        assert evaluate_kind(CellKind.LUT, (0, 1), truth) == 1
+        assert evaluate_kind(CellKind.LUT, (1, 1), truth) == 0
+
+    def test_dff_not_evaluable(self):
+        with pytest.raises(ValueError):
+            evaluate_kind(CellKind.DFF, (1,))
+
+    def test_input_not_evaluable(self):
+        with pytest.raises(ValueError):
+            evaluate_kind(CellKind.INPUT, ())

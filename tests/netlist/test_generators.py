@@ -1,0 +1,274 @@
+"""Generator tests: every circuit is checked against a software reference
+model over exhaustive or randomized stimulus."""
+
+import random
+
+import pytest
+
+from repro.netlist import (
+    CIRCUIT_GENERATORS,
+    LogicSimulator,
+    accumulator,
+    alu,
+    array_multiplier,
+    comparator,
+    counter,
+    lfsr,
+    moore_fsm,
+    moving_sum_fir,
+    netlist_stats,
+    parity_tree,
+    random_logic,
+    ripple_adder,
+    serial_crc,
+    shift_register,
+)
+
+rng = random.Random(20260707)
+
+
+def bus(prefix, value, width):
+    return LogicSimulator.pack_bus(prefix, value, width)
+
+
+class TestAdder:
+    @pytest.mark.parametrize("width", [1, 3, 8])
+    def test_against_integer_addition(self, width):
+        sim = LogicSimulator(ripple_adder(width))
+        cases = (
+            [
+                (a, b, c)
+                for a in range(1 << width)
+                for b in range(1 << width)
+                for c in (0, 1)
+            ]
+            if width <= 2
+            else [
+                (rng.randrange(1 << width), rng.randrange(1 << width), rng.randint(0, 1))
+                for _ in range(40)
+            ]
+        )
+        for a, b_, c in cases:
+            out = sim.evaluate({**bus("a", a, width), **bus("b", b_, width), "cin": c})
+            got = LogicSimulator.unpack_bus(out, "s") | (out["cout"] << width)
+            assert got == a + b_ + c
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            ripple_adder(0)
+
+
+class TestMultiplier:
+    @pytest.mark.parametrize("width", [2, 4])
+    def test_against_integer_multiplication(self, width):
+        sim = LogicSimulator(array_multiplier(width))
+        for a in range(1 << width):
+            for b_ in range(1 << width):
+                out = sim.evaluate({**bus("a", a, width), **bus("b", b_, width)})
+                assert LogicSimulator.unpack_bus(out, "p") == a * b_, (a, b_)
+
+    def test_is_large(self):
+        # The multiplier is the "big circuit" of the experiments: it must
+        # dominate the adder in gate count.
+        s8 = netlist_stats(array_multiplier(8))
+        a8 = netlist_stats(ripple_adder(8))
+        assert s8.n_gates > 4 * a8.n_gates
+
+
+class TestComparator:
+    @pytest.mark.parametrize("width", [1, 4])
+    def test_eq_lt(self, width):
+        sim = LogicSimulator(comparator(width))
+        for a in range(1 << width):
+            for b_ in range(1 << width):
+                out = sim.evaluate({**bus("a", a, width), **bus("b", b_, width)})
+                assert out["eq"] == int(a == b_)
+                assert out["lt"] == int(a < b_)
+
+
+class TestParity:
+    def test_matches_bitcount(self):
+        width = 9
+        sim = LogicSimulator(parity_tree(width))
+        for _ in range(50):
+            v = rng.randrange(1 << width)
+            out = sim.evaluate(bus("d", v, width))
+            assert out["p"] == bin(v).count("1") % 2
+
+
+class TestAlu:
+    def test_all_ops(self):
+        width = 4
+        sim = LogicSimulator(alu(width))
+        mask = (1 << width) - 1
+        ops = {0: lambda a, b: (a + b) & mask, 1: lambda a, b: a & b,
+               2: lambda a, b: a | b, 3: lambda a, b: a ^ b}
+        for op, fn in ops.items():
+            for _ in range(20):
+                a, b_ = rng.randrange(1 << width), rng.randrange(1 << width)
+                out = sim.evaluate(
+                    {**bus("a", a, width), **bus("b", b_, width), **bus("op", op, 2)}
+                )
+                assert LogicSimulator.unpack_bus(out, "y") == fn(a, b_), (op, a, b_)
+
+
+class TestRandomLogic:
+    def test_reproducible(self):
+        n1 = random_logic(50, 8, 4, seed=7)
+        n2 = random_logic(50, 8, 4, seed=7)
+        assert [c.name for c in n1.cells.values()] == [c.name for c in n2.cells.values()]
+        assert [c.fanin for c in n1.cells.values()] == [c.fanin for c in n2.cells.values()]
+
+    def test_different_seeds_differ(self):
+        n1 = random_logic(50, 8, 4, seed=1)
+        n2 = random_logic(50, 8, 4, seed=2)
+        assert [c.fanin for c in n1.cells.values()] != [c.fanin for c in n2.cells.values()]
+
+    def test_valid_and_sized(self):
+        nl = random_logic(200, 16, 8, seed=3)
+        nl.validate()
+        st = netlist_stats(nl)
+        assert st.n_gates == 200
+        assert st.n_inputs == 16 and st.n_outputs == 8
+
+
+class TestCounter:
+    def test_counts_with_enable(self):
+        width = 4
+        sim = LogicSimulator(counter(width))
+        expect = 0
+        for en in (1, 1, 0, 1, 1, 1, 0, 0, 1):
+            out = sim.step({"en": en})
+            assert LogicSimulator.unpack_bus(out, "q") == expect
+            expect = (expect + en) % (1 << width)
+
+    def test_wraps(self):
+        sim = LogicSimulator(counter(2))
+        vals = [LogicSimulator.unpack_bus(sim.step({"en": 1}), "q") for _ in range(6)]
+        assert vals == [0, 1, 2, 3, 0, 1]
+
+
+class TestLfsr:
+    def test_nonzero_and_periodic(self):
+        sim = LogicSimulator(lfsr(4, taps=(3, 2)))  # x^4+x^3+1: maximal
+        seen = []
+        for _ in range(20):
+            out = sim.step({})
+            seen.append(LogicSimulator.unpack_bus(out, "q"))
+        assert all(v != 0 for v in seen[1:])
+        assert len(set(seen)) == 15  # maximal length sequence
+
+    def test_bad_taps_rejected(self):
+        with pytest.raises(ValueError):
+            lfsr(4, taps=(9, 0))
+
+
+class TestShiftRegister:
+    def test_shifts(self):
+        sim = LogicSimulator(shift_register(3))
+        stream = [1, 0, 1, 1, 0]
+        outs = [LogicSimulator.unpack_bus(sim.step({"din": v}), "q") for v in stream]
+        # After k steps, q contains the last bits shifted in.
+        assert outs[-1] & 1 == stream[-2]  # q[0] is the most recent *latched* bit
+
+
+class TestSerialCrc:
+    @staticmethod
+    def crc_reference(bits, width, poly):
+        """Software model with the same recurrence as the hardware."""
+        reg = 0
+        for bit in bits:
+            fb = bit ^ ((reg >> (width - 1)) & 1)
+            reg = (reg << 1) & ((1 << width) - 1)
+            if fb:
+                reg ^= poly | 1  # bit 0 always receives the feedback
+        return reg
+
+    @pytest.mark.parametrize("width,poly", [(4, 0x3), (8, 0x07)])
+    def test_matches_reference(self, width, poly):
+        sim = LogicSimulator(serial_crc(width, poly))
+        bits = [rng.randint(0, 1) for _ in range(64)]
+        for bit in bits:
+            out = sim.step({"din": bit})
+        got = LogicSimulator.unpack_bus(sim.evaluate({"din": 0}), "crc")
+        assert got == self.crc_reference(bits, width, poly)
+
+    def test_poly_validation(self):
+        with pytest.raises(ValueError):
+            serial_crc(4, 0)
+        with pytest.raises(ValueError):
+            serial_crc(4, 1 << 4)
+
+
+class TestAccumulator:
+    def test_accumulates_mod_2w(self):
+        width = 5
+        sim = LogicSimulator(accumulator(width))
+        total = 0
+        for _ in range(30):
+            d = rng.randrange(1 << width)
+            out = sim.step(bus("d", d, width))
+            assert LogicSimulator.unpack_bus(out, "acc") == total
+            total = (total + d) % (1 << width)
+
+
+class TestMooreFsm:
+    def test_deterministic_and_stateful(self):
+        fsm = moore_fsm(8, 2, seed=11)
+        assert fsm.state_bits == 3
+        s1, s2 = LogicSimulator(fsm), LogicSimulator(moore_fsm(8, 2, seed=11))
+        stim = [{"x[0]": rng.randint(0, 1), "x[1]": rng.randint(0, 1)} for _ in range(40)]
+        assert s1.run(stim) == s2.run(stim)
+
+    def test_state_restore_equivalence(self):
+        fsm = moore_fsm(16, 2, seed=5)
+        sim = LogicSimulator(fsm)
+        stim = [{"x[0]": rng.randint(0, 1), "x[1]": rng.randint(0, 1)} for _ in range(10)]
+        sim.run(stim)
+        snap = sim.read_state()
+        tail = [{"x[0]": rng.randint(0, 1), "x[1]": rng.randint(0, 1)} for _ in range(10)]
+        ref_out = sim.run(tail)
+        sim.write_state(snap)
+        assert sim.run(tail) == ref_out
+
+
+class TestFir:
+    def test_moving_sum(self):
+        n_taps, width = 4, 3
+        sim = LogicSimulator(moving_sum_fir(n_taps, width))
+        samples = [rng.randrange(1 << width) for _ in range(20)]
+        window: list[int] = []
+        for x in samples:
+            out = sim.step(bus("d", x, width))
+            expect = sum(window[-(n_taps - 1):]) + x
+            assert LogicSimulator.unpack_bus(out, "y") == expect
+            window.append(x)
+
+
+class TestRegistry:
+    def test_all_registered_generators_build_valid_netlists(self):
+        samples = {
+            "barrel_shifter": (4,),
+            "priority_encoder": (4,),
+            "gray_counter": (3,),
+            "kogge_stone_adder": (4,),
+            "johnson_counter": (3,),
+            "ripple_adder": (4,),
+            "array_multiplier": (3,),
+            "comparator": (3,),
+            "parity_tree": (5,),
+            "alu": (3,),
+            "random_logic": (30, 6, 3, 1),
+            "counter": (4,),
+            "lfsr": (5,),
+            "shift_register": (6,),
+            "serial_crc": (8, 0x07),
+            "accumulator": (4,),
+            "moore_fsm": (4, 2, 9),
+            "moving_sum_fir": (3, 3),
+        }
+        assert set(samples) == set(CIRCUIT_GENERATORS)
+        for name, args in samples.items():
+            nl = CIRCUIT_GENERATORS[name](*args)
+            nl.validate()
+            assert len(nl) > 0

@@ -1,0 +1,154 @@
+"""Unit tests for the logic simulator, including state save/restore."""
+
+import pytest
+
+from repro.netlist import (
+    Cell,
+    CellKind,
+    LogicSimulator,
+    Netlist,
+    NetlistBuilder,
+)
+
+
+def toggle_ff():
+    nl = Netlist("toggle")
+    nl.add(Cell("q", CellKind.DFF, ("n",)))
+    nl.add(Cell("n", CellKind.NOT, ("q",)))
+    nl.add(Cell("y", CellKind.OUTPUT, ("q",)))
+    return nl
+
+
+class TestCombinational:
+    def test_and_gate(self):
+        b = NetlistBuilder("and2")
+        b.output("y", b.and_(b.input("a"), b.input("c")))
+        sim = LogicSimulator(b.build())
+        for a in (0, 1):
+            for c in (0, 1):
+                assert sim.evaluate({"a": a, "c": c})["y"] == (a & c)
+
+    def test_missing_input_raises(self):
+        b = NetlistBuilder("nl")
+        b.output("y", b.not_(b.input("a")))
+        sim = LogicSimulator(b.build())
+        with pytest.raises(KeyError, match="a"):
+            sim.evaluate({})
+
+    def test_evaluate_does_not_advance_state(self):
+        sim = LogicSimulator(toggle_ff())
+        before = sim.read_state()
+        sim.evaluate({})
+        assert sim.read_state() == before
+
+    def test_input_values_masked_to_bit(self):
+        b = NetlistBuilder("nl")
+        b.output("y", b.buf(b.input("a")))
+        sim = LogicSimulator(b.build())
+        assert sim.evaluate({"a": 3}) == {"y": 1}
+
+
+class TestSequential:
+    def test_toggle_sequence(self):
+        sim = LogicSimulator(toggle_ff())
+        outs = [sim.step({})["y"] for _ in range(4)]
+        assert outs == [0, 1, 0, 1]
+
+    def test_dff_init_value(self):
+        nl = Netlist("init1")
+        nl.add(Cell("q", CellKind.DFF, ("q",), init=1))
+        nl.add(Cell("y", CellKind.OUTPUT, ("q",)))
+        sim = LogicSimulator(nl)
+        assert sim.step({})["y"] == 1
+
+    def test_run_stimulus(self):
+        b = NetlistBuilder("sr")
+        d = b.input("din")
+        q = b.dff(d)
+        b.output("y", q)
+        sim = LogicSimulator(b.build())
+        outs = sim.run([{"din": v} for v in (1, 0, 1, 1)])
+        assert [o["y"] for o in outs] == [0, 1, 0, 1]  # one-cycle delay
+
+    def test_simultaneous_latch(self):
+        # Two DFFs swapping values must not race.
+        nl = Netlist("swap")
+        nl.add(Cell("q0", CellKind.DFF, ("q1",), init=0))
+        nl.add(Cell("q1", CellKind.DFF, ("q0",), init=1))
+        nl.add(Cell("y0", CellKind.OUTPUT, ("q0",)))
+        nl.add(Cell("y1", CellKind.OUTPUT, ("q1",)))
+        sim = LogicSimulator(nl)
+        out = sim.step({})
+        assert (out["y0"], out["y1"]) == (0, 1)
+        assert sim.read_state() == {"q0": 1, "q1": 0}
+        sim.step({})
+        assert sim.read_state() == {"q0": 0, "q1": 1}
+
+
+class TestStateAccess:
+    def test_read_returns_copy(self):
+        sim = LogicSimulator(toggle_ff())
+        snap = sim.read_state()
+        snap["q"] = 99
+        assert sim.state["q"] in (0, 1)
+
+    def test_write_state_restores(self):
+        sim = LogicSimulator(toggle_ff())
+        sim.step({})
+        snap = sim.read_state()
+        sim.step({})
+        sim.step({})
+        sim.write_state(snap)
+        assert sim.read_state() == snap
+
+    def test_write_unknown_bit_raises(self):
+        sim = LogicSimulator(toggle_ff())
+        with pytest.raises(KeyError):
+            sim.write_state({"ghost": 1})
+
+    def test_write_non_bit_raises(self):
+        sim = LogicSimulator(toggle_ff())
+        with pytest.raises(ValueError):
+            sim.write_state({"q": 2})
+
+    def test_reset_restores_init(self):
+        nl = Netlist("init1")
+        nl.add(Cell("q", CellKind.DFF, ("q",), init=1))
+        nl.add(Cell("y", CellKind.OUTPUT, ("q",)))
+        sim = LogicSimulator(nl)
+        sim.write_state({"q": 0})
+        sim.reset()
+        assert sim.read_state() == {"q": 1}
+
+    def test_preemption_scenario(self):
+        """Save state, run other work, restore, and continue identically —
+        the exact mechanism the paper requires of preemptable sequential
+        circuits (§3)."""
+        from repro.netlist import counter
+
+        ref = LogicSimulator(counter(4))
+        dut = LogicSimulator(counter(4))
+        for _ in range(5):
+            ref.step({"en": 1})
+            dut.step({"en": 1})
+        snapshot = dut.read_state()
+        # "Preempt": clobber the device with someone else's state.
+        dut.write_state({k: 0 for k in snapshot})
+        dut.step({"en": 1})
+        # Restore and resume.
+        dut.write_state(snapshot)
+        for _ in range(3):
+            ref.step({"en": 1})
+            dut.step({"en": 1})
+        assert dut.read_state() == ref.read_state()
+
+
+class TestBusHelpers:
+    def test_pack_unpack_roundtrip(self):
+        packed = LogicSimulator.pack_bus("a", 0b1011, 4)
+        assert packed == {"a[0]": 1, "a[1]": 1, "a[2]": 0, "a[3]": 1}
+        assert LogicSimulator.unpack_bus(packed, "a") == 0b1011
+
+    def test_unpack_ignores_other_prefixes(self):
+        outs = {"s[0]": 1, "s[1]": 0, "cout": 1}
+        assert LogicSimulator.unpack_bus(outs, "s") == 1

@@ -1,0 +1,175 @@
+"""Reference-model tests for the extended generator set."""
+
+import random
+
+import pytest
+
+from repro.netlist import (
+    LogicSimulator,
+    barrel_shifter,
+    gray_counter,
+    johnson_counter,
+    priority_encoder,
+)
+
+rng = random.Random(424242)
+
+
+class TestBarrelShifter:
+    @pytest.mark.parametrize("width", [2, 4, 7, 8])
+    def test_matches_integer_shift(self, width):
+        sim = LogicSimulator(barrel_shifter(width))
+        n_sel = (width - 1).bit_length()
+        mask = (1 << width) - 1
+        for _ in range(40):
+            d = rng.randrange(1 << width)
+            s = rng.randrange(1 << n_sel)
+            out = sim.evaluate({
+                **LogicSimulator.pack_bus("d", d, width),
+                **LogicSimulator.pack_bus("s", s, n_sel),
+            })
+            assert LogicSimulator.unpack_bus(out, "y") == (d << s) & mask
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            barrel_shifter(1)
+
+
+class TestPriorityEncoder:
+    @pytest.mark.parametrize("width", [2, 5, 8])
+    def test_exhaustive(self, width):
+        sim = LogicSimulator(priority_encoder(width))
+        for d in range(1 << width):
+            out = sim.evaluate(LogicSimulator.pack_bus("d", d, width))
+            if d == 0:
+                assert out["valid"] == 0
+            else:
+                assert out["valid"] == 1
+                assert LogicSimulator.unpack_bus(out, "q") == d.bit_length() - 1
+
+
+class TestGrayCounter:
+    def test_one_bit_transitions(self):
+        width = 4
+        sim = LogicSimulator(gray_counter(width))
+        prev = None
+        seen = []
+        for _ in range(1 << width):
+            out = sim.step({"en": 1})
+            g = LogicSimulator.unpack_bus(out, "g")
+            if prev is not None:
+                assert bin(prev ^ g).count("1") == 1
+            prev = g
+            seen.append(g)
+        # Full Gray cycle visits every code exactly once.
+        assert len(set(seen)) == 1 << width
+
+    def test_matches_binary_to_gray(self):
+        width = 5
+        sim = LogicSimulator(gray_counter(width))
+        for n in range(20):
+            out = sim.step({"en": 1})
+            assert LogicSimulator.unpack_bus(out, "g") == n ^ (n >> 1)
+
+    def test_enable_freezes(self):
+        sim = LogicSimulator(gray_counter(3))
+        sim.step({"en": 1})
+        a = LogicSimulator.unpack_bus(sim.step({"en": 0}), "g")
+        b = LogicSimulator.unpack_bus(sim.step({"en": 0}), "g")
+        assert a == b
+
+
+class TestJohnsonCounter:
+    def test_period_is_2n(self):
+        width = 4
+        sim = LogicSimulator(johnson_counter(width))
+        states = []
+        for _ in range(2 * width + 1):
+            out = sim.step({})
+            states.append(LogicSimulator.unpack_bus(out, "q"))
+        assert states[0] == states[2 * width]  # period 2N
+        assert len(set(states[: 2 * width])) == 2 * width
+
+    def test_one_bit_transitions(self):
+        width = 5
+        sim = LogicSimulator(johnson_counter(width))
+        prev = None
+        for _ in range(2 * width):
+            q = LogicSimulator.unpack_bus(sim.step({}), "q")
+            if prev is not None:
+                assert bin(prev ^ q).count("1") == 1
+            prev = q
+
+
+class TestRegistryComplete:
+    def test_new_generators_registered(self):
+        from repro.netlist import CIRCUIT_GENERATORS
+
+        for name in ("barrel_shifter", "priority_encoder", "gray_counter",
+                     "johnson_counter"):
+            assert name in CIRCUIT_GENERATORS
+
+
+class TestCompileNewGenerators:
+    @pytest.mark.parametrize("factory", [
+        lambda: barrel_shifter(4),
+        lambda: priority_encoder(5),
+        lambda: gray_counter(4),
+        lambda: johnson_counter(4),
+    ], ids=["bshift", "prienc", "gray", "johnson"])
+    def test_full_stack(self, factory):
+        from repro.cad import compile_netlist, verify_bitstream
+        from repro.device import get_family
+
+        arch = get_family("VF10")
+        nl = factory()
+        res = compile_netlist(nl, arch, seed=2, effort="greedy")
+        verify_bitstream(nl, res.bitstream, arch, seed=6)
+
+
+class TestKoggeStone:
+    @pytest.mark.parametrize("width", [1, 3, 8])
+    def test_matches_integer_addition(self, width):
+        from repro.netlist import kogge_stone_adder
+
+        sim = LogicSimulator(kogge_stone_adder(width))
+        for _ in range(50):
+            a = rng.randrange(1 << width)
+            b = rng.randrange(1 << width)
+            c = rng.randint(0, 1)
+            out = sim.evaluate({
+                **LogicSimulator.pack_bus("a", a, width),
+                **LogicSimulator.pack_bus("b", b, width),
+                "cin": c,
+            })
+            got = LogicSimulator.unpack_bus(out, "s") | (out["cout"] << width)
+            assert got == a + b + c
+
+    def test_logarithmic_depth(self):
+        from repro.netlist import kogge_stone_adder, netlist_stats, ripple_adder
+
+        ks = netlist_stats(kogge_stone_adder(8)).depth
+        rc = netlist_stats(ripple_adder(8)).depth
+        assert ks < rc  # parallel prefix beats the ripple chain
+
+    def test_mapped_lut_depth_beats_ripple(self):
+        """After K-LUT mapping the prefix adder is still much shallower.
+        (Post-route critical paths are noisy on this small fabric: the
+        prefix tree's extra wiring can eat the depth win — so the honest
+        deterministic comparison is at the mapped-netlist level.)"""
+        from repro.cad import technology_map
+        from repro.netlist import kogge_stone_adder, ripple_adder
+
+        ks = technology_map(kogge_stone_adder(8), k=4).logic_depth()
+        rc = technology_map(ripple_adder(8), k=4).logic_depth()
+        assert ks < rc
+
+    def test_full_stack_verify(self):
+        from repro.cad import compile_netlist, verify_bitstream
+        from repro.device import get_family
+        from repro.netlist import kogge_stone_adder
+
+        arch = get_family("VF10")
+        nl = kogge_stone_adder(4)
+        res = compile_netlist(nl, arch, seed=2, effort="greedy")
+        verify_bitstream(nl, res.bitstream, arch, seed=6)

@@ -1,0 +1,94 @@
+"""Scheduler policy objects and workload builders — direct unit tests."""
+
+import pytest
+
+from repro.osim import (
+    CpuBurst,
+    Fifo,
+    FpgaOp,
+    PriorityScheduler,
+    RoundRobin,
+    Task,
+    alternating_task,
+    uniform_workload,
+    zipf_index,
+)
+
+
+class TestSchedulerObjects:
+    def test_round_robin_validation(self):
+        with pytest.raises(ValueError):
+            RoundRobin(time_slice=0)
+
+    def test_priority_validation(self):
+        with pytest.raises(ValueError):
+            PriorityScheduler(time_slice=-1)
+
+    def test_fifo_quantum_infinite(self):
+        assert Fifo().quantum(Task("t", [])) == float("inf")
+
+    def test_round_robin_fifo_pick_order(self):
+        s = RoundRobin()
+        a, b = Task("a", []), Task("b", [])
+        s.enqueue(a)
+        s.enqueue(b)
+        assert s.pick() is a
+        assert s.pick() is b
+        assert s.pick() is None
+
+    def test_priority_pick_stable_within_level(self):
+        s = PriorityScheduler()
+        t1 = Task("t1", [], priority=1)
+        t2 = Task("t2", [], priority=1)
+        t0 = Task("t0", [], priority=0)
+        for t in (t1, t2, t0):
+            s.enqueue(t)
+        assert s.pick() is t0
+        assert s.pick() is t1
+        assert s.pick() is t2
+
+    def test_ready_tasks_snapshot(self):
+        s = Fifo()
+        t = Task("t", [])
+        s.enqueue(t)
+        snapshot = s.ready_tasks
+        snapshot.clear()
+        assert len(s) == 1
+
+
+class TestWorkloadBuilders:
+    def test_alternating_task_structure(self):
+        t = alternating_task("t", "cfg", n_ops=3, cpu_burst=1e-3, cycles=10)
+        kinds = [type(s).__name__ for s in t.program]
+        assert kinds == ["CpuBurst", "FpgaOp"] * 3 + ["CpuBurst"]
+        assert all(
+            s.config == "cfg" for s in t.program if isinstance(s, FpgaOp)
+        )
+
+    def test_alternating_task_extra_configs(self):
+        t = alternating_task("t", "a", 1, 1e-3, 10, configs=["a", "b"])
+        assert t.configs == ["a", "b"]
+
+    def test_uniform_workload_requires_configs(self):
+        with pytest.raises(ValueError):
+            uniform_workload([], 2, 2, 1e-3, 10)
+
+    def test_uniform_workload_arrival_spread_seeded(self):
+        t1 = uniform_workload(["a"], 5, 1, 1e-3, 10, seed=3, arrival_spread=1.0)
+        t2 = uniform_workload(["a"], 5, 1, 1e-3, 10, seed=3, arrival_spread=1.0)
+        assert [t.arrival for t in t1] == [t.arrival for t in t2]
+        assert any(t.arrival > 0 for t in t1)
+
+    def test_zipf_index_bounds(self):
+        import random
+
+        rng = random.Random(1)
+        for _ in range(200):
+            assert 0 <= zipf_index(rng, 7, s=1.3) < 7
+
+    def test_zipf_index_skew(self):
+        import random
+
+        rng = random.Random(2)
+        draws = [zipf_index(rng, 10, s=1.5) for _ in range(2000)]
+        assert draws.count(0) > draws.count(9) * 3

@@ -1,0 +1,47 @@
+"""Task model tests."""
+
+import pytest
+
+from repro.osim import CpuBurst, FpgaOp, Task
+
+
+class TestSteps:
+    def test_negative_burst_rejected(self):
+        with pytest.raises(ValueError):
+            CpuBurst(-1)
+
+    def test_zero_cycles_rejected(self):
+        with pytest.raises(ValueError):
+            FpgaOp("c", 0)
+
+    def test_negative_io_rejected(self):
+        with pytest.raises(ValueError):
+            FpgaOp("c", 1, io_words=-1)
+
+
+class TestTask:
+    def test_configs_inferred_from_program(self):
+        t = Task("t", [FpgaOp("a", 1), CpuBurst(1), FpgaOp("b", 1), FpgaOp("a", 2)])
+        assert t.configs == ["a", "b"]
+
+    def test_explicit_configs_must_cover_usage(self):
+        with pytest.raises(ValueError, match="undeclared"):
+            Task("t", [FpgaOp("a", 1)], configs=["b"])
+
+    def test_extra_declared_configs_allowed(self):
+        t = Task("t", [FpgaOp("a", 1)], configs=["a", "spare"])
+        assert "spare" in t.configs
+
+    def test_unique_tids(self):
+        a, b = Task("a", []), Task("b", [])
+        assert a.tid != b.tid
+
+    def test_demand_properties(self):
+        t = Task("t", [CpuBurst(2.0), FpgaOp("c", 5), CpuBurst(3.0)])
+        assert t.total_cpu_demand == 5.0
+        assert len(t.fpga_ops) == 1
+
+    def test_accounting_defaults(self):
+        t = Task("t", [], arrival=4.0)
+        assert t.accounting.turnaround is None
+        assert t.accounting.fpga_overhead_time == 0.0

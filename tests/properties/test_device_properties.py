@@ -1,0 +1,140 @@
+"""Property-based tests for the device model: codec, geometry, bitstreams."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.device import (
+    Architecture,
+    ClbConfig,
+    Coord,
+    FrameCodec,
+    IobConfig,
+    IobDirection,
+    Rect,
+    wire_in_region,
+    wires_in_region,
+)
+
+ARCH = Architecture("prop", 8, 8, k=4, channel_width=4)
+CODEC = FrameCodec(ARCH)
+
+
+@st.composite
+def clb_configs(draw):
+    registered = draw(st.booleans())
+    ff = registered or draw(st.booleans())
+    return ClbConfig(
+        lut_truth=draw(st.integers(0, (1 << 16) - 1)),
+        ff_enable=ff,
+        ff_init=draw(st.integers(0, 1)) if ff else 0,
+        out_registered=registered,
+        input_sel=tuple(
+            draw(st.integers(0, 4 * ARCH.channel_width)) for _ in range(4)
+        ),
+        out_drives=frozenset(
+            draw(st.lists(st.integers(0, 4 * ARCH.channel_width - 1),
+                          max_size=6))
+        ),
+    )
+
+
+@given(clb_configs())
+@settings(max_examples=100)
+def test_clb_codec_roundtrip(cfg):
+    assert CODEC.decode_clb(CODEC.encode_clb(cfg)) == cfg
+
+
+@given(st.sets(st.tuples(st.integers(0, ARCH.channel_width - 1),
+                         st.integers(0, 5)), max_size=10))
+def test_switch_codec_roundtrip(keys):
+    enabled = frozenset(keys)
+    assert CODEC.decode_switchbox(CODEC.encode_switchbox(enabled)) == enabled
+
+
+@given(st.booleans(), st.integers(0, ARCH.channel_width))
+def test_iob_codec_roundtrip(is_out, track):
+    cfg = IobConfig(
+        enable=track > 0,
+        direction=IobDirection.OUTPUT if is_out else IobDirection.INPUT,
+        track_sel=track,
+    )
+    assert CODEC.decode_iob(CODEC.encode_iob(cfg)) == cfg
+
+
+@st.composite
+def rects(draw, max_side=8):
+    w = draw(st.integers(1, max_side))
+    h = draw(st.integers(1, max_side))
+    x = draw(st.integers(0, max_side - w))
+    y = draw(st.integers(0, max_side - h))
+    return Rect(x, y, w, h)
+
+
+@given(rects(), rects())
+def test_overlap_is_symmetric(a, b):
+    assert a.overlaps(b) == b.overlaps(a)
+
+
+@given(rects(), rects())
+def test_overlap_iff_common_coord(a, b):
+    common = set(a.coords()) & set(b.coords())
+    assert a.overlaps(b) == bool(common)
+
+
+@given(rects(), st.data())
+def test_split_partitions_exactly(r, data):
+    if r.w > 1 and data.draw(st.booleans()):
+        cut = data.draw(st.integers(1, r.w - 1))
+        p, q = r.split_vertical(cut)
+    elif r.h > 1:
+        cut = data.draw(st.integers(1, r.h - 1))
+        p, q = r.split_horizontal(cut)
+    else:
+        return
+    assert not p.overlaps(q)
+    assert p.area + q.area == r.area
+    assert set(p.coords()) | set(q.coords()) == set(r.coords())
+
+
+@given(rects(), rects())
+def test_disjoint_regions_own_disjoint_wires(a, b):
+    """The isolation theorem behind partitioning: non-overlapping regions
+    never own a common wire."""
+    if a.overlaps(b):
+        return
+    wa = set(wires_in_region(ARCH, a))
+    wb = set(wires_in_region(ARCH, b))
+    assert not (wa & wb)
+
+
+@given(rects())
+def test_owned_wires_match_predicate(r):
+    owned = set(wires_in_region(ARCH, r))
+    from repro.device import all_wires
+
+    for w in all_wires(ARCH):
+        assert (w in owned) == wire_in_region(w, r)
+
+
+@given(rects(), st.integers(-8, 8), st.integers(-8, 8))
+@settings(max_examples=60)
+def test_relocation_translates_frames(r, dx, dy):
+    """Synthetic bitstream relocation: frames touched shift exactly by dx."""
+    from repro.core import synthetic_bitstream
+
+    moved_rect = Rect(
+        max(0, min(r.x + dx, ARCH.width - r.w)),
+        max(0, min(r.y + dy, ARCH.height - r.h)),
+        r.w, r.h,
+    )
+    bs = synthetic_bitstream("p", ARCH, r.w, r.h,
+                             n_state_bits=min(3, r.area)).anchored_at(r.x, r.y)
+    moved = bs.anchored_at(moved_rect.x, moved_rect.y)
+    moved.validate(ARCH)
+    assert moved.frames_touched(ARCH) == set(moved_rect.columns())
+    # State bits moved rigidly.
+    for name, c in bs.state_bits.items():
+        c2 = moved.state_bits[name]
+        assert (c2.x - c.x, c2.y - c.y) == (
+            moved_rect.x - r.x, moved_rect.y - r.y
+        )

@@ -1,0 +1,106 @@
+"""Property-based tests for the discrete-event kernel."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Simulator
+
+
+@given(st.lists(st.floats(min_value=0, max_value=1e6, allow_nan=False),
+                min_size=1, max_size=50))
+def test_events_fire_in_nondecreasing_time(delays):
+    sim = Simulator()
+    fired = []
+    for d in delays:
+        sim.timeout(d).callbacks.append(lambda e, d=d: fired.append(sim.now))
+    sim.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)
+    assert sim.now == max(delays)
+
+
+@given(st.lists(st.floats(min_value=0, max_value=100, allow_nan=False),
+                min_size=1, max_size=30))
+def test_same_time_events_fire_in_insertion_order(delays):
+    sim = Simulator()
+    order = []
+    for i, d in enumerate(delays):
+        sim.timeout(d).callbacks.append(lambda e, i=i: order.append(i))
+    sim.run()
+    # Stable by (time, insertion index).
+    expect = [i for _d, i in sorted(
+        ((d, i) for i, d in enumerate(delays)), key=lambda p: (p[0], p[1])
+    )]
+    assert order == expect
+
+
+@given(st.lists(st.tuples(st.integers(0, 3), st.floats(0.01, 10)),
+                min_size=1, max_size=20),
+       st.integers(1, 3))
+@settings(max_examples=50)
+def test_resource_never_exceeds_capacity(jobs, capacity):
+    from repro.sim import Resource
+
+    sim = Simulator()
+    res = Resource(sim, capacity=capacity)
+    peak = [0]
+
+    def worker(delay, hold):
+        yield sim.timeout(delay)
+        req = res.request()
+        yield req
+        peak[0] = max(peak[0], res.count)
+        assert res.count <= capacity
+        yield sim.timeout(hold)
+        res.release(req)
+
+    for delay, hold in jobs:
+        sim.process(worker(delay, hold))
+    sim.run()
+    assert res.count == 0
+    assert peak[0] <= capacity
+
+
+@given(st.lists(st.floats(0.0, 50.0), min_size=1, max_size=25),
+       st.integers(0, 2**32 - 1))
+def test_simulation_is_deterministic(delays, seed):
+    def trace():
+        sim = Simulator()
+        log = []
+
+        def body(i, d):
+            yield sim.timeout(d)
+            log.append((round(sim.now, 9), i))
+            yield sim.timeout(d / 2 + 0.1)
+            log.append((round(sim.now, 9), -i))
+
+        for i, d in enumerate(delays):
+            sim.process(body(i, d))
+        sim.run()
+        return log
+
+    assert trace() == trace()
+
+
+@given(st.lists(st.text(alphabet="ab", min_size=1, max_size=3),
+                min_size=1, max_size=20))
+def test_store_is_fifo(items):
+    from repro.sim import Store
+
+    sim = Simulator()
+    store = Store(sim)
+    got = []
+
+    def producer():
+        for item in items:
+            yield store.put(item)
+
+    def consumer():
+        for _ in items:
+            x = yield store.get()
+            got.append(x)
+
+    sim.process(producer())
+    sim.process(consumer())
+    sim.run()
+    assert got == list(items)

@@ -1,0 +1,148 @@
+"""Unit tests for the event primitives."""
+
+import pytest
+
+from repro.sim import AllOf, AnyOf, Event, SimulationError, Simulator, Timeout
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestEvent:
+    def test_initial_state(self, sim):
+        ev = sim.event()
+        assert not ev.triggered
+        assert not ev.processed
+
+    def test_value_before_trigger_raises(self, sim):
+        ev = sim.event()
+        with pytest.raises(SimulationError):
+            _ = ev.value
+        with pytest.raises(SimulationError):
+            _ = ev.ok
+
+    def test_succeed_sets_value(self, sim):
+        ev = sim.event()
+        ev.succeed(42)
+        assert ev.triggered
+        assert ev.ok
+        assert ev.value == 42
+
+    def test_succeed_none_still_triggered(self, sim):
+        ev = sim.event()
+        ev.succeed()
+        assert ev.triggered
+        assert ev.value is None
+
+    def test_double_succeed_raises(self, sim):
+        ev = sim.event()
+        ev.succeed(1)
+        with pytest.raises(SimulationError):
+            ev.succeed(2)
+
+    def test_fail_requires_exception(self, sim):
+        ev = sim.event()
+        with pytest.raises(TypeError):
+            ev.fail("not an exception")
+
+    def test_fail_then_succeed_raises(self, sim):
+        ev = sim.event()
+        ev.fail(RuntimeError("boom"))
+        with pytest.raises(SimulationError):
+            ev.succeed(1)
+
+    def test_callbacks_run_on_process(self, sim):
+        ev = sim.event()
+        seen = []
+        ev.callbacks.append(lambda e: seen.append(e.value))
+        ev.succeed("x")
+        assert seen == []  # not yet processed
+        sim.run()
+        assert seen == ["x"]
+        assert ev.processed
+
+    def test_unhandled_failure_escalates(self, sim):
+        ev = sim.event()
+        ev.fail(ValueError("unseen"))
+        with pytest.raises(ValueError, match="unseen"):
+            sim.run()
+
+    def test_defused_failure_does_not_escalate(self, sim):
+        ev = sim.event()
+        ev.fail(ValueError("defused"))
+        ev.defused = True
+        sim.run()  # must not raise
+
+    def test_trigger_copies_state(self, sim):
+        src = sim.event()
+        dst = sim.event()
+        src.succeed(7)
+        dst.trigger(src)
+        sim.run()
+        assert dst.value == 7
+
+
+class TestTimeout:
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(ValueError):
+            Timeout(sim, -1)
+
+    def test_fires_at_delay(self, sim):
+        t = sim.timeout(3.5, value="done")
+        sim.run()
+        assert sim.now == 3.5
+        assert t.value == "done"
+
+    def test_zero_delay_fires_now(self, sim):
+        t = sim.timeout(0)
+        sim.run()
+        assert sim.now == 0.0
+        assert t.processed
+
+    def test_ordering_is_fifo_at_same_time(self, sim):
+        order = []
+        for i in range(5):
+            sim.timeout(1).callbacks.append(lambda e, i=i: order.append(i))
+        sim.run()
+        assert order == [0, 1, 2, 3, 4]
+
+
+class TestConditions:
+    def test_all_of_waits_for_all(self, sim):
+        a, b = sim.timeout(1, "a"), sim.timeout(4, "b")
+        cond = sim.all_of([a, b])
+        sim.run()
+        assert cond.triggered
+        assert cond.value == {a: "a", b: "b"}
+        assert sim.now == 4
+
+    def test_any_of_fires_on_first(self, sim):
+        a, b = sim.timeout(1, "a"), sim.timeout(4, "b")
+        cond = sim.any_of([a, b])
+        fired_at = []
+        cond.callbacks.append(lambda e: fired_at.append(sim.now))
+        sim.run()
+        assert fired_at == [1]
+        assert a in cond.value
+        assert b not in cond.value
+
+    def test_empty_all_of_fires_immediately(self, sim):
+        cond = sim.all_of([])
+        sim.run()
+        assert cond.value == {}
+
+    def test_all_of_propagates_failure(self, sim):
+        a = sim.event()
+        cond = sim.all_of([a, sim.timeout(1)])
+        cond.defused = True
+        a.fail(RuntimeError("dead"))
+        sim.run()
+        assert not cond.ok
+        assert isinstance(cond.value, RuntimeError)
+
+    def test_cross_simulator_rejected(self, sim):
+        other = Simulator()
+        with pytest.raises(SimulationError):
+            sim.all_of([other.timeout(1)])

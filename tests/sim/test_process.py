@@ -1,0 +1,204 @@
+"""Unit tests for generator-based processes."""
+
+import pytest
+
+from repro.sim import Interrupt, SimulationError, Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+def test_process_advances_time(sim):
+    log = []
+
+    def body():
+        yield sim.timeout(2)
+        log.append(sim.now)
+        yield sim.timeout(3)
+        log.append(sim.now)
+
+    sim.process(body())
+    sim.run()
+    assert log == [2, 5]
+
+
+def test_process_return_value_is_event_value(sim):
+    def body():
+        yield sim.timeout(1)
+        return "result"
+
+    p = sim.process(body())
+    sim.run()
+    assert p.value == "result"
+
+
+def test_join_on_child_process(sim):
+    def child():
+        yield sim.timeout(7)
+        return 99
+
+    def parent(out):
+        got = yield sim.process(child())
+        out.append((sim.now, got))
+
+    out = []
+    sim.process(parent(out))
+    sim.run()
+    assert out == [(7, 99)]
+
+
+def test_yield_non_event_raises(sim):
+    def body():
+        yield 42
+
+    sim.process(body())
+    with pytest.raises(SimulationError, match="expected an Event"):
+        sim.run()
+
+
+def test_exception_in_process_escalates(sim):
+    def body():
+        yield sim.timeout(1)
+        raise KeyError("inner")
+
+    sim.process(body())
+    with pytest.raises(KeyError):
+        sim.run()
+
+
+def test_exception_caught_by_joiner(sim):
+    def child():
+        yield sim.timeout(1)
+        raise ValueError("child died")
+
+    def parent(out):
+        try:
+            yield sim.process(child())
+        except ValueError as exc:
+            out.append(str(exc))
+
+    out = []
+    sim.process(parent(out))
+    sim.run()
+    assert out == ["child died"]
+
+
+def test_yield_already_processed_event(sim):
+    ready = sim.event()
+    ready.succeed("early")
+
+    def body(out):
+        yield sim.timeout(5)
+        got = yield ready  # processed long ago; must not deadlock
+        out.append((sim.now, got))
+
+    out = []
+    sim.process(body(out))
+    sim.run()
+    assert out == [(5, "early")]
+
+
+class TestInterrupt:
+    def test_interrupt_resumes_with_exception(self, sim):
+        log = []
+
+        def victim():
+            try:
+                yield sim.timeout(100)
+            except Interrupt as intr:
+                log.append((sim.now, intr.cause))
+
+        def attacker(p):
+            yield sim.timeout(3)
+            p.interrupt("preempted")
+
+        p = sim.process(victim())
+        sim.process(attacker(p))
+        sim.run()
+        assert log == [(3, "preempted")]
+
+    def test_interrupt_detaches_from_target(self, sim):
+        resumptions = []
+
+        def victim():
+            try:
+                yield sim.timeout(10)
+                resumptions.append("timeout")
+            except Interrupt:
+                resumptions.append("interrupt")
+                yield sim.timeout(100)
+                resumptions.append("after")
+
+        def attacker(p):
+            yield sim.timeout(1)
+            p.interrupt()
+
+        p = sim.process(victim())
+        sim.process(attacker(p))
+        sim.run()
+        # The original timeout at t=10 must NOT resume the victim again.
+        assert resumptions == ["interrupt", "after"]
+
+    def test_interrupt_finished_process_raises(self, sim):
+        def body():
+            yield sim.timeout(1)
+
+        p = sim.process(body())
+        sim.run()
+        with pytest.raises(SimulationError):
+            p.interrupt()
+
+    def test_interrupt_can_continue_working(self, sim):
+        done = []
+
+        def victim():
+            remaining = 10.0
+            start = sim.now
+            try:
+                yield sim.timeout(remaining)
+            except Interrupt:
+                remaining -= sim.now - start
+                yield sim.timeout(remaining)
+            done.append(sim.now)
+
+        def attacker(p):
+            yield sim.timeout(4)
+            p.interrupt()
+
+        p = sim.process(victim())
+        sim.process(attacker(p))
+        sim.run()
+        assert done == [10.0]
+
+    def test_unhandled_interrupt_escalates(self, sim):
+        def victim():
+            yield sim.timeout(100)
+
+        def attacker(p):
+            yield sim.timeout(1)
+            p.interrupt("kill")
+
+        p = sim.process(victim())
+        sim.process(attacker(p))
+        with pytest.raises(Interrupt):
+            sim.run()
+
+
+def test_many_processes_deterministic_order(sim):
+    order = []
+
+    def body(i):
+        yield sim.timeout(1)
+        order.append(i)
+
+    for i in range(20):
+        sim.process(body(i))
+    sim.run()
+    assert order == list(range(20))
+
+
+def test_non_generator_rejected(sim):
+    with pytest.raises(TypeError):
+        sim.process(lambda: None)

@@ -1,0 +1,185 @@
+"""Unit tests for Resource and Store."""
+
+import pytest
+
+from repro.sim import Resource, SimulationError, Simulator, Store
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestResource:
+    def test_capacity_validation(self, sim):
+        with pytest.raises(ValueError):
+            Resource(sim, capacity=0)
+
+    def test_grant_immediately_when_free(self, sim):
+        res = Resource(sim, capacity=1)
+        log = []
+
+        def body():
+            req = res.request()
+            yield req
+            log.append(sim.now)
+            res.release(req)
+
+        sim.process(body())
+        sim.run()
+        assert log == [0]
+        assert res.count == 0
+
+    def test_mutual_exclusion_serialises(self, sim):
+        res = Resource(sim, capacity=1)
+        spans = []
+
+        def worker(i):
+            req = res.request()
+            yield req
+            start = sim.now
+            yield sim.timeout(10)
+            res.release(req)
+            spans.append((i, start, sim.now))
+
+        for i in range(3):
+            sim.process(worker(i))
+        sim.run()
+        assert spans == [(0, 0, 10), (1, 10, 20), (2, 20, 30)]
+
+    def test_capacity_two_overlaps(self, sim):
+        res = Resource(sim, capacity=2)
+        starts = []
+
+        def worker(i):
+            req = res.request()
+            yield req
+            starts.append((i, sim.now))
+            yield sim.timeout(10)
+            res.release(req)
+
+        for i in range(4):
+            sim.process(worker(i))
+        sim.run()
+        assert starts == [(0, 0), (1, 0), (2, 10), (3, 10)]
+
+    def test_priority_order(self, sim):
+        res = Resource(sim, capacity=1)
+        order = []
+
+        def holder():
+            req = res.request()
+            yield req
+            yield sim.timeout(5)
+            res.release(req)
+
+        def waiter(name, prio, delay):
+            yield sim.timeout(delay)
+            req = res.request(priority=prio)
+            yield req
+            order.append(name)
+            res.release(req)
+
+        sim.process(holder())
+        sim.process(waiter("low", 10, 1))
+        sim.process(waiter("high", 0, 2))
+        sim.run()
+        assert order == ["high", "low"]
+
+    def test_context_manager_releases(self, sim):
+        res = Resource(sim, capacity=1)
+
+        def body():
+            with res.request() as req:
+                yield req
+                yield sim.timeout(1)
+
+        sim.process(body())
+        sim.run()
+        assert res.count == 0
+        assert res.queue_length == 0
+
+    def test_release_unheld_raises(self, sim):
+        res = Resource(sim, capacity=1)
+        req = res.request()
+        sim.run()
+        res.release(req)
+        with pytest.raises(SimulationError):
+            res.release(req)
+
+    def test_cancel_waiting_request(self, sim):
+        res = Resource(sim, capacity=1)
+        first = res.request()
+        second = res.request()
+        assert res.queue_length == 1
+        second.cancel()
+        assert res.queue_length == 0
+        res.release(first)
+
+
+class TestStore:
+    def test_put_then_get(self, sim):
+        store = Store(sim)
+        got = []
+
+        def producer():
+            yield store.put("a")
+            yield store.put("b")
+
+        def consumer():
+            x = yield store.get()
+            got.append(x)
+            y = yield store.get()
+            got.append(y)
+
+        sim.process(producer())
+        sim.process(consumer())
+        sim.run()
+        assert got == ["a", "b"]
+
+    def test_get_blocks_until_put(self, sim):
+        store = Store(sim)
+        got = []
+
+        def consumer():
+            x = yield store.get()
+            got.append((sim.now, x))
+
+        def producer():
+            yield sim.timeout(9)
+            yield store.put("late")
+
+        sim.process(consumer())
+        sim.process(producer())
+        sim.run()
+        assert got == [(9, "late")]
+
+    def test_bounded_put_blocks(self, sim):
+        store = Store(sim, capacity=1)
+        events = []
+
+        def producer():
+            yield store.put(1)
+            events.append(("put1", sim.now))
+            yield store.put(2)
+            events.append(("put2", sim.now))
+
+        def consumer():
+            yield sim.timeout(5)
+            yield store.get()
+
+        sim.process(producer())
+        sim.process(consumer())
+        sim.run()
+        assert events == [("put1", 0), ("put2", 5)]
+
+    def test_len(self, sim):
+        store = Store(sim)
+        store.put(1)
+        store.put(2)
+        sim.run()
+        assert len(store) == 2
+
+    def test_capacity_validation(self, sim):
+        with pytest.raises(ValueError):
+            Store(sim, capacity=0)

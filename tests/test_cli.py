@@ -1,0 +1,63 @@
+"""CLI smoke tests (capsys-based)."""
+
+import pytest
+
+from repro.cli import build_circuit, main
+
+
+class TestBuildCircuit:
+    def test_simple_spec(self):
+        nl = build_circuit("ripple_adder:3")
+        assert nl.name == "adder3"
+
+    def test_multi_arg_spec(self):
+        nl = build_circuit("serial_crc:8,0x07")
+        assert nl.name.startswith("crc8")
+
+    def test_unknown_circuit(self):
+        with pytest.raises(SystemExit):
+            build_circuit("warp_core:4")
+
+    def test_bad_args(self):
+        with pytest.raises(SystemExit):
+            build_circuit("ripple_adder:1,2,3,4")
+
+
+class TestCommands:
+    def test_families(self, capsys):
+        assert main(["families"]) == 0
+        out = capsys.readouterr().out
+        assert "VF12" in out and "full download" in out
+
+    def test_circuits(self, capsys):
+        assert main(["circuits"]) == 0
+        out = capsys.readouterr().out
+        assert "ripple_adder" in out and "serial_crc" in out
+
+    def test_experiments(self, capsys):
+        assert main(["experiments"]) == 0
+        out = capsys.readouterr().out
+        assert "E1" in out and "E19" in out
+
+    def test_compile_with_verify(self, capsys):
+        rc = main(["compile", "parity_tree:4", "--family", "VF8",
+                   "--effort", "greedy", "--verify"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "matches the gate-level golden model" in out
+        assert "clock" in out
+
+    def test_simulate(self, capsys):
+        rc = main([
+            "simulate", "--family", "VF10",
+            "--circuits", "parity_tree:4,counter:3",
+            "--policy", "variable", "--tasks", "3", "--ops", "2",
+            "--cycles", "20000",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "makespan" in out and "useful FPGA" in out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["teleport"])
