@@ -4,18 +4,53 @@ Every ``test_eNN_*.py`` builds its workload here, runs it through a fresh
 simulated system, prints the resulting table/series (the paper-shape
 output recorded in EXPERIMENTS.md) and writes it to
 ``benchmarks/results/``.
+
+Machine-readable artifacts: every :func:`run_system` call is instrumented
+through the telemetry bus (event counts, events/sec, wall-clock seconds)
+and records the exact reproduction recipe (policy, policy kwargs,
+scheduler and its parameters, context-switch cost).  :func:`emit` writes
+the accumulated run records as ``BENCH_<experiment>.json`` next to the
+``.txt`` table, so regressions in both *results* and *simulator
+performance* are diffable by machines, not just eyeballs.
 """
 
 from __future__ import annotations
 
+import json
 import pathlib
-from typing import Optional, Tuple
+import time
+from typing import List, Optional, Tuple
 
 from repro.core import ConfigRegistry, make_service
 from repro.osim import Kernel, RoundRobin, RunStats, Scheduler
 from repro.sim import Simulator
+from repro.telemetry import EventBus, Profiler
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Run records accumulated since the last :func:`emit` (one experiment
+#: file usually makes several :func:`run_system` calls for its table).
+_RUNS: List[dict] = []
+
+
+def _jsonable(value):
+    """Best-effort JSON view of a policy kwarg (objects become reprs)."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    return repr(value)
+
+
+def _scheduler_info(scheduler: Scheduler) -> dict:
+    params = {
+        k: _jsonable(v)
+        for k, v in vars(scheduler).items()
+        if not k.startswith("_")
+    }
+    return {"type": type(scheduler).__name__, "params": params}
 
 
 def run_system(
@@ -29,23 +64,48 @@ def run_system(
     """One complete simulation; returns (run stats, the service)."""
     sim = Simulator()
     service = make_service(policy, registry, **policy_kw)
+    bus = EventBus()
+    profiler = Profiler(bus)
+    sched = scheduler if scheduler is not None else RoundRobin(time_slice=1e-3)
     kernel = Kernel(
         sim,
-        scheduler if scheduler is not None else RoundRobin(time_slice=1e-3),
+        sched,
         service,
         context_switch=context_switch,
+        bus=bus,
     )
     kernel.spawn_all(list(tasks))
+    t0 = time.perf_counter()
     stats = kernel.run()
+    wall = time.perf_counter() - t0
+    _RUNS.append({
+        "policy": policy,
+        "policy_kw": {k: _jsonable(v) for k, v in policy_kw.items()},
+        "scheduler": _scheduler_info(sched),
+        "context_switch": context_switch,
+        "n_tasks": stats.n_tasks,
+        "wall_seconds": wall,
+        "makespan": stats.makespan,
+        "mean_turnaround": stats.mean_turnaround,
+        "useful_fraction": stats.useful_fraction,
+        "metrics": service.metrics.as_dict(),
+        "telemetry": profiler.summary(),
+    })
     return stats, service
 
 
 def emit(name: str, text: str) -> None:
-    """Print the experiment output and archive it under results/."""
+    """Print the experiment output; archive the table (``.txt``) and the
+    machine-readable run records (``BENCH_<name>.json``) under results/."""
     print()
     print(text)
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    runs, _RUNS[:] = list(_RUNS), []
+    (RESULTS_DIR / f"BENCH_{name}.json").write_text(
+        json.dumps({"experiment": name, "runs": runs}, indent=2,
+                   sort_keys=True) + "\n"
+    )
 
 
 def monotone_nonincreasing(values, slack: float = 0.0) -> bool:

@@ -8,16 +8,24 @@
 4. Run a multitasking workload under two OS management policies and
    compare.
 
-Run:  python examples/quickstart.py
+Run:  python examples/quickstart.py [--trace out.json]
+
+``--trace`` additionally captures the second policy run's full telemetry
+stream as a Chrome ``trace_event`` file — open it in
+https://ui.perfetto.dev to see every download, transfer and execution on
+a per-task timeline.
 """
+
+import argparse
 
 from repro.analysis import fmt_pct, fmt_time, format_table
 from repro.core import VirtualFpga
 from repro.netlist import LogicSimulator, counter, parity_tree, ripple_adder
 from repro.osim import uniform_workload
+from repro.telemetry import EventBus, EventLog, to_chrome_trace
 
 
-def main() -> None:
+def main(trace_path: str | None = None) -> None:
     # -- 1. the virtual device ------------------------------------------------
     vf = VirtualFpga("VF12")  # 12x12 CLBs, 96 pins, partial reconfig
     print(f"device: {vf.arch.name} ({vf.arch.n_clbs} CLBs, "
@@ -62,7 +70,16 @@ def main() -> None:
             vf.circuits, n_tasks=6, ops_per_task=4,
             cpu_burst=1e-3, cycles=100_000, seed=7,
         )
-        stats = vf.simulate(tasks, policy=policy, **kw)
+        bus = log = None
+        if trace_path and policy == "variable":
+            bus = EventBus()
+            log = EventLog(bus)
+        stats = vf.simulate(tasks, policy=policy, bus=bus, **kw)
+        if log is not None:
+            to_chrome_trace(log.events, trace_path,
+                            run_name=f"quickstart:{policy}")
+            print(f"\ntelemetry: wrote {len(log.events)} events to "
+                  f"{trace_path} (open in https://ui.perfetto.dev)")
         m = vf.last_service.metrics
         rows.append({
             "policy": policy,
@@ -78,4 +95,8 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--trace", metavar="OUT.json", default=None,
+                    help="export the managed run's telemetry as a Chrome "
+                         "trace_event file")
+    main(trace_path=ap.parse_args().trace)

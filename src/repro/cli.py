@@ -8,6 +8,8 @@ Gives a downstream user the whole stack without writing Python:
   region/timing/wirelength (optionally functionally verify);
 * ``simulate``    — run a multitasking workload under a chosen VFPGA
   policy and print the run statistics;
+* ``trace``       — the same run, but export the full telemetry event
+  stream (Chrome ``trace_event`` JSON for Perfetto, or JSONL);
 * ``experiments`` — the experiment index (E1–E19) with the command that
   regenerates each table.
 
@@ -110,7 +112,8 @@ def cmd_compile(args) -> int:
     return 0
 
 
-def cmd_simulate(args) -> int:
+def _build_workload(args):
+    """Shared setup of ``simulate``/``trace``: facade, tasks, policy kwargs."""
     from .core import VirtualFpga
     from .osim import uniform_workload
 
@@ -132,6 +135,11 @@ def cmd_simulate(args) -> int:
         vf.circuits, n_tasks=args.tasks, ops_per_task=args.ops,
         cpu_burst=args.cpu_ms * 1e-3, cycles=args.cycles, seed=args.seed,
     )
+    return vf, tasks, policy_kw
+
+
+def cmd_simulate(args) -> int:
+    vf, tasks, policy_kw = _build_workload(args)
     stats = vf.simulate(tasks, policy=args.policy, **policy_kw)
     m = vf.last_service.metrics
     print(format_table([{
@@ -143,6 +151,47 @@ def cmd_simulate(args) -> int:
         "hit rate": fmt_pct(m.hit_rate),
         "useful FPGA": fmt_pct(stats.useful_fraction),
     }], title=f"{args.tasks} tasks on {args.family}"))
+    return 0
+
+
+def cmd_trace(args) -> int:
+    from .telemetry import (
+        EventBus,
+        EventLog,
+        Profiler,
+        to_chrome_trace,
+        to_jsonl,
+    )
+
+    vf, tasks, policy_kw = _build_workload(args)
+    bus = EventBus()
+    log = EventLog(bus, max_events=args.max_events)
+    profiler = Profiler(bus)
+    stats = vf.simulate(tasks, policy=args.policy, bus=bus,
+                        telemetry_steps=args.steps, **policy_kw)
+    run_name = f"{args.policy}@{args.family}"
+    if args.output == "-":
+        import io
+
+        buf = io.StringIO()
+        if args.format == "chrome":
+            to_chrome_trace(log.events, buf, run_name=run_name)
+        else:
+            to_jsonl(log.events, buf)
+        print(buf.getvalue(), end="")
+    else:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            if args.format == "chrome":
+                to_chrome_trace(log.events, fh, run_name=run_name)
+            else:
+                to_jsonl(log.events, fh)
+        summary = profiler.summary()
+        dropped = f" ({log.dropped} dropped)" if log.dropped else ""
+        print(f"wrote {len(log.events)} events{dropped} to {args.output} "
+              f"({args.format}); makespan {fmt_time(stats.makespan)}, "
+              f"{summary['n_events']} events published")
+        if args.format == "chrome":
+            print("open in https://ui.perfetto.dev or chrome://tracing")
     return 0
 
 
@@ -177,6 +226,13 @@ def cmd_experiments(_args) -> int:
     return 0
 
 
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError("must be a positive integer")
+    return value
+
+
 def make_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="repro", description="Virtual FPGA reproduction toolkit"
@@ -198,24 +254,44 @@ def make_parser() -> argparse.ArgumentParser:
     c.add_argument("--verify", action="store_true",
                    help="functionally verify the bitstream on the device")
 
+    def add_workload_args(sp) -> None:
+        sp.add_argument("--family", default="VF12")
+        sp.add_argument("--circuits", default="ripple_adder:4,counter:4",
+                        help="comma-separated generator specs")
+        sp.add_argument("--policy", default="variable",
+                        choices=["merged", "software", "nonpreemptable",
+                                 "dynamic", "fixed", "variable", "overlay",
+                                 "multi"])
+        sp.add_argument("--tasks", type=int, default=6)
+        sp.add_argument("--ops", type=int, default=4)
+        sp.add_argument("--cycles", type=int, default=100_000)
+        sp.add_argument("--cpu-ms", type=float, default=1.0)
+        sp.add_argument("--partitions", type=int, default=2)
+        sp.add_argument("--devices", type=int, default=2)
+        sp.add_argument("--gc", default="compact",
+                        choices=["none", "merge", "compact"])
+        sp.add_argument("--layout", default="columns",
+                        choices=["columns", "rect"])
+        sp.add_argument("--effort", default="greedy", choices=["greedy", "sa"])
+        sp.add_argument("--seed", type=int, default=0)
+
     s = sub.add_parser("simulate", help="run a workload under a VFPGA policy")
-    s.add_argument("--family", default="VF12")
-    s.add_argument("--circuits", default="ripple_adder:4,counter:4",
-                   help="comma-separated generator specs")
-    s.add_argument("--policy", default="variable",
-                   choices=["merged", "software", "nonpreemptable", "dynamic",
-                            "fixed", "variable", "overlay", "multi"])
-    s.add_argument("--tasks", type=int, default=6)
-    s.add_argument("--ops", type=int, default=4)
-    s.add_argument("--cycles", type=int, default=100_000)
-    s.add_argument("--cpu-ms", type=float, default=1.0)
-    s.add_argument("--partitions", type=int, default=2)
-    s.add_argument("--devices", type=int, default=2)
-    s.add_argument("--gc", default="compact",
-                   choices=["none", "merge", "compact"])
-    s.add_argument("--layout", default="columns", choices=["columns", "rect"])
-    s.add_argument("--effort", default="greedy", choices=["greedy", "sa"])
-    s.add_argument("--seed", type=int, default=0)
+    add_workload_args(s)
+
+    t = sub.add_parser(
+        "trace",
+        help="run a workload and export its telemetry event stream",
+    )
+    add_workload_args(t)
+    t.add_argument("--format", default="chrome", choices=["chrome", "jsonl"],
+                   help="chrome = trace_event JSON (Perfetto/chrome://tracing)"
+                        "; jsonl = one event per line")
+    t.add_argument("-o", "--output", default="trace.json",
+                   help="output path ('-' = stdout)")
+    t.add_argument("--steps", action="store_true",
+                   help="also record one event per simulator step")
+    t.add_argument("--max-events", type=_positive_int, default=None,
+                   help="ring-buffer bound on recorded events (default: all)")
     return p
 
 
@@ -224,6 +300,7 @@ _COMMANDS = {
     "circuits": cmd_circuits,
     "compile": cmd_compile,
     "simulate": cmd_simulate,
+    "trace": cmd_trace,
     "experiments": cmd_experiments,
 }
 

@@ -18,11 +18,26 @@ Physical honesty rules enforced here:
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Set
+from typing import Dict, Optional, Set, Type
 
 from ..device import Fpga
 from ..osim import FpgaOp, FpgaService, Task
 from ..sim import Resource
+from ..telemetry import (
+    ConfigPortOp,
+    EventBus,
+    Evict,
+    Exec,
+    Load,
+    MetricsRecorder,
+    PinWindow,
+    PortTransfer,
+    StateRestore,
+    StateSave,
+    TelemetryEvent,
+    Wait,
+    make_source,
+)
 from .errors import CapacityError, VfpgaError
 from .iomux import PinMultiplexer
 from .metrics import ServiceMetrics
@@ -33,6 +48,14 @@ __all__ = ["VfpgaServiceBase"]
 
 class VfpgaServiceBase(FpgaService):
     """Base class: device ownership + charging primitives.
+
+    Observability: every charging primitive *publishes* a typed event on
+    the telemetry bus; :attr:`metrics` is a derived view filled by a
+    :class:`~repro.telemetry.MetricsRecorder` subscribed with this
+    service's :attr:`source` — so a policy composed purely from these
+    primitives is fully instrumented without touching a counter, and
+    several services (multi-board systems) share one bus without mixing
+    their numbers.
 
     Parameters
     ----------
@@ -57,6 +80,12 @@ class VfpgaServiceBase(FpgaService):
             raise VfpgaError("registry and device architectures differ")
         self.mux = PinMultiplexer(self.fpga.arch.n_pins, word_rate=word_rate)
         self.metrics = ServiceMetrics()
+        #: Telemetry attribution of this service instance's events.
+        self.source = make_source(type(self).__name__)
+        #: The bus (the kernel's, bound at :meth:`attach`).
+        self.bus: Optional[EventBus] = None
+        self._metrics_recorder = MetricsRecorder(self.metrics,
+                                                 source=self.source)
         #: handles currently executing on the fabric.
         self._executing: Set[str] = set()
         self._idle_waiters = []
@@ -68,6 +97,29 @@ class VfpgaServiceBase(FpgaService):
         super().attach(kernel)
         self.sim = kernel.sim
         self._port = Resource(self.sim, capacity=1)
+        self.bus = kernel.bus
+        self._metrics_recorder.attach(self.bus)
+        # Device-level port occupancy: traffic that bypasses the charging
+        # primitives (boot loads, scrub repairs) still reaches the bus.
+        self.fpga.telemetry = self._device_port_event
+
+    # -- telemetry -------------------------------------------------------------
+    def _publish(self, event_cls: Type[TelemetryEvent],
+                 task: Optional[Task] = None, **fields) -> None:
+        """Publish one typed event, stamped with the current simulation
+        time, the task's name (when attributed) and this service's source."""
+        if self.bus is not None:
+            self.bus.publish(event_cls(
+                self.sim.now, task.name if task is not None else "",
+                source=self.source, **fields,
+            ))
+
+    def _device_port_event(self, op: str, handle: str, timing) -> None:
+        if self.bus is not None:
+            self.bus.publish(ConfigPortOp(
+                self.sim.now, source=self.source, op=op, handle=handle,
+                seconds=timing.seconds, frames=timing.n_frames,
+            ))
 
     def register_task(self, task: Task) -> None:
         for name in task.configs:
@@ -113,15 +165,11 @@ class VfpgaServiceBase(FpgaService):
                 self.fpga.wipe()
             timing = self.fpga.load(handle, entry.bitstream.anchored_at(*anchor))
             self._anchors[handle] = anchor
-            self.metrics.n_loads += 1
-            self.metrics.load_time += timing.seconds
             if task is not None:
                 task.accounting.fpga_reconfig_time += timing.seconds
                 task.accounting.n_reconfigs += 1
-            self.kernel.trace.log(
-                self.sim.now, "fpga-load",
-                task.name if task else "", f"{handle}@{anchor}",
-            )
+            self._publish(Load, task, handle=handle, anchor=tuple(anchor),
+                          seconds=timing.seconds, frames=timing.n_frames)
             yield self.sim.timeout(timing.seconds)
 
     def _charge_unload(self, task: Optional[Task], handle: str):
@@ -132,14 +180,9 @@ class VfpgaServiceBase(FpgaService):
                 return
             timing = self.fpga.unload(handle)
             self._anchors.pop(handle, None)
-            self.metrics.n_unloads += 1
-            self.metrics.n_evictions += 1
-            self.metrics.load_time += timing.seconds
             if task is not None:
                 task.accounting.fpga_reconfig_time += timing.seconds
-            self.kernel.trace.log(
-                self.sim.now, "fpga-unload", task.name if task else "", handle
-            )
+            self._publish(Evict, task, handle=handle, seconds=timing.seconds)
             yield self.sim.timeout(timing.seconds)
 
     def _charge_state(self, task: Optional[Task], seconds: float, kind: str,
@@ -149,17 +192,10 @@ class VfpgaServiceBase(FpgaService):
             return
         with self._port.request() as req:
             yield req
-            self.metrics.state_time += seconds
-            if kind == "save":
-                self.metrics.n_state_saves += 1
-            else:
-                self.metrics.n_state_restores += 1
             if task is not None:
                 task.accounting.fpga_state_time += seconds
-            self.kernel.trace.log(
-                self.sim.now, f"fpga-state-{kind}",
-                task.name if task else "", handle,
-            )
+            event_cls = StateSave if kind == "save" else StateRestore
+            self._publish(event_cls, task, handle=handle, seconds=seconds)
             yield self.sim.timeout(seconds)
 
     def _charge_io(self, task: Task, entry: ConfigEntry, op: FpgaOp):
@@ -167,15 +203,23 @@ class VfpgaServiceBase(FpgaService):
         if op.io_words <= 0:
             return
         self.mux.begin(entry.name, entry.io_pins)
+        self._publish(PinWindow, task, circuit=entry.name,
+                      pins=entry.io_pins, active=True,
+                      demand=self.mux.total_demand)
         try:
             priced = self.mux.price_active_transfer(
                 entry.name, op.io_words, entry.io_pins
             )
-            self.metrics.io_time += priced.seconds
             task.accounting.fpga_io_time += priced.seconds
+            self._publish(PortTransfer, task, circuit=entry.name,
+                          words=op.io_words, pins=entry.io_pins,
+                          seconds=priced.seconds, factor=priced.factor)
             yield self.sim.timeout(priced.seconds)
         finally:
             self.mux.end(entry.name, entry.io_pins)
+            self._publish(PinWindow, task, circuit=entry.name,
+                          pins=entry.io_pins, active=False,
+                          demand=self.mux.total_demand)
 
     def _charge_exec(self, task: Task, entry: ConfigEntry, seconds: float,
                      handle: Optional[str] = None):
@@ -183,8 +227,8 @@ class VfpgaServiceBase(FpgaService):
         handle = handle or entry.name
         self._begin_exec(handle)
         try:
+            self._publish(Exec, task, handle=handle, seconds=seconds)
             yield self.sim.timeout(seconds)
-            self.metrics.exec_time += seconds
             task.accounting.fpga_exec_time += seconds
         finally:
             self._end_exec(handle)
@@ -192,8 +236,8 @@ class VfpgaServiceBase(FpgaService):
     def _charge_wait(self, task: Task, start: float) -> None:
         waited = self.sim.now - start
         if waited > 0:
-            self.metrics.wait_time += waited
             task.accounting.fpga_wait_time += waited
+            self._publish(Wait, task, seconds=waited)
 
     # -- shared helpers ----------------------------------------------------------------
     def op_seconds(self, entry: ConfigEntry, op: FpgaOp) -> float:

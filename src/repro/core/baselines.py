@@ -18,6 +18,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..osim import FpgaOp, Task
 from ..sim import Resource
+from ..telemetry import Exec, Hit, Load, Miss, OpStart
 from .base import VfpgaServiceBase
 from .errors import CapacityError
 from .registry import ConfigEntry, ConfigRegistry
@@ -90,11 +91,17 @@ class MergedResidentService(VfpgaServiceBase):
             )
             self.boot_load_time += timing.seconds
             self._locks[entry.name] = Resource(self.sim, capacity=1)
+            if arch.supports_partial:
+                self._publish(Load, None, handle=entry.name,
+                              anchor=anchors[entry.name],
+                              seconds=timing.seconds, frames=timing.n_frames)
         if not arch.supports_partial:
-            # One full serial download configures everything at once.
-            self.boot_load_time = self.fpga.port.full_config().seconds
-        self.metrics.n_loads += len(entries)
-        self.metrics.load_time += self.boot_load_time
+            # One full serial download configures everything at once —
+            # published as a single Load carrying the circuit count.
+            boot = self.fpga.port.full_config()
+            self.boot_load_time = boot.seconds
+            self._publish(Load, None, handle="<boot>", seconds=boot.seconds,
+                          frames=boot.n_frames, count=len(entries))
 
     def execute(self, task: Task, op: FpgaOp):
         entry = self.registry.get(op.config)
@@ -102,8 +109,8 @@ class MergedResidentService(VfpgaServiceBase):
         with self._locks[op.config].request() as req:
             yield req
             self._charge_wait(task, t0)
-            self.metrics.n_ops += 1
-            self.metrics.n_hits += 1
+            self._publish(OpStart, task, config=op.config)
+            self._publish(Hit, task, handle=op.config)
             yield from self._charge_io(task, entry, op)
             yield from self._charge_exec(task, entry, self.op_seconds(entry, op))
 
@@ -135,11 +142,11 @@ class SoftwareOnlyService(VfpgaServiceBase):
         with self._cpu_lock.request() as req:
             yield req
             self._charge_wait(task, t0)
-            self.metrics.n_ops += 1
+            self._publish(OpStart, task, config=op.config)
             seconds = self.op_seconds(entry, op) * self.slowdown
+            self._publish(Exec, task, handle="cpu", seconds=seconds)
             yield self.sim.timeout(seconds)
             task.accounting.cpu_time += seconds
-            self.metrics.exec_time += seconds
 
 
 class NonPreemptableService(VfpgaServiceBase):
@@ -169,16 +176,16 @@ class NonPreemptableService(VfpgaServiceBase):
         with self._device_lock.request() as req:
             yield req
             self._charge_wait(task, t0)
-            self.metrics.n_ops += 1
+            self._publish(OpStart, task, config=op.config)
             if self._resident_config != op.config:
-                self.metrics.n_misses += 1
+                self._publish(Miss, task, handle=op.config)
                 if self._resident_config is not None:
                     yield from self._charge_unload(task, self._resident_config)
                     self._resident_config = None
                 yield from self._charge_load(task, entry, (0, 0))
                 self._resident_config = op.config
             else:
-                self.metrics.n_hits += 1
+                self._publish(Hit, task, handle=op.config)
             task.current_config = op.config
             yield from self._charge_io(task, entry, op)
             yield from self._charge_exec(task, entry, self.op_seconds(entry, op))

@@ -26,6 +26,7 @@ from typing import Optional
 
 from ..osim import FpgaOp, Task
 from ..sim import Resource
+from ..telemetry import Hit, Miss, OpStart, Preempt, Prefetch, Rollback
 from .base import VfpgaServiceBase
 from .preemption import PreemptionPolicy, RunToCompletion
 from .registry import ConfigRegistry
@@ -81,9 +82,9 @@ class DynamicLoadingService(VfpgaServiceBase):
     def _ensure_resident(self, task: Optional[Task], entry):
         """Download ``entry`` if it is not the resident configuration."""
         if self._resident_config == entry.name and self.is_resident(entry.name):
-            self.metrics.n_hits += 1
+            self._publish(Hit, task, handle=entry.name)
             return
-        self.metrics.n_misses += 1
+        self._publish(Miss, task, handle=entry.name)
         if self._resident_config is not None and self.is_resident(
             self._resident_config
         ):
@@ -119,7 +120,7 @@ class DynamicLoadingService(VfpgaServiceBase):
             entry = self.registry.get(config)
             if self._resident_config != config:
                 self.n_prefetches += 1
-                self.kernel.trace.log(self.sim.now, "fpga-prefetch", "", config)
+                self._publish(Prefetch, None, config=config)
                 yield from self._ensure_resident(None, entry)
         finally:
             self._prefetching = None
@@ -133,7 +134,7 @@ class DynamicLoadingService(VfpgaServiceBase):
         io_done = False
         restore_pending = False
         t_queued = self.sim.now
-        self.metrics.n_ops += 1
+        self._publish(OpStart, task, config=op.config)
         # Anti-livelock patience: an operation that keeps losing its
         # progress to rollbacks would restart forever under contention (a
         # hazard the paper does not address).  Each rollback doubles the
@@ -181,11 +182,8 @@ class DynamicLoadingService(VfpgaServiceBase):
                     if not decision.allowed or self._fabric.queue_length == 0:
                         continue  # keep the fabric
                     # -- preempt ------------------------------------------
-                    self.metrics.n_preemptions += 1
                     task.accounting.n_preemptions += 1
-                    self.kernel.trace.log(
-                        self.sim.now, "fpga-preempt", task.name, entry.name
-                    )
+                    self._publish(Preempt, task, handle=entry.name)
                     if decision.keep_progress:
                         if decision.save_cost:
                             yield from self._charge_state(
@@ -197,7 +195,7 @@ class DynamicLoadingService(VfpgaServiceBase):
                         # Roll back: the computation restarts from the
                         # beginning "by presenting the initial data" (§3)
                         # — including the input transfer.
-                        self.metrics.n_rollbacks += 1
+                        self._publish(Rollback, task, handle=entry.name)
                         task.accounting.n_rollbacks += 1
                         op_rollbacks += 1
                         remaining = total

@@ -58,6 +58,11 @@ class PinMultiplexer:
         self.active: Dict[str, int] = {}
         self.metrics = ServiceMetrics()
 
+    @property
+    def total_demand(self) -> int:
+        """Sum of virtual pins currently transferring (telemetry view)."""
+        return sum(self.active.values())
+
     # -- static model (used directly by experiment E9) -----------------------
     def oversubscription(self, extra_pins: int = 0) -> float:
         """Current demand / physical pins, floored at 1."""

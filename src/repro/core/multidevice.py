@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Callable, List, Optional
 
 from ..osim import FpgaOp, FpgaService, Task
+from ..telemetry import BoardDispatch, make_source
 from .base import VfpgaServiceBase
 from .dynamic_loading import DynamicLoadingService
 from .metrics import ServiceMetrics
@@ -55,6 +56,9 @@ class MultiDeviceService(FpgaService):
         self.boards: List[VfpgaServiceBase] = [
             factory(registry) for _ in range(n_devices)
         ]
+        #: Telemetry attribution of the *dispatcher's* own events (each
+        #: board keeps publishing under its own source on the shared bus).
+        self.source = make_source(type(self).__name__)
         #: Outstanding operations per board (dispatch load estimate).
         self._in_flight: List[int] = [0] * n_devices
 
@@ -88,9 +92,10 @@ class MultiDeviceService(FpgaService):
     def execute(self, task: Task, op: FpgaOp):
         i = self._choose_board(op.config)
         self._in_flight[i] += 1
-        self.kernel.trace.log(
-            self.kernel.sim.now, "fpga-board", task.name, f"{op.config}@board{i}"
-        )
+        self.kernel.bus.publish(BoardDispatch(
+            self.kernel.sim.now, task.name, source=self.source,
+            config=op.config, board=i,
+        ))
         try:
             yield from self.boards[i].execute(task, op)
         finally:

@@ -17,6 +17,7 @@ from typing import Dict, Optional, Sequence
 
 from ..osim import FpgaOp, Task
 from ..sim import Resource
+from ..telemetry import Hit, Load, Miss, OpStart
 from .base import VfpgaServiceBase
 from .errors import CapacityError
 from .registry import ConfigRegistry
@@ -60,8 +61,8 @@ class OverlayService(VfpgaServiceBase):
                     f"{x}..{x + r.w} of {arch.width}"
                 )
             timing = self.fpga.load(name, entry.bitstream.anchored_at(x, 0))
-            self.metrics.n_loads += 1
-            self.metrics.load_time += timing.seconds
+            self._publish(Load, None, handle=name, anchor=(x, 0),
+                          seconds=timing.seconds, frames=timing.n_frames)
             self._locks[name] = Resource(self.sim, capacity=1)
             x += r.w
         self._overlay_x = x
@@ -75,12 +76,12 @@ class OverlayService(VfpgaServiceBase):
     def execute(self, task: Task, op: FpgaOp):
         entry = self.registry.get(op.config)
         t0 = self.sim.now
-        self.metrics.n_ops += 1
+        self._publish(OpStart, task, config=op.config)
         if op.config in self._locks:  # pinned: never a download
             with self._locks[op.config].request() as req:
                 yield req
                 self._charge_wait(task, t0)
-                self.metrics.n_hits += 1
+                self._publish(Hit, task, handle=op.config)
                 task.current_config = op.config
                 yield from self._charge_io(task, entry, op)
                 yield from self._charge_exec(task, entry,
@@ -97,7 +98,7 @@ class OverlayService(VfpgaServiceBase):
             yield req
             self._charge_wait(task, t0)
             if self._overlay_resident != op.config:
-                self.metrics.n_misses += 1
+                self._publish(Miss, task, handle=op.config)
                 if self._overlay_resident is not None:
                     yield from self._charge_unload(
                         task, f"ov:{self._overlay_resident}"
@@ -108,7 +109,7 @@ class OverlayService(VfpgaServiceBase):
                 )
                 self._overlay_resident = op.config
             else:
-                self.metrics.n_hits += 1
+                self._publish(Hit, task, handle=op.config)
             task.current_config = op.config
             yield from self._charge_io(task, entry, op)
             yield from self._charge_exec(

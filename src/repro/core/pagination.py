@@ -22,6 +22,7 @@ from ..osim import FpgaOp, Task
 from ..sim import Resource
 from .base import VfpgaServiceBase
 from .errors import CapacityError, UnknownConfigError
+from ..telemetry import OpStart, PageAccess, PageFault
 from .policies import ReplacementPolicy, access_trace, make_replacement
 from .registry import ConfigRegistry
 
@@ -180,8 +181,7 @@ class PagedVfpgaService(VfpgaServiceBase):
                 self._pin(frame)
                 self.replacement.on_access(page)
                 return frame
-            self.metrics.n_page_faults += 1
-            self.kernel.trace.log(self.sim.now, "page-fault", task.name, page)
+            self._publish(PageFault, task, unit=page)
             while True:
                 empty = [i for i, p in enumerate(self.frame_holds) if p is None]
                 if empty:
@@ -228,11 +228,11 @@ class PagedVfpgaService(VfpgaServiceBase):
             seed=circ.seed * 1_000_003 + self._op_counter,
         )
         t0 = self.sim.now
-        self.metrics.n_ops += 1
+        self._publish(OpStart, task, config=op.config)
         first_io = True
         for index in trace:
             page = circ.page_names[index]
-            self.metrics.n_page_accesses += 1
+            self._publish(PageAccess, task, unit=page)
             frame = yield from self._ensure_page(task, page)
             try:
                 entry = self.registry.get(page)

@@ -27,6 +27,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..device import Rect
 from ..osim import FpgaOp, Task
 from ..sim import Resource
+from ..telemetry import Compact, Hit, Miss, OpStart, Relocate, Suspend
 from .base import VfpgaServiceBase
 from .errors import CapacityError, VfpgaError
 from .registry import ConfigEntry, ConfigRegistry
@@ -223,14 +224,14 @@ class FixedPartitionService(VfpgaServiceBase):
         entry = self.registry.get(op.config)
         part = self._choose(entry)
         t0 = self.sim.now
-        self.metrics.n_ops += 1
+        self._publish(OpStart, task, config=op.config)
         with part.lock.request() as req:
             yield req
             self._charge_wait(task, t0)
             part.last_used = self.sim.now
             handle = f"p{part.index}"
             if part.resident != entry.name:
-                self.metrics.n_misses += 1
+                self._publish(Miss, task, handle=entry.name)
                 if part.resident is not None:
                     yield from self._charge_unload(task, handle)
                     part.resident = None
@@ -239,7 +240,7 @@ class FixedPartitionService(VfpgaServiceBase):
                 )
                 part.resident = entry.name
             else:
-                self.metrics.n_hits += 1
+                self._publish(Hit, task, handle=entry.name)
             task.current_config = op.config
             yield from self._charge_io(task, entry, op)
             yield from self._charge_exec(
@@ -481,9 +482,7 @@ class VariablePartitionService(VfpgaServiceBase):
         Sequential circuits additionally pay state readback + restore so
         their memory contents survive the move.
         """
-        self.metrics.n_compactions += 1
-        self.kernel.trace.log(self.sim.now, "fpga-compact",
-                              task.name if task else "")
+        self._publish(Compact, task)
         moved = 0
         self.layout.merge_free()
         movable = sorted(
@@ -527,7 +526,8 @@ class VariablePartitionService(VfpgaServiceBase):
                         "restore", handle=res.entry.name,
                     )
                 res.anchor = new_anchor
-                self.metrics.n_relocations += 1
+                self._publish(Relocate, task, handle=res.entry.name,
+                              anchor=tuple(new_anchor))
                 moved += 1
             finally:
                 res.lock.release(req)
@@ -542,7 +542,7 @@ class VariablePartitionService(VfpgaServiceBase):
         entry = self.registry.get(op.config)
         self._check_fits_device(entry)
         t0 = self.sim.now
-        self.metrics.n_ops += 1
+        self._publish(OpStart, task, config=op.config)
         if self.hold_mode == "task" and task.current_config not in (None, op.config):
             # §3: a task holds only its most recently used configuration;
             # switching releases the previous partition (it stays resident
@@ -556,7 +556,7 @@ class VariablePartitionService(VfpgaServiceBase):
         while True:
             res = self.residents.get(entry.name)
             if res is not None:
-                self.metrics.n_hits += 1
+                self._publish(Hit, task, handle=entry.name)
                 break
             placed = yield from self._try_place(task, entry)
             if self.residents.get(entry.name) is not None:
@@ -566,10 +566,10 @@ class VariablePartitionService(VfpgaServiceBase):
                     r = entry.bitstream.region
                     self.layout.release(placed, r.w, r.h)
                 res = self.residents[entry.name]
-                self.metrics.n_hits += 1
+                self._publish(Hit, task, handle=entry.name)
                 break
             if placed is not None:
-                self.metrics.n_misses += 1
+                self._publish(Miss, task, handle=entry.name)
                 res = _Resident(
                     entry=entry,
                     anchor=placed,
@@ -585,8 +585,7 @@ class VariablePartitionService(VfpgaServiceBase):
             # No space: suspend until departures change the picture.
             ev = self.sim.event()
             self._space_waiters.append(ev)
-            self.kernel.trace.log(self.sim.now, "fpga-suspend", task.name,
-                                  entry.name)
+            self._publish(Suspend, task, config=entry.name)
             yield ev
         if self.hold_mode == "task":
             res.holders.add(task.tid)

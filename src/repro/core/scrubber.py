@@ -22,6 +22,7 @@ from typing import List, Optional
 
 from ..device import Fpga
 from ..sim import Simulator
+from ..telemetry import EventBus, Repair, ScrubPass, Upset, make_source
 
 __all__ = ["Scrubber", "UpsetInjector", "UpsetRecord"]
 
@@ -53,6 +54,7 @@ class UpsetInjector:
         mean_interval: float,
         seed: int = 0,
         stop_after: Optional[float] = None,
+        bus: Optional[EventBus] = None,
     ) -> None:
         if mean_interval <= 0:
             raise ValueError("mean_interval must be positive")
@@ -62,6 +64,8 @@ class UpsetInjector:
         self.stop_after = stop_after
         self.rng = random.Random(seed)
         self.records: List[UpsetRecord] = []
+        self.bus = bus
+        self.source = make_source(type(self).__name__)
         sim.process(self._run(), name="upset-injector")
 
     def _run(self):
@@ -84,6 +88,11 @@ class UpsetInjector:
                 UpsetRecord(time=self.sim.now, frame=frame, bit=bit,
                             handle=handle)
             )
+            if self.bus is not None:
+                self.bus.publish(Upset(
+                    self.sim.now, source=self.source, frame=frame, bit=bit,
+                    handle=handle or "",
+                ))
 
 
 class Scrubber:
@@ -101,6 +110,7 @@ class Scrubber:
         period: float,
         injector: Optional[UpsetInjector] = None,
         stop_after: Optional[float] = None,
+        bus: Optional[EventBus] = None,
     ) -> None:
         if period <= 0:
             raise ValueError("period must be positive")
@@ -112,7 +122,13 @@ class Scrubber:
         self.n_scrubs = 0
         self.n_repairs = 0
         self.scrub_time_total = 0.0
+        self.bus = bus
+        self.source = make_source(type(self).__name__)
         sim.process(self._run(), name="scrubber")
+
+    def _publish(self, event) -> None:
+        if self.bus is not None:
+            self.bus.publish(event)
 
     def _run(self):
         while True:
@@ -124,11 +140,17 @@ class Scrubber:
             yield self.sim.timeout(cost)
             self.scrub_time_total += cost
             self.n_scrubs += 1
-            for handle in self.fpga.scrub():
+            corrupted = self.fpga.scrub()
+            self._publish(ScrubPass(self.sim.now, source=self.source,
+                                    seconds=cost,
+                                    n_corrupted=len(corrupted)))
+            for handle in corrupted:
                 golden = self.fpga.resident[handle]
                 self.fpga.unload(handle)
                 self.fpga.load(handle, golden)
                 self.n_repairs += 1
+                self._publish(Repair(self.sim.now, source=self.source,
+                                     handle=handle))
                 if self.injector is not None:
                     for rec in self.injector.records:
                         if rec.handle == handle and rec.repaired_at is None:

@@ -27,6 +27,7 @@ from ..osim import FpgaOp, Task
 from ..sim import Resource
 from .base import VfpgaServiceBase
 from .errors import CapacityError, UnknownConfigError
+from ..telemetry import OpStart, PageAccess, SegmentFault
 from .policies import ReplacementPolicy, access_trace, make_replacement
 from .partitioning import ColumnAllocator
 from .registry import ConfigRegistry
@@ -193,8 +194,7 @@ class SegmentedVfpgaService(VfpgaServiceBase):
                 self._pin(seg)
                 self.replacement.on_access(seg)
                 return
-            self.metrics.n_page_faults += 1
-            self.kernel.trace.log(self.sim.now, "segment-fault", task.name, seg)
+            self._publish(SegmentFault, task, unit=seg)
             entry = self.registry.get(seg)
             w = entry.bitstream.region.w
             while True:
@@ -233,11 +233,11 @@ class SegmentedVfpgaService(VfpgaServiceBase):
             seed=circ.seed * 1_000_003 + self._op_counter,
         )
         t0 = self.sim.now
-        self.metrics.n_ops += 1
+        self._publish(OpStart, task, config=op.config)
         first_io = True
         for index in trace:
             seg = circ.segment_names[index]
-            self.metrics.n_page_accesses += 1
+            self._publish(PageAccess, task, unit=seg)
             yield from self._ensure_segment(task, seg)
             try:
                 entry = self.registry.get(seg)

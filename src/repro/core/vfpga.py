@@ -23,6 +23,7 @@ from ..device import Architecture, DeviceView, Fpga, get_family
 from ..netlist import Netlist
 from ..osim import Kernel, RoundRobin, RunStats, Scheduler, Task
 from ..sim import Simulator
+from ..telemetry import EventBus
 from .baselines import (
     MergedResidentService,
     NonPreemptableService,
@@ -177,13 +178,18 @@ class VirtualFpga:
         policy: str = "dynamic",
         scheduler: Optional[Scheduler] = None,
         context_switch: float = 20e-6,
+        bus: Optional[EventBus] = None,
+        telemetry_steps: bool = False,
         **policy_kw,
     ) -> RunStats:
         """Run ``tasks`` under ``policy`` on a fresh simulated system.
 
         Returns the :class:`~repro.osim.trace.RunStats`; the service used
         is available afterwards as :attr:`last_service` and the kernel as
-        :attr:`last_kernel` for metric inspection.
+        :attr:`last_kernel` for metric inspection.  Pass a telemetry
+        ``bus`` (with recorders/exporters already subscribed) to capture
+        the run's full event stream; ``telemetry_steps`` additionally
+        publishes one event per simulator step.
         """
         sim = Simulator()
         service = make_service(policy, self.registry, **policy_kw)
@@ -192,6 +198,8 @@ class VirtualFpga:
             scheduler if scheduler is not None else RoundRobin(),
             service,
             context_switch=context_switch,
+            bus=bus,
+            telemetry_steps=telemetry_steps,
         )
         kernel.spawn_all(list(tasks))
         # Expose before running so a DeadlockError still leaves the

@@ -67,6 +67,9 @@ class ConfigRam:
         self.frames = np.zeros((arch.n_frames, arch.frame_bits), dtype=np.uint8)
         self.frame_writes = 0
         self.bits_written = 0
+        #: Optional hook ``fn(frame_index)`` invoked after every frame
+        #: write (telemetry tap for write-traffic studies; ``None`` = off).
+        self.on_write = None
 
     def write_frame(self, index: int, bits: np.ndarray) -> None:
         if not 0 <= index < self.arch.n_frames:
@@ -78,6 +81,8 @@ class ConfigRam:
         self.frames[index] = bits
         self.frame_writes += 1
         self.bits_written += self.arch.frame_bits
+        if self.on_write is not None:
+            self.on_write(index)
 
     def read_frame(self, index: int) -> np.ndarray:
         if not 0 <= index < self.arch.n_frames:

@@ -48,6 +48,10 @@ class Fpga:
         self.port_busy_time = 0.0
         self.n_loads = 0
         self.n_unloads = 0
+        #: Optional hook ``fn(op, handle, timing)`` called on every port
+        #: operation — the telemetry layer's device-level tap (the service
+        #: that owns this device installs it at attach time).
+        self.telemetry = None
 
     # -- masks ---------------------------------------------------------------
     def _region_mask(self, bs: Bitstream) -> np.ndarray:
@@ -104,6 +108,8 @@ class Fpga:
         timing = self.port.load_time(bitstream)
         self.port_busy_time += timing.seconds
         self.n_loads += 1
+        if self.telemetry is not None:
+            self.telemetry("load", handle, timing)
         return timing
 
     def unload(self, handle: str) -> ConfigTimingBreakdown:
@@ -118,6 +124,8 @@ class Fpga:
         timing = self.port.unload_time(bitstream)
         self.port_busy_time += timing.seconds
         self.n_unloads += 1
+        if self.telemetry is not None:
+            self.telemetry("unload", handle, timing)
         return timing
 
     def wipe(self) -> None:
@@ -136,6 +144,8 @@ class Fpga:
         self.resident.clear()
         timing = self.port.full_config()
         self.port_busy_time += timing.seconds
+        if self.telemetry is not None:
+            self.telemetry("clear", "", timing)
         return timing
 
     # -- inspection ----------------------------------------------------------------

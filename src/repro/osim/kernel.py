@@ -16,6 +16,16 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from ..sim import Event, Simulator
+from ..telemetry import (
+    Admit,
+    Dispatch,
+    EventBus,
+    FpgaComplete,
+    FpgaRequest,
+    QuantumExpired,
+    SimStep,
+    TaskDone,
+)
 from .scheduler import Scheduler
 from .syscalls import FpgaService, SyscallError
 from .task import CpuBurst, FpgaOp, Task, TaskState
@@ -53,8 +63,23 @@ class Kernel:
     context_switch:
         Seconds charged at every dispatch.
     trace:
-        Record a :class:`~repro.osim.trace.Trace` of kernel events.
+        Record a :class:`~repro.osim.trace.Trace` of kernel events (a
+        derived subscriber of :attr:`bus`).
+    bus:
+        The telemetry :class:`~repro.telemetry.EventBus` every layer
+        publishes into (a fresh private bus when omitted).  Pass a shared
+        bus to attach exporters/profilers before the run starts.
+    max_trace_events:
+        Bound the legacy trace to a ring of this many rows (see
+        :class:`~repro.osim.trace.Trace`).
+    telemetry_steps:
+        Publish a :class:`~repro.telemetry.SimStep` event (with calendar
+        depth) for every simulator step.  Off by default — it is the one
+        high-frequency event source.
     """
+
+    #: ``source`` attribution of kernel-published events.
+    SOURCE = "kernel"
 
     def __init__(
         self,
@@ -63,13 +88,24 @@ class Kernel:
         fpga_service: FpgaService,
         context_switch: float = 20e-6,
         trace: bool = True,
+        bus: Optional[EventBus] = None,
+        max_trace_events: Optional[int] = None,
+        telemetry_steps: bool = False,
     ) -> None:
         self.sim = sim
         self.scheduler = scheduler
         self.service = fpga_service
+        self.bus = bus if bus is not None else EventBus()
+        self.trace = Trace(enabled=trace, max_events=max_trace_events)
+        self.bus.subscribe(self.trace.record)
+        if telemetry_steps:
+            sim.set_step_hook(
+                lambda now, depth: self.bus.publish(
+                    SimStep(now, source=self.SOURCE, queue_depth=depth)
+                )
+            )
         self.service.attach(self)
         self.context_switch = context_switch
-        self.trace = Trace(enabled=trace)
         self.tasks: List[Task] = []
         self._progress: Dict[int, _Progress] = {}
         self._wakeup: Optional[Event] = None
@@ -97,7 +133,7 @@ class Kernel:
         task.state = TaskState.READY
         task.accounting.arrival = self.sim.now
         self.service.register_task(task)
-        self.trace.log(self.sim.now, "admit", task.name)
+        self.bus.publish(Admit(self.sim.now, task.name, source=self.SOURCE))
         self._make_ready(task)
 
     def _make_ready(self, task: Task) -> None:
@@ -135,7 +171,9 @@ class Kernel:
                 task.accounting.first_dispatch = self.sim.now
             task.state = TaskState.RUNNING
             self.total_context_switches += 1
-            self.trace.log(self.sim.now, "dispatch", task.name)
+            self.bus.publish(
+                Dispatch(self.sim.now, task.name, source=self.SOURCE)
+            )
             if self.context_switch:
                 yield self.sim.timeout(self.context_switch)
             self.service.on_dispatch(task)
@@ -165,7 +203,10 @@ class Kernel:
                     prog.step_index += 1
                 if budget <= 1e-15:
                     if prog.step_index < len(task.program):
-                        self.trace.log(self.sim.now, "quantum-expired", task.name)
+                        self.bus.publish(
+                            QuantumExpired(self.sim.now, task.name,
+                                           source=self.SOURCE)
+                        )
                         self._make_ready(task)
                         return
             elif isinstance(step, FpgaOp):
@@ -177,8 +218,9 @@ class Kernel:
                 prog.step_index += 1
                 task.state = TaskState.WAITING
                 task.accounting.n_fpga_ops += 1
-                self.trace.log(
-                    self.sim.now, "fpga-request", task.name, step.config
+                self.bus.publish(
+                    FpgaRequest(self.sim.now, task.name, source=self.SOURCE,
+                                config=step.config)
                 )
                 self.sim.process(
                     self._fpga_wrapper(task, step),
@@ -190,7 +232,10 @@ class Kernel:
 
     def _fpga_wrapper(self, task: Task, op: FpgaOp):
         yield from self.service.execute(task, op)
-        self.trace.log(self.sim.now, "fpga-complete", task.name, op.config)
+        self.bus.publish(
+            FpgaComplete(self.sim.now, task.name, source=self.SOURCE,
+                         config=op.config)
+        )
         if self._progress[task.tid].step_index >= len(task.program):
             self._finish(task)
         else:
@@ -200,7 +245,7 @@ class Kernel:
         task.state = TaskState.DONE
         task.accounting.completion = self.sim.now
         self.service.on_task_exit(task)
-        self.trace.log(self.sim.now, "done", task.name)
+        self.bus.publish(TaskDone(self.sim.now, task.name, source=self.SOURCE))
         self._kick()
 
     def _all_done(self) -> bool:

@@ -1,8 +1,13 @@
 """Event tracing and run-level statistics.
 
-Every kernel/service action appends a :class:`TraceEvent`; the experiment
-harness reduces finished runs to a :class:`RunStats` row — the unit every
-benchmark table is built from.
+:class:`Trace` is the legacy kernel-facing event log.  Since the unified
+telemetry spine (:mod:`repro.telemetry`) it is a *derived subscriber* of
+the event bus: typed events that historically appeared in the trace carry
+their legacy ``kind`` string and are folded back into identical
+:class:`TraceEvent` rows, so every query (`of_kind`, `count`, indexing)
+behaves exactly as before the refactor.  The experiment harness reduces
+finished runs to a :class:`RunStats` row — the unit every benchmark table
+is built from.
 """
 
 from __future__ import annotations
@@ -26,15 +31,53 @@ class TraceEvent:
 
 
 class Trace:
-    """Append-only event log with simple queries."""
+    """Event log with simple queries, fed by the telemetry bus.
 
-    def __init__(self, enabled: bool = True) -> None:
+    Parameters
+    ----------
+    enabled:
+        ``False`` records nothing (queries return empty).
+    max_events:
+        ``None`` = unbounded (legacy behaviour).  Otherwise keep only the
+        most recent ``max_events`` rows in a ring and count the overflow
+        in :attr:`dropped` — million-task runs stay bounded in memory.
+    """
+
+    def __init__(self, enabled: bool = True,
+                 max_events: Optional[int] = None) -> None:
+        if max_events is not None and max_events < 1:
+            raise ValueError("max_events must be a positive integer or None")
         self.enabled = enabled
-        self.events: List[TraceEvent] = []
+        self.max_events = max_events
+        self.dropped = 0
+        self._events: List[TraceEvent] = []
+        self._start = 0  # ring start index when bounded
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        """The retained events, oldest first."""
+        if self._start == 0:
+            return self._events
+        return self._events[self._start:] + self._events[:self._start]
 
     def log(self, time: float, kind: str, task: str = "", detail: str = "") -> None:
-        if self.enabled:
-            self.events.append(TraceEvent(time, kind, task, detail))
+        if not self.enabled:
+            return
+        ev = TraceEvent(time, kind, task, detail)
+        if self.max_events is None or len(self._events) < self.max_events:
+            self._events.append(ev)
+            return
+        self._events[self._start] = ev
+        self._start = (self._start + 1) % self.max_events
+        self.dropped += 1
+
+    def record(self, event) -> None:
+        """Bus subscriber: fold a typed telemetry event into the legacy
+        log iff it has a legacy ``kind`` (bus-only events are skipped, so
+        the trace content matches the pre-bus implementation exactly)."""
+        kind = event.kind
+        if kind is not None:
+            self.log(event.time, kind, event.task, event.detail)
 
     def of_kind(self, kind: str) -> List[TraceEvent]:
         return [e for e in self.events if e.kind == kind]
@@ -43,7 +86,7 @@ class Trace:
         return sum(1 for e in self.events if e.kind == kind)
 
     def __len__(self) -> int:
-        return len(self.events)
+        return len(self._events)
 
 
 @dataclass

@@ -43,6 +43,9 @@ class Simulator:
         self._queue: list = []
         self._seq = 0
         self._active_process: Optional[Process] = None
+        #: Optional per-step telemetry hook ``fn(now, queue_depth)`` —
+        #: see :meth:`set_step_hook`.
+        self._step_hook: Optional[Callable[[float, int], None]] = None
 
     # -- inspection -------------------------------------------------------
     @property
@@ -96,6 +99,18 @@ class Simulator:
         self._enqueue(ev, delay=delay, priority=priority)
         return ev
 
+    # -- telemetry ---------------------------------------------------------
+    def set_step_hook(
+        self, hook: Optional[Callable[[float, int], None]]
+    ) -> None:
+        """Install ``hook(now, queue_depth)``, invoked after every event is
+        processed (``None`` uninstalls).  This is the event-loop telemetry
+        tap: the kernel uses it to publish
+        :class:`~repro.telemetry.SimStep` events with the calendar depth
+        when step telemetry is enabled.  Costs one ``None`` check per step
+        when uninstalled."""
+        self._step_hook = hook
+
     # -- main loop ---------------------------------------------------------
     def step(self) -> None:
         """Process exactly one event."""
@@ -113,6 +128,8 @@ class Simulator:
         if not event._ok and not event.defused:
             # An event failed and nobody was listening: escalate.
             raise event._value
+        if self._step_hook is not None:
+            self._step_hook(self._now, len(self._queue))
 
     def run(self, until: float | Event | None = None) -> None:
         """Run until the calendar empties, ``until`` time passes, or an

@@ -1,0 +1,110 @@
+"""Unified telemetry spine: one typed event bus across every layer.
+
+Before this package existed, observability was scattered: the kernel kept
+a :class:`~repro.osim.trace.Trace`, every service hand-filled a
+:class:`~repro.core.metrics.ServiceMetrics` at each charge site, and
+tasks carried their own accounting — three disconnected views that were
+cross-checked only informally.  Now there is one spine:
+
+* layers **publish** frozen, typed events (:mod:`repro.telemetry.events`)
+  into an :class:`EventBus` (:mod:`repro.telemetry.bus`);
+* the legacy trace and the service metrics are **derived subscribers**
+  (:mod:`repro.telemetry.recorders`) — their public APIs are unchanged;
+* exporters (:mod:`repro.telemetry.exporters`) turn a recorded stream
+  into JSONL or a Chrome ``trace_event`` file (open in Perfetto);
+* the :class:`Profiler` (:mod:`repro.telemetry.profiling`) adds the
+  wall-clock dimension for machine-readable benchmark artifacts.
+
+Every future policy gets instrumentation for free by composing the
+charging primitives in :class:`repro.core.base.VfpgaServiceBase`.
+"""
+
+from .bus import EventBus, Subscription, make_source
+from .events import (
+    EVENT_TYPES,
+    Admit,
+    BoardDispatch,
+    Compact,
+    ConfigPortOp,
+    Dispatch,
+    Evict,
+    Exec,
+    FpgaComplete,
+    FpgaRequest,
+    Hit,
+    Load,
+    Miss,
+    OpStart,
+    PageAccess,
+    PageFault,
+    PinWindow,
+    PortTransfer,
+    Preempt,
+    Prefetch,
+    QuantumExpired,
+    Relocate,
+    Repair,
+    Rollback,
+    ScrubPass,
+    SegmentFault,
+    SimStep,
+    StateRestore,
+    StateSave,
+    Suspend,
+    TaskDone,
+    TelemetryEvent,
+    Upset,
+    Wait,
+    event_type,
+)
+from .exporters import JsonlExporter, to_chrome_trace, to_jsonl
+from .profiling import Profiler
+from .recorders import EventLog, MetricsRecorder, derive_metrics
+
+__all__ = [
+    "EVENT_TYPES",
+    "Admit",
+    "BoardDispatch",
+    "Compact",
+    "ConfigPortOp",
+    "Dispatch",
+    "EventBus",
+    "EventLog",
+    "Evict",
+    "Exec",
+    "FpgaComplete",
+    "FpgaRequest",
+    "Hit",
+    "JsonlExporter",
+    "Load",
+    "MetricsRecorder",
+    "Miss",
+    "OpStart",
+    "PageAccess",
+    "PageFault",
+    "PinWindow",
+    "PortTransfer",
+    "Preempt",
+    "Prefetch",
+    "Profiler",
+    "QuantumExpired",
+    "Relocate",
+    "Repair",
+    "Rollback",
+    "ScrubPass",
+    "SegmentFault",
+    "SimStep",
+    "StateRestore",
+    "StateSave",
+    "Subscription",
+    "Suspend",
+    "TaskDone",
+    "TelemetryEvent",
+    "Upset",
+    "Wait",
+    "derive_metrics",
+    "event_type",
+    "make_source",
+    "to_chrome_trace",
+    "to_jsonl",
+]

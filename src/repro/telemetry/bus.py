@@ -1,0 +1,127 @@
+"""The event bus: one publish/subscribe spine for the whole stack.
+
+Design goals, in order:
+
+1. **Low overhead** — publishing dispatches on the event's exact type via
+   one dict lookup; a bus with no subscribers for a type costs one failed
+   lookup.  Subscribing to a *base* class is expanded to its concrete
+   subtypes at subscribe time, so publish never walks an MRO.
+2. **Deterministic ordering** — subscribers are called in subscription
+   order, and events are delivered synchronously in publish order (the
+   simulator is single-threaded; so is the bus).
+3. **Composability** — several publishers (kernel + N board services)
+   share one bus; subscribers that only care about one publisher filter
+   on ``event.source``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, Iterable, List, Optional, Tuple, Type
+
+from .events import EVENT_TYPES, TelemetryEvent
+
+__all__ = ["EventBus", "Subscription", "make_source"]
+
+Callback = Callable[[TelemetryEvent], None]
+
+_EMPTY: Tuple[Callback, ...] = ()
+
+#: Process-wide counter backing :func:`make_source`.
+_SOURCE_COUNTER = itertools.count(1)
+
+
+def make_source(prefix: str) -> str:
+    """Mint a unique ``source`` attribution string (``"Prefix#N"``).
+
+    Publishers that may coexist on one bus (the per-board services of a
+    multi-device system, most visibly) each mint one at construction so
+    source-filtered subscribers never mix their streams."""
+    return f"{prefix}#{next(_SOURCE_COUNTER)}"
+
+
+class Subscription:
+    """Handle returned by :meth:`EventBus.subscribe`; detaches on close."""
+
+    __slots__ = ("bus", "callback", "_types")
+
+    def __init__(self, bus: "EventBus", callback: Callback,
+                 types: Optional[Tuple[type, ...]]) -> None:
+        self.bus = bus
+        self.callback = callback
+        self._types = types
+
+    def close(self) -> None:
+        self.bus.unsubscribe(self.callback)
+
+    def __enter__(self) -> "Subscription":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class EventBus:
+    """Synchronous typed publish/subscribe hub."""
+
+    def __init__(self) -> None:
+        #: exact event type -> callbacks registered for it.
+        self._by_type: Dict[Type[TelemetryEvent], Tuple[Callback, ...]] = {}
+        #: wildcard callbacks (every event).
+        self._all: Tuple[Callback, ...] = ()
+        #: total events published (cheap health metric).
+        self.n_published = 0
+
+    # -- subscription -------------------------------------------------------
+    @staticmethod
+    def _expand(event_types: Iterable[type]) -> List[Type[TelemetryEvent]]:
+        out: List[Type[TelemetryEvent]] = []
+        for t in event_types:
+            if not (isinstance(t, type) and issubclass(t, TelemetryEvent)):
+                raise TypeError(f"not a TelemetryEvent type: {t!r}")
+            matched = [c for c in EVENT_TYPES if issubclass(c, t)]
+            if not matched and t is not TelemetryEvent:
+                matched = [t]  # externally defined event type
+            for c in matched:
+                if c not in out:
+                    out.append(c)
+        return out
+
+    def subscribe(self, callback: Callback, *event_types: type) -> Subscription:
+        """Register ``callback`` for ``event_types`` (or every event when
+        none are given).  Base classes expand to all their concrete
+        subtypes.  Returns a :class:`Subscription` handle."""
+        if not event_types:
+            self._all = self._all + (callback,)
+            return Subscription(self, callback, None)
+        expanded = tuple(self._expand(event_types))
+        for t in expanded:
+            self._by_type[t] = self._by_type.get(t, _EMPTY) + (callback,)
+        return Subscription(self, callback, expanded)
+
+    def unsubscribe(self, callback: Callback) -> None:
+        """Remove every registration of ``callback`` (wildcard and typed)."""
+        self._all = tuple(cb for cb in self._all if cb is not callback)
+        for t, cbs in list(self._by_type.items()):
+            kept = tuple(cb for cb in cbs if cb is not callback)
+            if kept:
+                self._by_type[t] = kept
+            else:
+                del self._by_type[t]
+
+    @property
+    def n_subscribers(self) -> int:
+        uniq = set(self._all)
+        for cbs in self._by_type.values():
+            uniq.update(cbs)
+        return len(uniq)
+
+    # -- publishing ---------------------------------------------------------
+    def publish(self, event: TelemetryEvent) -> None:
+        """Deliver ``event`` synchronously to every matching subscriber,
+        in subscription order (typed subscribers before wildcards)."""
+        self.n_published += 1
+        for cb in self._by_type.get(type(event), _EMPTY):
+            cb(event)
+        for cb in self._all:
+            cb(event)

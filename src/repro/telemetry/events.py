@@ -1,0 +1,440 @@
+"""Typed telemetry events — the vocabulary of the event bus.
+
+Every observable occurrence in the stack (kernel dispatches, configuration
+downloads, page faults, pin-mux transfers, scrub passes, …) is a frozen
+dataclass in this module.  Layers *publish* these into the
+:class:`~repro.telemetry.bus.EventBus`; everything that used to be a
+hand-filled counter (:class:`~repro.core.metrics.ServiceMetrics`, the
+legacy :class:`~repro.osim.trace.Trace`) is now *derived* from the stream
+by subscribers in :mod:`repro.telemetry.recorders`.
+
+Conventions
+-----------
+* ``time`` is simulation seconds (the publisher's ``sim.now``); duration
+  events carry ``seconds`` and are published at their *start* instant.
+* ``task`` is the task name ("" for system-wide events).
+* ``source`` identifies the publisher (the kernel, or one service
+  instance — multi-board systems publish from several sources onto one
+  bus, and per-board metrics are derived by filtering on it).
+* ``kind`` is the legacy :class:`~repro.osim.trace.Trace` kind string for
+  events that historically appeared in the trace; ``None`` marks
+  bus-only events, so the legacy trace content is byte-for-byte what it
+  was before the bus existed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import ClassVar, Dict, List, Optional, Tuple, Type
+
+__all__ = [
+    "TelemetryEvent",
+    # kernel / scheduler
+    "Admit", "Dispatch", "QuantumExpired", "TaskDone",
+    "FpgaRequest", "FpgaComplete", "SimStep",
+    # service charging primitives
+    "OpStart", "Hit", "Miss", "Load", "Evict",
+    "StateSave", "StateRestore", "Exec", "Wait",
+    "PortTransfer", "PinWindow",
+    # virtual-memory policies
+    "PageAccess", "PageFault", "SegmentFault",
+    # preemption / placement
+    "Preempt", "Rollback", "Prefetch", "Suspend", "Compact", "Relocate",
+    "BoardDispatch",
+    # device / integrity
+    "ConfigPortOp", "ScrubPass", "Repair", "Upset",
+    "EVENT_TYPES", "event_type",
+]
+
+
+@dataclass(frozen=True)
+class TelemetryEvent:
+    """Base of every bus event: a timestamped, attributed occurrence."""
+
+    time: float
+    task: str = ""
+    source: str = ""
+
+    #: Legacy trace kind; ``None`` = bus-only (never entered the Trace).
+    kind: ClassVar[Optional[str]] = None
+
+    @property
+    def detail(self) -> str:
+        """Legacy trace detail string (subclasses override)."""
+        return ""
+
+    def to_record(self) -> Dict[str, object]:
+        """Flat JSON-serializable view (one JSONL line)."""
+        rec: Dict[str, object] = {"event": type(self).__name__}
+        for f in fields(self):
+            v = getattr(self, f.name)
+            if isinstance(v, tuple):
+                v = list(v)
+            rec[f.name] = v
+        return rec
+
+
+# ---------------------------------------------------------------------------
+# kernel / scheduler events
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Admit(TelemetryEvent):
+    """A task entered the system (arrival)."""
+
+    kind: ClassVar[Optional[str]] = "admit"
+
+
+@dataclass(frozen=True)
+class Dispatch(TelemetryEvent):
+    """The CPU scheduler switched to a task."""
+
+    kind: ClassVar[Optional[str]] = "dispatch"
+
+
+@dataclass(frozen=True)
+class QuantumExpired(TelemetryEvent):
+    """A CPU time slice ran out with work remaining."""
+
+    kind: ClassVar[Optional[str]] = "quantum-expired"
+
+
+@dataclass(frozen=True)
+class TaskDone(TelemetryEvent):
+    """A task completed its whole program."""
+
+    kind: ClassVar[Optional[str]] = "done"
+
+
+@dataclass(frozen=True)
+class FpgaRequest(TelemetryEvent):
+    """A task issued an FPGA operation (left the CPU)."""
+
+    config: str = ""
+    kind: ClassVar[Optional[str]] = "fpga-request"
+
+    @property
+    def detail(self) -> str:
+        return self.config
+
+
+@dataclass(frozen=True)
+class FpgaComplete(TelemetryEvent):
+    """The service finished a task's FPGA operation."""
+
+    config: str = ""
+    kind: ClassVar[Optional[str]] = "fpga-complete"
+
+    @property
+    def detail(self) -> str:
+        return self.config
+
+
+@dataclass(frozen=True)
+class SimStep(TelemetryEvent):
+    """One event-loop step of the discrete-event simulator (opt-in —
+    published only when step telemetry is enabled; carries the calendar
+    depth so queue growth is visible in exports)."""
+
+    queue_depth: int = 0
+
+
+# ---------------------------------------------------------------------------
+# service charging primitives
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class OpStart(TelemetryEvent):
+    """A service accepted one FPGA operation (counts ``n_ops``)."""
+
+    config: str = ""
+
+
+@dataclass(frozen=True)
+class Hit(TelemetryEvent):
+    """Requested configuration was already resident."""
+
+    handle: str = ""
+
+
+@dataclass(frozen=True)
+class Miss(TelemetryEvent):
+    """Requested configuration required a download."""
+
+    handle: str = ""
+
+
+@dataclass(frozen=True)
+class Load(TelemetryEvent):
+    """A configuration download over the configuration port.
+
+    ``count`` is normally 1; a full-serial boot download that configures
+    several circuits at once publishes a single event with ``count`` set
+    to the number of circuits it made resident.
+    """
+
+    handle: str = ""
+    anchor: Tuple[int, int] = (0, 0)
+    seconds: float = 0.0
+    frames: int = 0
+    count: int = 1
+    kind: ClassVar[Optional[str]] = "fpga-load"
+
+    @property
+    def detail(self) -> str:
+        return f"{self.handle}@{self.anchor}"
+
+
+@dataclass(frozen=True)
+class Evict(TelemetryEvent):
+    """A resident configuration was cleared (an eviction)."""
+
+    handle: str = ""
+    seconds: float = 0.0
+    kind: ClassVar[Optional[str]] = "fpga-unload"
+
+    @property
+    def detail(self) -> str:
+        return self.handle
+
+
+@dataclass(frozen=True)
+class StateSave(TelemetryEvent):
+    """Flip-flop state readback over the configuration port."""
+
+    handle: str = ""
+    seconds: float = 0.0
+    kind: ClassVar[Optional[str]] = "fpga-state-save"
+
+    @property
+    def detail(self) -> str:
+        return self.handle
+
+
+@dataclass(frozen=True)
+class StateRestore(TelemetryEvent):
+    """Flip-flop state restore over the configuration port."""
+
+    handle: str = ""
+    seconds: float = 0.0
+    kind: ClassVar[Optional[str]] = "fpga-state-restore"
+
+    @property
+    def detail(self) -> str:
+        return self.handle
+
+
+@dataclass(frozen=True)
+class Exec(TelemetryEvent):
+    """Useful fabric (or software-fallback) compute time."""
+
+    handle: str = ""
+    seconds: float = 0.0
+
+
+@dataclass(frozen=True)
+class Wait(TelemetryEvent):
+    """Time a task spent queued for the fabric before being served."""
+
+    seconds: float = 0.0
+
+
+@dataclass(frozen=True)
+class PortTransfer(TelemetryEvent):
+    """A pin-multiplexed data transfer (operation I/O)."""
+
+    circuit: str = ""
+    words: int = 0
+    pins: int = 0
+    seconds: float = 0.0
+    factor: float = 1.0
+
+    @property
+    def detail(self) -> str:
+        return self.circuit
+
+
+@dataclass(frozen=True)
+class PinWindow(TelemetryEvent):
+    """A circuit's pin demand joined (``active``) or left the multiplexer;
+    ``demand`` is the total virtual-pin demand after the change."""
+
+    circuit: str = ""
+    pins: int = 0
+    active: bool = False
+    demand: int = 0
+
+
+# ---------------------------------------------------------------------------
+# virtual-memory policies (pagination / segmentation)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class PageAccess(TelemetryEvent):
+    """One access in a paged/segmented operation's access trace."""
+
+    unit: str = ""
+
+
+@dataclass(frozen=True)
+class PageFault(TelemetryEvent):
+    """Accessed page was not resident — a demand download follows."""
+
+    unit: str = ""
+    kind: ClassVar[Optional[str]] = "page-fault"
+
+    @property
+    def detail(self) -> str:
+        return self.unit
+
+
+@dataclass(frozen=True)
+class SegmentFault(PageFault):
+    """Segmentation's variable-size fault (same counter, distinct kind)."""
+
+    kind: ClassVar[Optional[str]] = "segment-fault"
+
+
+# ---------------------------------------------------------------------------
+# preemption / placement
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Preempt(TelemetryEvent):
+    """An executing circuit was preempted off the fabric."""
+
+    handle: str = ""
+    kind: ClassVar[Optional[str]] = "fpga-preempt"
+
+    @property
+    def detail(self) -> str:
+        return self.handle
+
+
+@dataclass(frozen=True)
+class Rollback(TelemetryEvent):
+    """A preempted sequential circuit lost its progress (restart)."""
+
+    handle: str = ""
+
+
+@dataclass(frozen=True)
+class Prefetch(TelemetryEvent):
+    """Eager loading started a background download."""
+
+    config: str = ""
+    kind: ClassVar[Optional[str]] = "fpga-prefetch"
+
+    @property
+    def detail(self) -> str:
+        return self.config
+
+
+@dataclass(frozen=True)
+class Suspend(TelemetryEvent):
+    """A task suspended waiting for partition space (starvation hazard)."""
+
+    config: str = ""
+    kind: ClassVar[Optional[str]] = "fpga-suspend"
+
+    @property
+    def detail(self) -> str:
+        return self.config
+
+
+@dataclass(frozen=True)
+class Compact(TelemetryEvent):
+    """Variable partitioning ran a compaction pass."""
+
+    kind: ClassVar[Optional[str]] = "fpga-compact"
+
+
+@dataclass(frozen=True)
+class Relocate(TelemetryEvent):
+    """Compaction moved one resident circuit to a new anchor."""
+
+    handle: str = ""
+    anchor: Tuple[int, int] = (0, 0)
+
+
+@dataclass(frozen=True)
+class BoardDispatch(TelemetryEvent):
+    """Multi-device placement chose a board for an operation."""
+
+    config: str = ""
+    board: int = 0
+    kind: ClassVar[Optional[str]] = "fpga-board"
+
+    @property
+    def detail(self) -> str:
+        return f"{self.config}@board{self.board}"
+
+
+# ---------------------------------------------------------------------------
+# device / integrity
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ConfigPortOp(TelemetryEvent):
+    """Raw device-level configuration-port occupancy (published by the
+    :class:`~repro.device.Fpga` hook, so traffic that bypasses the service
+    charging primitives — e.g. scrub repairs — is still visible)."""
+
+    op: str = "load"          #: "load" | "unload" | "clear"
+    handle: str = ""
+    seconds: float = 0.0
+    frames: int = 0
+
+    @property
+    def detail(self) -> str:
+        return f"{self.op}:{self.handle}"
+
+
+@dataclass(frozen=True)
+class ScrubPass(TelemetryEvent):
+    """One periodic readback-compare pass over the resident frames."""
+
+    seconds: float = 0.0
+    n_corrupted: int = 0
+
+
+@dataclass(frozen=True)
+class Repair(TelemetryEvent):
+    """The scrubber reloaded a corrupted circuit's golden bitstream."""
+
+    handle: str = ""
+
+
+@dataclass(frozen=True)
+class Upset(TelemetryEvent):
+    """An injected configuration upset (bit flip)."""
+
+    frame: int = 0
+    bit: int = 0
+    handle: str = ""
+
+
+def _concrete_subtypes(cls: Type[TelemetryEvent]) -> List[Type[TelemetryEvent]]:
+    out = [cls]
+    for sub in cls.__subclasses__():
+        out.extend(_concrete_subtypes(sub))
+    return out
+
+
+#: Every registered event type (base classes expand to this set when
+#: subscribing).
+EVENT_TYPES: Tuple[Type[TelemetryEvent], ...] = tuple(
+    t for t in _concrete_subtypes(TelemetryEvent) if t is not TelemetryEvent
+)
+
+_BY_NAME: Dict[str, Type[TelemetryEvent]] = {t.__name__: t for t in EVENT_TYPES}
+
+
+def event_type(name: str) -> Type[TelemetryEvent]:
+    """Look an event class up by name (for filters and deserialization)."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown event type {name!r}; have {sorted(_BY_NAME)}"
+        ) from None

@@ -1,0 +1,145 @@
+"""Export a telemetry stream to machine-readable formats.
+
+* :func:`to_jsonl` / :class:`JsonlExporter` — one JSON object per line;
+  trivially greppable/`jq`-able, append-friendly for streaming.
+* :func:`to_chrome_trace` — the Chrome ``trace_event`` JSON format:
+  open the file in ``chrome://tracing`` or https://ui.perfetto.dev and
+  see every download, state save, transfer and execution as a timeline
+  lane per task (instant events for dispatches, faults, preemptions).
+
+Duration semantics: charge events are published at their *start* instant
+with their ``seconds`` known up front (the simulator charges, then
+yields), so they map directly onto complete ("X") trace events.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Optional, TextIO, Union
+
+from .bus import EventBus
+from .events import TelemetryEvent
+
+__all__ = ["to_jsonl", "JsonlExporter", "to_chrome_trace", "DURATION_ATTR"]
+
+#: Events carrying this attribute with a positive value are rendered as
+#: complete (duration) trace events; everything else is an instant.
+DURATION_ATTR = "seconds"
+
+#: Simulation seconds -> trace microseconds.
+_US = 1e6
+
+
+def _jsonl_line(event: TelemetryEvent) -> str:
+    return json.dumps(event.to_record(), sort_keys=True)
+
+
+def to_jsonl(events: Iterable[TelemetryEvent],
+             out: Union[str, TextIO, None] = None) -> str:
+    """Serialize ``events`` to JSON-lines; write to ``out`` (path or
+    file object) when given.  Returns the serialized text."""
+    text = "\n".join(_jsonl_line(e) for e in events)
+    if text:
+        text += "\n"
+    if isinstance(out, str):
+        with open(out, "w", encoding="utf-8") as fh:
+            fh.write(text)
+    elif out is not None:
+        out.write(text)
+    return text
+
+
+class JsonlExporter:
+    """Streaming JSONL subscriber: every published event becomes a line
+    immediately (no buffering of the whole run in memory)."""
+
+    def __init__(self, out: Union[str, TextIO],
+                 bus: Optional[EventBus] = None) -> None:
+        if isinstance(out, str):
+            self._fh: TextIO = open(out, "w", encoding="utf-8")
+            self._owns = True
+        else:
+            self._fh = out
+            self._owns = False
+        self.n_written = 0
+        if bus is not None:
+            bus.subscribe(self.record)
+
+    def record(self, event: TelemetryEvent) -> None:
+        self._fh.write(_jsonl_line(event) + "\n")
+        self.n_written += 1
+
+    def close(self) -> None:
+        if self._owns and not self._fh.closed:
+            self._fh.close()
+
+    def __enter__(self) -> "JsonlExporter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def _lane(event: TelemetryEvent) -> str:
+    """Timeline lane: the task when attributed, else the publisher."""
+    return event.task or event.source or "system"
+
+
+def to_chrome_trace(
+    events: Iterable[TelemetryEvent],
+    out: Union[str, TextIO, None] = None,
+    run_name: str = "repro",
+) -> Dict[str, object]:
+    """Convert ``events`` to a Chrome ``trace_event`` document.
+
+    Returns the document as a dict (``json.dump``-ready); writes it to
+    ``out`` (path or file object) when given.  Loadable by
+    ``chrome://tracing`` and Perfetto (both accept the JSON object form
+    with a ``traceEvents`` list plus metadata events naming the threads).
+    """
+    trace_events: List[Dict[str, object]] = []
+    tids: Dict[str, int] = {}
+
+    def tid_of(lane: str) -> int:
+        if lane not in tids:
+            tids[lane] = len(tids) + 1
+            trace_events.append({
+                "name": "thread_name", "ph": "M", "pid": 1,
+                "tid": tids[lane], "args": {"name": lane},
+            })
+        return tids[lane]
+
+    for ev in events:
+        lane = _lane(ev)
+        entry: Dict[str, object] = {
+            "name": type(ev).__name__,
+            "cat": ev.source or "system",
+            "pid": 1,
+            "tid": tid_of(lane),
+            "ts": ev.time * _US,
+            "args": {
+                k: (list(v) if isinstance(v, tuple) else v)
+                for k, v in ev.to_record().items()
+                if k not in ("event", "time")
+            },
+        }
+        seconds = getattr(ev, DURATION_ATTR, None)
+        if isinstance(seconds, (int, float)) and seconds > 0:
+            entry["ph"] = "X"
+            entry["dur"] = seconds * _US
+        else:
+            entry["ph"] = "i"
+            entry["s"] = "t"
+        trace_events.append(entry)
+
+    doc: Dict[str, object] = {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {"producer": "repro.telemetry", "run": run_name},
+    }
+    if isinstance(out, str):
+        with open(out, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh)
+    elif out is not None:
+        json.dump(doc, out)
+    return doc

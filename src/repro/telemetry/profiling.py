@@ -1,0 +1,95 @@
+"""Wall-clock profiling subscriber: how fast is the simulator itself?
+
+The bus carries *simulation*-time facts; :class:`Profiler` adds the
+*wall*-clock dimension — events/second through the bus, simulated seconds
+per subsystem, counts per event type — in O(1) memory, so it is always-on
+cheap and is what the benchmark harness embeds into ``BENCH_*.json``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional
+
+from .bus import EventBus
+from .events import TelemetryEvent
+
+__all__ = ["Profiler"]
+
+#: Event-type name -> subsystem bucket for the time-per-subsystem view.
+_SUBSYSTEM: Dict[str, str] = {
+    "Load": "config-port",
+    "Evict": "config-port",
+    "StateSave": "config-port",
+    "StateRestore": "config-port",
+    "ConfigPortOp": "device-port",
+    "PortTransfer": "io-mux",
+    "Exec": "fabric",
+    "Wait": "queueing",
+    "ScrubPass": "integrity",
+}
+
+
+class Profiler:
+    """Count events per type and sum their simulated durations.
+
+    Parameters
+    ----------
+    bus:
+        Subscribe immediately when given.
+    clock:
+        Wall-clock source (injectable for deterministic tests).
+    """
+
+    def __init__(self, bus: Optional[EventBus] = None, clock=time.perf_counter) -> None:
+        self._clock = clock
+        self.counts: Dict[str, int] = {}
+        self.sim_seconds: Dict[str, float] = {}
+        self.n_events = 0
+        self.first_wall: Optional[float] = None
+        self.last_wall: Optional[float] = None
+        if bus is not None:
+            bus.subscribe(self.record)
+
+    def record(self, event: TelemetryEvent) -> None:
+        now = self._clock()
+        if self.first_wall is None:
+            self.first_wall = now
+        self.last_wall = now
+        name = type(event).__name__
+        self.n_events += 1
+        self.counts[name] = self.counts.get(name, 0) + 1
+        seconds = getattr(event, "seconds", None)
+        if isinstance(seconds, (int, float)) and seconds > 0:
+            self.sim_seconds[name] = self.sim_seconds.get(name, 0.0) + seconds
+
+    # -- views ---------------------------------------------------------------
+    @property
+    def wall_seconds(self) -> float:
+        if self.first_wall is None or self.last_wall is None:
+            return 0.0
+        return self.last_wall - self.first_wall
+
+    @property
+    def events_per_second(self) -> float:
+        wall = self.wall_seconds
+        return 0.0 if wall <= 0 else self.n_events / wall
+
+    def by_subsystem(self) -> Dict[str, float]:
+        """Simulated seconds summed into coarse subsystem buckets."""
+        out: Dict[str, float] = {}
+        for name, secs in self.sim_seconds.items():
+            bucket = _SUBSYSTEM.get(name, "other")
+            out[bucket] = out.get(bucket, 0.0) + secs
+        return out
+
+    def summary(self) -> Dict[str, object]:
+        """JSON-ready snapshot (embedded in ``BENCH_*.json``)."""
+        return {
+            "n_events": self.n_events,
+            "wall_seconds": self.wall_seconds,
+            "events_per_second": self.events_per_second,
+            "counts": dict(sorted(self.counts.items())),
+            "sim_seconds_by_event": dict(sorted(self.sim_seconds.items())),
+            "sim_seconds_by_subsystem": dict(sorted(self.by_subsystem().items())),
+        }

@@ -1,0 +1,201 @@
+"""Bus subscribers that *derive* what used to be hand-filled state.
+
+* :class:`EventLog` — records the raw event stream (optionally as a
+  bounded ring so million-task runs don't OOM).
+* :class:`MetricsRecorder` — folds service events into a
+  :class:`~repro.core.metrics.ServiceMetrics`, exactly reproducing the
+  counters every policy used to maintain by hand at each charge site.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Type
+
+from .bus import EventBus
+from .events import (
+    Compact,
+    Evict,
+    Exec,
+    Hit,
+    Load,
+    Miss,
+    OpStart,
+    PageAccess,
+    PageFault,
+    PortTransfer,
+    Preempt,
+    Relocate,
+    Rollback,
+    SegmentFault,
+    StateRestore,
+    StateSave,
+    TelemetryEvent,
+    Wait,
+)
+
+__all__ = ["EventLog", "MetricsRecorder", "derive_metrics"]
+
+
+class EventLog:
+    """Record every published event, optionally in a bounded ring.
+
+    Parameters
+    ----------
+    bus:
+        Subscribe to this bus immediately (optional; events can also be
+        fed via :meth:`record`, e.g. when replaying a stored stream).
+    max_events:
+        ``None`` = unbounded append-only log.  Otherwise the log keeps
+        only the most recent ``max_events`` events and counts what it
+        dropped in :attr:`dropped` — the run's totals stay available
+        from :class:`MetricsRecorder`/:class:`~repro.telemetry.profiling.Profiler`,
+        which are O(1) in memory.
+    """
+
+    def __init__(self, bus: Optional[EventBus] = None,
+                 max_events: Optional[int] = None) -> None:
+        if max_events is not None and max_events < 1:
+            raise ValueError("max_events must be a positive integer or None")
+        self.max_events = max_events
+        self.dropped = 0
+        self._events: List[TelemetryEvent] = []
+        #: ring start index (amortized O(1) wraparound without pop(0)).
+        self._start = 0
+        if bus is not None:
+            bus.subscribe(self.record)
+
+    # -- recording ----------------------------------------------------------
+    def record(self, event: TelemetryEvent) -> None:
+        if self.max_events is None:
+            self._events.append(event)
+            return
+        if len(self._events) < self.max_events:
+            self._events.append(event)
+            return
+        # Overwrite the oldest slot in place.
+        self._events[self._start] = event
+        self._start = (self._start + 1) % self.max_events
+        self.dropped += 1
+
+    # -- queries ------------------------------------------------------------
+    @property
+    def events(self) -> List[TelemetryEvent]:
+        """The retained events, oldest first."""
+        if self._start == 0:
+            return list(self._events)
+        return self._events[self._start:] + self._events[:self._start]
+
+    def of_type(self, *event_types: type) -> List[TelemetryEvent]:
+        return [e for e in self.events if isinstance(e, event_types)]
+
+    def count(self, *event_types: type) -> int:
+        return sum(1 for e in self.events if isinstance(e, event_types))
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def clear(self) -> None:
+        self._events.clear()
+        self._start = 0
+        self.dropped = 0
+
+
+class MetricsRecorder:
+    """Derive a :class:`~repro.core.metrics.ServiceMetrics` from the bus.
+
+    Every mapping below is the charge-site increment it replaced; the
+    parity test in ``tests/telemetry/test_parity.py`` holds this recorder
+    to exact equality with a replay of the recorded stream.
+
+    Parameters
+    ----------
+    metrics:
+        The (mutable) metrics object to fold into.
+    source:
+        Only fold events whose ``source`` matches (``None`` = all) — one
+        bus can carry several services' streams (multi-board systems).
+    """
+
+    def __init__(self, metrics, source: Optional[str] = None) -> None:
+        self.metrics = metrics
+        self.source = source
+        self._handlers: Dict[Type[TelemetryEvent], Callable] = {
+            Load: self._on_load,
+            Evict: self._on_evict,
+            StateSave: self._on_state_save,
+            StateRestore: self._on_state_restore,
+            Exec: self._on_exec,
+            PortTransfer: self._on_io,
+            Wait: self._on_wait,
+            Hit: lambda e: self._inc("n_hits"),
+            Miss: lambda e: self._inc("n_misses"),
+            OpStart: lambda e: self._inc("n_ops"),
+            PageAccess: lambda e: self._inc("n_page_accesses"),
+            PageFault: lambda e: self._inc("n_page_faults"),
+            SegmentFault: lambda e: self._inc("n_page_faults"),
+            Preempt: lambda e: self._inc("n_preemptions"),
+            Rollback: lambda e: self._inc("n_rollbacks"),
+            Relocate: lambda e: self._inc("n_relocations"),
+            Compact: lambda e: self._inc("n_compactions"),
+        }
+
+    #: The event types this recorder folds (for targeted subscription).
+    @property
+    def event_types(self) -> tuple:
+        return tuple(self._handlers)
+
+    def attach(self, bus: EventBus):
+        """Subscribe to exactly the event types that move a counter."""
+        return bus.subscribe(self, *self._handlers)
+
+    def _inc(self, name: str) -> None:
+        setattr(self.metrics, name, getattr(self.metrics, name) + 1)
+
+    def _on_load(self, e: Load) -> None:
+        self.metrics.n_loads += e.count
+        self.metrics.load_time += e.seconds
+
+    def _on_evict(self, e: Evict) -> None:
+        self.metrics.n_unloads += 1
+        self.metrics.n_evictions += 1
+        self.metrics.load_time += e.seconds
+
+    def _on_state_save(self, e: StateSave) -> None:
+        self.metrics.n_state_saves += 1
+        self.metrics.state_time += e.seconds
+
+    def _on_state_restore(self, e: StateRestore) -> None:
+        self.metrics.n_state_restores += 1
+        self.metrics.state_time += e.seconds
+
+    def _on_exec(self, e: Exec) -> None:
+        self.metrics.exec_time += e.seconds
+
+    def _on_io(self, e: PortTransfer) -> None:
+        self.metrics.io_time += e.seconds
+
+    def _on_wait(self, e: Wait) -> None:
+        self.metrics.wait_time += e.seconds
+
+    def __call__(self, event: TelemetryEvent) -> None:
+        if self.source is not None and event.source != self.source:
+            return
+        handler = self._handlers.get(type(event))
+        if handler is not None:
+            handler(event)
+
+
+def derive_metrics(events: Iterable[TelemetryEvent],
+                   source: Optional[str] = None):
+    """Replay a recorded stream into a fresh ``ServiceMetrics`` — the
+    parity-check primitive: a live service's metrics must equal the
+    metrics derived from its published events."""
+    from ..core.metrics import ServiceMetrics
+
+    rec = MetricsRecorder(ServiceMetrics(), source=source)
+    for e in events:
+        rec(e)
+    return rec.metrics

@@ -1,0 +1,61 @@
+"""Fixtures for the telemetry-spine tests.
+
+Mirrors the synthetic registry of ``tests/core`` and adds a harness that
+wires an :class:`~repro.telemetry.EventLog` onto the kernel bus, so every
+test sees both the final state (metrics, stats) and the full event stream
+it should be derivable from.
+"""
+
+import pytest
+
+from repro.core import ConfigRegistry
+from repro.device import get_family
+from repro.osim import Kernel, RoundRobin
+from repro.sim import Simulator
+from repro.telemetry import EventBus, EventLog
+
+
+@pytest.fixture
+def arch():
+    return get_family("VF12")
+
+
+@pytest.fixture
+def registry(arch):
+    reg = ConfigRegistry(arch)
+    h = arch.height
+    reg.register_synthetic("a3", 3, h, critical_path=20e-9)
+    reg.register_synthetic("b3", 3, h, critical_path=20e-9)
+    reg.register_synthetic("c4", 4, h, critical_path=20e-9)
+    reg.register_synthetic("seq4", 4, h, n_state_bits=24, critical_path=20e-9)
+    return reg
+
+
+class LoggedRun:
+    """One simulated system with a recording bus."""
+
+    def __init__(self, service, scheduler=None, context_switch=0.0, **kw):
+        self.sim = Simulator()
+        self.service = service
+        # Subscribe the log before the kernel attaches the service: boot
+        # downloads (merged/overlay) publish during attach and must be in
+        # the stream for it to be replayable.
+        self.bus = EventBus()
+        self.log = EventLog(self.bus)
+        self.kernel = Kernel(
+            self.sim,
+            scheduler if scheduler is not None else RoundRobin(time_slice=1e-3),
+            service,
+            context_switch=context_switch,
+            bus=self.bus,
+            **kw,
+        )
+
+    def run(self, tasks):
+        self.kernel.spawn_all(tasks)
+        return self.kernel.run()
+
+
+@pytest.fixture
+def logged():
+    return LoggedRun

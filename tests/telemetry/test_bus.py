@@ -1,0 +1,171 @@
+"""EventBus, EventLog ring buffer, Trace ring buffer, make_source."""
+
+import pytest
+
+from repro.osim import Trace
+from repro.telemetry import (
+    Dispatch,
+    EventBus,
+    EventLog,
+    Hit,
+    Load,
+    PageFault,
+    SegmentFault,
+    TaskDone,
+    TelemetryEvent,
+    event_type,
+    make_source,
+)
+
+
+class TestEventBus:
+    def test_typed_subscription_filters(self):
+        bus = EventBus()
+        got = []
+        bus.subscribe(got.append, Load)
+        bus.publish(Load(1.0, "t", handle="x"))
+        bus.publish(Hit(2.0, "t", handle="x"))
+        assert [type(e) for e in got] == [Load]
+
+    def test_wildcard_gets_everything_in_order(self):
+        bus = EventBus()
+        got = []
+        bus.subscribe(got.append)
+        bus.publish(Dispatch(1.0, "a"))
+        bus.publish(TaskDone(2.0, "a"))
+        assert [type(e) for e in got] == [Dispatch, TaskDone]
+
+    def test_base_class_expands_to_subtypes(self):
+        """Subscribing to PageFault also delivers SegmentFault (exact-type
+        dispatch never walks an MRO at publish time)."""
+        bus = EventBus()
+        got = []
+        bus.subscribe(got.append, PageFault)
+        bus.publish(PageFault(1.0, "t", unit="p0"))
+        bus.publish(SegmentFault(2.0, "t", unit="s0"))
+        assert [type(e) for e in got] == [PageFault, SegmentFault]
+
+    def test_telemetry_event_base_means_everything(self):
+        bus = EventBus()
+        got = []
+        bus.subscribe(got.append, TelemetryEvent)
+        bus.publish(Load(1.0))
+        bus.publish(Hit(2.0))
+        assert len(got) == 2
+
+    def test_subscriber_order_is_subscription_order(self):
+        bus = EventBus()
+        calls = []
+        bus.subscribe(lambda e: calls.append("first"), Load)
+        bus.subscribe(lambda e: calls.append("second"), Load)
+        bus.publish(Load(0.0))
+        assert calls == ["first", "second"]
+
+    def test_unsubscribe(self):
+        bus = EventBus()
+        got = []
+        sub = bus.subscribe(got.append, Load)
+        bus.publish(Load(1.0))
+        sub.close()
+        bus.publish(Load(2.0))
+        assert len(got) == 1
+        assert bus.n_published == 2
+
+    def test_subscription_context_manager(self):
+        bus = EventBus()
+        got = []
+        with bus.subscribe(got.append):
+            bus.publish(Hit(1.0))
+        bus.publish(Hit(2.0))
+        assert len(got) == 1
+
+    def test_n_subscribers_dedupes(self):
+        bus = EventBus()
+        cb = lambda e: None
+        bus.subscribe(cb, Load, Hit)
+        assert bus.n_subscribers == 1
+
+    def test_rejects_non_event_type(self):
+        bus = EventBus()
+        with pytest.raises(TypeError):
+            bus.subscribe(lambda e: None, int)
+
+    def test_event_type_lookup(self):
+        assert event_type("Load") is Load
+        with pytest.raises(KeyError):
+            event_type("NotAnEvent")
+
+
+class TestMakeSource:
+    def test_unique_and_prefixed(self):
+        a = make_source("Svc")
+        b = make_source("Svc")
+        assert a != b
+        assert a.startswith("Svc#") and b.startswith("Svc#")
+
+
+class TestEventLogRing:
+    def test_unbounded_by_default(self):
+        bus = EventBus()
+        log = EventLog(bus)
+        for i in range(100):
+            bus.publish(Hit(float(i)))
+        assert len(log) == 100
+        assert log.dropped == 0
+
+    def test_ring_keeps_most_recent(self):
+        bus = EventBus()
+        log = EventLog(bus, max_events=10)
+        for i in range(25):
+            bus.publish(Hit(float(i)))
+        assert len(log) == 10
+        assert log.dropped == 15
+        assert [e.time for e in log.events] == [float(i) for i in range(15, 25)]
+
+    def test_of_type_and_count(self):
+        log = EventLog()
+        log.record(Load(0.0))
+        log.record(Hit(1.0))
+        log.record(Hit(2.0))
+        assert log.count(Hit) == 2
+        assert [type(e) for e in log.of_type(Load)] == [Load]
+
+    def test_clear(self):
+        log = EventLog(max_events=2)
+        for i in range(5):
+            log.record(Hit(float(i)))
+        log.clear()
+        assert len(log) == 0 and log.dropped == 0
+
+    def test_bad_bound(self):
+        with pytest.raises(ValueError):
+            EventLog(max_events=0)
+
+
+class TestTraceRing:
+    def test_unbounded_default_preserved(self):
+        tr = Trace()
+        for i in range(5):
+            tr.log(float(i), "dispatch", "t")
+        assert len(tr.events) == 5 and tr.dropped == 0
+
+    def test_ring_bound_and_dropped(self):
+        tr = Trace(max_events=4)
+        for i in range(10):
+            tr.log(float(i), "dispatch", f"t{i}")
+        assert len(tr.events) == 4
+        assert tr.dropped == 6
+        assert [e.time for e in tr.events] == [6.0, 7.0, 8.0, 9.0]
+        # queries operate on the retained window
+        assert tr.count("dispatch") == 4
+
+    def test_record_skips_bus_only_events(self):
+        tr = Trace()
+        tr.record(Hit(1.0, "t"))           # kind=None: bus-only
+        tr.record(Load(2.0, "t", handle="x", anchor=(0, 0)))
+        assert [e.kind for e in tr.events] == ["fpga-load"]
+        assert tr.events[0].detail == "x@(0, 0)"
+
+    def test_bad_bound(self):
+        with pytest.raises(ValueError):
+            Trace(max_events=-1)

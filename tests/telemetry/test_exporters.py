@@ -1,0 +1,120 @@
+"""JSONL and Chrome trace_event exporters, and the Profiler."""
+
+import io
+import json
+
+import pytest
+
+from repro.telemetry import (
+    Dispatch,
+    EventBus,
+    JsonlExporter,
+    Load,
+    PageFault,
+    Profiler,
+    event_type,
+    to_chrome_trace,
+    to_jsonl,
+)
+
+SAMPLE = [
+    Dispatch(0.0, "t0", source="kernel"),
+    Load(0.001, "t0", source="Svc#1", handle="a3", anchor=(2, 0),
+         seconds=0.004, frames=3),
+    PageFault(0.01, "t1", source="Svc#1", unit="p2"),
+]
+
+
+class TestJsonl:
+    def test_one_valid_object_per_line(self):
+        text = to_jsonl(SAMPLE)
+        lines = text.strip().splitlines()
+        assert len(lines) == 3
+        recs = [json.loads(line) for line in lines]
+        assert [r["event"] for r in recs] == ["Dispatch", "Load", "PageFault"]
+        # every event name resolves back to its class
+        for r in recs:
+            event_type(r["event"])
+
+    def test_record_schema(self):
+        rec = json.loads(to_jsonl([SAMPLE[1]]).strip())
+        assert rec == {
+            "event": "Load", "time": 0.001, "task": "t0", "source": "Svc#1",
+            "handle": "a3", "anchor": [2, 0], "seconds": 0.004, "frames": 3,
+            "count": 1,
+        }
+
+    def test_write_to_path(self, tmp_path):
+        p = tmp_path / "events.jsonl"
+        to_jsonl(SAMPLE, str(p))
+        assert len(p.read_text().strip().splitlines()) == 3
+
+    def test_streaming_exporter(self):
+        buf = io.StringIO()
+        bus = EventBus()
+        exp = JsonlExporter(buf, bus)
+        for ev in SAMPLE:
+            bus.publish(ev)
+        assert exp.n_written == 3
+        assert len(buf.getvalue().strip().splitlines()) == 3
+
+
+class TestChromeTrace:
+    def test_document_shape(self):
+        doc = to_chrome_trace(SAMPLE, run_name="unit")
+        assert set(doc) == {"traceEvents", "displayTimeUnit", "otherData"}
+        assert doc["otherData"]["run"] == "unit"
+        # the whole document must survive a JSON round-trip (Perfetto-loadable)
+        json.loads(json.dumps(doc))
+
+    def test_duration_vs_instant(self):
+        doc = to_chrome_trace(SAMPLE)
+        by_name = {e["name"]: e for e in doc["traceEvents"] if e["ph"] != "M"}
+        load = by_name["Load"]
+        assert load["ph"] == "X"
+        assert load["dur"] == pytest.approx(0.004 * 1e6)
+        assert load["ts"] == pytest.approx(0.001 * 1e6)
+        fault = by_name["PageFault"]
+        assert fault["ph"] == "i" and fault["s"] == "t"
+
+    def test_lanes_get_thread_metadata(self):
+        doc = to_chrome_trace(SAMPLE)
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        names = {e["args"]["name"] for e in meta}
+        assert names == {"t0", "t1"}  # lanes are task names here
+        tids = {e["tid"] for e in meta}
+        assert len(tids) == len(meta)  # one tid per lane
+
+    def test_write_to_path(self, tmp_path):
+        p = tmp_path / "trace.json"
+        to_chrome_trace(SAMPLE, str(p))
+        doc = json.loads(p.read_text())
+        assert len(doc["traceEvents"]) >= 3
+
+
+class TestProfiler:
+    def test_counts_and_rates(self):
+        ticks = iter(range(100))
+        prof = Profiler(clock=lambda: float(next(ticks)))
+        for ev in SAMPLE:
+            prof.record(ev)
+        assert prof.n_events == 3
+        assert prof.counts == {"Dispatch": 1, "Load": 1, "PageFault": 1}
+        assert prof.wall_seconds == 2.0  # ticks 0 -> 2
+        assert prof.events_per_second == pytest.approx(1.5)
+
+    def test_sim_seconds_and_subsystems(self):
+        prof = Profiler()
+        for ev in SAMPLE:
+            prof.record(ev)
+        assert prof.sim_seconds == {"Load": pytest.approx(0.004)}
+        assert prof.by_subsystem() == {"config-port": pytest.approx(0.004)}
+
+    def test_summary_is_json_ready(self):
+        bus = EventBus()
+        prof = Profiler(bus)
+        for ev in SAMPLE:
+            bus.publish(ev)
+        summary = prof.summary()
+        json.loads(json.dumps(summary))
+        assert summary["n_events"] == 3

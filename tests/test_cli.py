@@ -58,6 +58,48 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "makespan" in out and "useful FPGA" in out
 
+    def test_trace_chrome(self, capsys, tmp_path):
+        out_path = tmp_path / "trace.json"
+        rc = main([
+            "trace", "--family", "VF10",
+            "--circuits", "parity_tree:4,counter:3",
+            "--policy", "dynamic", "--tasks", "3", "--ops", "2",
+            "--cycles", "20000", "-o", str(out_path),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "perfetto" in out and "makespan" in out
+        import json
+        doc = json.loads(out_path.read_text())
+        assert doc["traceEvents"]
+        assert {"X", "i"} <= {e["ph"] for e in doc["traceEvents"]}
+
+    def test_trace_jsonl_to_stdout(self, capsys):
+        rc = main([
+            "trace", "--family", "VF10",
+            "--circuits", "parity_tree:4",
+            "--policy", "dynamic", "--tasks", "2", "--ops", "1",
+            "--cycles", "10000", "--format", "jsonl", "-o", "-",
+        ])
+        assert rc == 0
+        import json
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines
+        recs = [json.loads(line) for line in lines]
+        assert all("event" in r and "time" in r for r in recs)
+
+    def test_trace_max_events_ring(self, capsys, tmp_path):
+        out_path = tmp_path / "trace.json"
+        rc = main([
+            "trace", "--family", "VF10",
+            "--circuits", "parity_tree:4,counter:3",
+            "--policy", "dynamic", "--tasks", "3", "--ops", "2",
+            "--cycles", "20000", "--max-events", "10", "-o", str(out_path),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "wrote 10 events" in out and "dropped" in out
+
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["teleport"])
