@@ -8,10 +8,14 @@ output recorded in EXPERIMENTS.md) and writes it to
 Machine-readable artifacts: every :func:`run_system` call is instrumented
 through the telemetry bus (event counts, events/sec, wall-clock seconds)
 and records the exact reproduction recipe (policy, policy kwargs,
-scheduler and its parameters, context-switch cost).  :func:`emit` writes
-the accumulated run records as ``BENCH_<experiment>.json`` next to the
-``.txt`` table, so regressions in both *results* and *simulator
-performance* are diffable by machines, not just eyeballs.
+scheduler and its parameters, context-switch cost) plus the analytics
+block of :func:`repro.telemetry.report.run_summary` — latency
+percentiles (reconfiguration/wait/exec/operation p50/p95/p99) and
+time-weighted utilization gauges (CLB occupancy, config-port busy
+fraction, residency).  :func:`emit` writes the accumulated run records
+as ``BENCH_<experiment>.json`` next to the ``.txt`` table, so
+regressions in *results*, *tail latency* and *simulator performance*
+are diffable by machines, not just eyeballs.
 """
 
 from __future__ import annotations
@@ -24,7 +28,13 @@ from typing import List, Optional, Tuple
 from repro.core import ConfigRegistry, make_service
 from repro.osim import Kernel, RoundRobin, RunStats, Scheduler
 from repro.sim import Simulator
-from repro.telemetry import EventBus, Profiler
+from repro.telemetry import (
+    EventBus,
+    MetricsAggregator,
+    Profiler,
+    SpanBuilder,
+    run_summary,
+)
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
@@ -66,6 +76,8 @@ def run_system(
     service = make_service(policy, registry, **policy_kw)
     bus = EventBus()
     profiler = Profiler(bus)
+    aggregator = MetricsAggregator(bus, clb_capacity=registry.arch.n_clbs)
+    spans = SpanBuilder(bus)
     sched = scheduler if scheduler is not None else RoundRobin(time_slice=1e-3)
     kernel = Kernel(
         sim,
@@ -90,6 +102,7 @@ def run_system(
         "useful_fraction": stats.useful_fraction,
         "metrics": service.metrics.as_dict(),
         "telemetry": profiler.summary(),
+        **run_summary(aggregator, spans),
     })
     return stats, service
 

@@ -11,8 +11,7 @@ usually shortens the critical path; starving the router of iterations
 turns dense circuits unroutable while generous caps change nothing.
 """
 
-import pytest
-from _harness import emit, run_system
+from _harness import emit
 
 from repro.analysis import format_table, geometric_mean
 from repro.cad import RoutingError, compile_netlist

@@ -23,7 +23,7 @@ Run:  python examples/embedded_diagnostics.py
 from repro.analysis import fmt_pct, fmt_time, format_table
 from repro.core import ConfigRegistry, make_service
 from repro.device import get_family
-from repro.netlist import accumulator, alu, comparator, parity_tree, random_logic
+from repro.netlist import accumulator, comparator, parity_tree, random_logic
 from repro.osim import CpuBurst, FpgaOp, Kernel, PriorityScheduler, Task
 from repro.sim import Simulator
 

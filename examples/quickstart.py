@@ -8,12 +8,14 @@
 4. Run a multitasking workload under two OS management policies and
    compare.
 
-Run:  python examples/quickstart.py [--trace out.json]
+Run:  python examples/quickstart.py [--trace out.json] [--report]
 
 ``--trace`` additionally captures the second policy run's full telemetry
 stream as a Chrome ``trace_event`` file — open it in
 https://ui.perfetto.dev to see every download, transfer and execution on
-a per-task timeline.
+a per-task timeline.  ``--report`` prints the end-of-run summary tables
+(latency percentiles, utilization gauges, per-task breakdown) for the
+same run — the ``repro report`` view, inline.
 """
 
 import argparse
@@ -22,10 +24,17 @@ from repro.analysis import fmt_pct, fmt_time, format_table
 from repro.core import VirtualFpga
 from repro.netlist import LogicSimulator, counter, parity_tree, ripple_adder
 from repro.osim import uniform_workload
-from repro.telemetry import EventBus, EventLog, to_chrome_trace
+from repro.telemetry import (
+    EventBus,
+    EventLog,
+    MetricsAggregator,
+    SpanBuilder,
+    render_report,
+    to_chrome_trace,
+)
 
 
-def main(trace_path: str | None = None) -> None:
+def main(trace_path: str | None = None, report: bool = False) -> None:
     # -- 1. the virtual device ------------------------------------------------
     vf = VirtualFpga("VF12")  # 12x12 CLBs, 96 pins, partial reconfig
     print(f"device: {vf.arch.name} ({vf.arch.n_clbs} CLBs, "
@@ -65,21 +74,30 @@ def main(trace_path: str | None = None) -> None:
 
     # -- 4. managed multitasking -------------------------------------------------
     rows = []
+    report_parts = None
     for policy, kw in [("nonpreemptable", {}), ("variable", {"gc": "compact"})]:
         tasks = uniform_workload(
             vf.circuits, n_tasks=6, ops_per_task=4,
             cpu_burst=1e-3, cycles=100_000, seed=7,
         )
-        bus = log = None
-        if trace_path and policy == "variable":
+        bus = log = aggregator = spans = None
+        if (trace_path or report) and policy == "variable":
             bus = EventBus()
-            log = EventLog(bus)
+            if trace_path:
+                log = EventLog(bus)
+            if report:
+                aggregator = MetricsAggregator(bus,
+                                               clb_capacity=vf.arch.n_clbs)
+                spans = SpanBuilder(bus)
         stats = vf.simulate(tasks, policy=policy, bus=bus, **kw)
         if log is not None:
             to_chrome_trace(log.events, trace_path,
                             run_name=f"quickstart:{policy}")
             print(f"\ntelemetry: wrote {len(log.events)} events to "
                   f"{trace_path} (open in https://ui.perfetto.dev)")
+        if aggregator is not None:
+            report_parts = render_report(aggregator, spans,
+                                         title=f"quickstart:{policy}")
         m = vf.last_service.metrics
         rows.append({
             "policy": policy,
@@ -90,6 +108,9 @@ def main(trace_path: str | None = None) -> None:
         })
     print()
     print(format_table(rows, title="six tasks sharing one physical FPGA"))
+    if report_parts is not None:
+        print()
+        print(report_parts)
     print("\npartitioned virtualization keeps circuits resident and runs "
           "them side by side — fewer downloads, more useful time.")
 
@@ -99,4 +120,9 @@ if __name__ == "__main__":
     ap.add_argument("--trace", metavar="OUT.json", default=None,
                     help="export the managed run's telemetry as a Chrome "
                          "trace_event file")
-    main(trace_path=ap.parse_args().trace)
+    ap.add_argument("--report", action="store_true",
+                    help="print the managed run's end-of-run summary "
+                         "(latency percentiles, utilization gauges, "
+                         "per-task breakdown)")
+    ns = ap.parse_args()
+    main(trace_path=ns.trace, report=ns.report)

@@ -10,6 +10,10 @@ Gives a downstream user the whole stack without writing Python:
   policy and print the run statistics;
 * ``trace``       — the same run, but export the full telemetry event
   stream (Chrome ``trace_event`` JSON for Perfetto, or JSONL);
+* ``report``      — latency percentiles (p50/p95/p99), utilization
+  gauges (CLB occupancy, config-port busy) and the per-task phase
+  breakdown of a run — live, or aggregated from a recorded JSONL
+  stream; optionally exported as Prometheus text / per-span CSV;
 * ``experiments`` — the experiment index (E1–E19) with the command that
   regenerates each table.
 
@@ -154,6 +158,16 @@ def cmd_simulate(args) -> int:
     return 0
 
 
+def _warn_dropped(dropped: int, bound_name: str, bound: int,
+                  what: str) -> None:
+    """Stderr warning when a ring-buffer bound truncated the stream —
+    exported artifacts must never be silently partial."""
+    if dropped:
+        print(f"warning: {dropped} events were dropped by the "
+              f"{bound_name}={bound} ring buffer; {what} is partial",
+              file=sys.stderr)
+
+
 def cmd_trace(args) -> int:
     from .telemetry import (
         EventBus,
@@ -192,6 +206,73 @@ def cmd_trace(args) -> int:
               f"{summary['n_events']} events published")
         if args.format == "chrome":
             print("open in https://ui.perfetto.dev or chrome://tracing")
+    _warn_dropped(log.dropped, "--max-events", args.max_events or 0,
+                  "the exported stream")
+    kernel = getattr(vf, "last_kernel", None)
+    kernel_trace = kernel.trace if kernel is not None else None
+    if kernel_trace is not None:
+        _warn_dropped(kernel_trace.dropped, "max_trace_events",
+                      kernel_trace.max_events or 0, "the kernel trace")
+    return 0
+
+
+def cmd_report(args) -> int:
+    from .telemetry import (
+        EventBus,
+        EventLog,
+        MetricsAggregator,
+        SpanBuilder,
+        aggregate_events,
+        build_spans,
+        read_jsonl,
+        render_report,
+        run_summary,
+        spans_to_csv,
+        to_prometheus,
+    )
+
+    if args.input is not None:
+        # Aggregate a recorded stream exactly as if it were live.
+        events = read_jsonl(args.input)
+        agg = aggregate_events(events)
+        spans = build_spans(events)
+        title = f"report of {args.input}"
+    elif args.max_events is not None:
+        # Bounded recording: aggregate whatever the ring retained, and
+        # say loudly that the numbers cover a truncated stream.
+        vf, tasks, policy_kw = _build_workload(args)
+        bus = EventBus()
+        log = EventLog(bus, max_events=args.max_events)
+        vf.simulate(tasks, policy=args.policy, bus=bus, **policy_kw)
+        _warn_dropped(log.dropped, "--max-events", args.max_events,
+                      "the report")
+        agg = aggregate_events(log.events, clb_capacity=vf.arch.n_clbs)
+        spans = build_spans(log.events)
+        title = f"{args.policy}@{args.family} (truncated)" \
+            if log.dropped else f"{args.policy}@{args.family}"
+    else:
+        # Live streaming aggregation: O(1) memory, no event retention.
+        vf, tasks, policy_kw = _build_workload(args)
+        bus = EventBus()
+        agg = MetricsAggregator(bus, clb_capacity=vf.arch.n_clbs)
+        spans = SpanBuilder(bus)
+        vf.simulate(tasks, policy=args.policy, bus=bus, **policy_kw)
+        title = f"{args.policy}@{args.family}"
+
+    if args.json:
+        import json
+
+        print(json.dumps(run_summary(agg, spans), indent=2, sort_keys=True))
+    else:
+        print(render_report(agg, spans, title=title))
+    if args.prometheus:
+        to_prometheus(agg, args.prometheus)
+        print(f"wrote Prometheus metrics to {args.prometheus}",
+              file=sys.stderr)
+    if args.csv:
+        spans_to_csv(spans, args.csv)
+        print(f"wrote {len(spans.spans)} span rows to {args.csv}",
+              file=sys.stderr)
     return 0
 
 
@@ -292,6 +373,26 @@ def make_parser() -> argparse.ArgumentParser:
                    help="also record one event per simulator step")
     t.add_argument("--max-events", type=_positive_int, default=None,
                    help="ring-buffer bound on recorded events (default: all)")
+
+    r = sub.add_parser(
+        "report",
+        help="latency percentiles, utilization gauges and per-task "
+             "breakdown of a run (live or from a recorded JSONL stream)",
+    )
+    add_workload_args(r)
+    r.add_argument("-i", "--input", default=None, metavar="EVENTS.jsonl",
+                   help="aggregate this recorded JSONL stream instead of "
+                        "running a workload (workload options are ignored)")
+    r.add_argument("--json", action="store_true",
+                   help="print the machine-readable summary (the same "
+                        "block BENCH_*.json embeds) instead of tables")
+    r.add_argument("--prometheus", default=None, metavar="OUT.prom",
+                   help="also write the metrics in Prometheus text format")
+    r.add_argument("--csv", default=None, metavar="OUT.csv",
+                   help="also write one CSV row per causal span")
+    r.add_argument("--max-events", type=_positive_int, default=None,
+                   help="ring-buffer bound on the recorded stream the "
+                        "report aggregates (warns when events are dropped)")
     return p
 
 
@@ -301,6 +402,7 @@ _COMMANDS = {
     "compile": cmd_compile,
     "simulate": cmd_simulate,
     "trace": cmd_trace,
+    "report": cmd_report,
     "experiments": cmd_experiments,
 }
 

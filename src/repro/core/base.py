@@ -158,7 +158,8 @@ class VfpgaServiceBase(FpgaService):
         handle = handle or entry.name
         with self._port.request() as req:
             yield req
-            if not self.fpga.arch.supports_partial:
+            exclusive = not self.fpga.arch.supports_partial
+            if exclusive:
                 # A full-serial download rewrites the whole RAM: wait until
                 # the fabric is quiet, then everything else is gone.
                 yield from self._wait_fabric_idle()
@@ -169,7 +170,9 @@ class VfpgaServiceBase(FpgaService):
                 task.accounting.fpga_reconfig_time += timing.seconds
                 task.accounting.n_reconfigs += 1
             self._publish(Load, task, handle=handle, anchor=tuple(anchor),
-                          seconds=timing.seconds, frames=timing.n_frames)
+                          seconds=timing.seconds, frames=timing.n_frames,
+                          clbs=entry.bitstream.region.area,
+                          exclusive=exclusive)
             yield self.sim.timeout(timing.seconds)
 
     def _charge_unload(self, task: Optional[Task], handle: str):
@@ -178,11 +181,13 @@ class VfpgaServiceBase(FpgaService):
             yield req
             if handle not in self.fpga.resident:
                 return
+            clbs = self.fpga.resident[handle].region.area
             timing = self.fpga.unload(handle)
             self._anchors.pop(handle, None)
             if task is not None:
                 task.accounting.fpga_reconfig_time += timing.seconds
-            self._publish(Evict, task, handle=handle, seconds=timing.seconds)
+            self._publish(Evict, task, handle=handle, seconds=timing.seconds,
+                          clbs=clbs)
             yield self.sim.timeout(timing.seconds)
 
     def _charge_state(self, task: Optional[Task], seconds: float, kind: str,

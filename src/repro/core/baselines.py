@@ -94,14 +94,17 @@ class MergedResidentService(VfpgaServiceBase):
             if arch.supports_partial:
                 self._publish(Load, None, handle=entry.name,
                               anchor=anchors[entry.name],
-                              seconds=timing.seconds, frames=timing.n_frames)
+                              seconds=timing.seconds, frames=timing.n_frames,
+                              clbs=entry.bitstream.region.area)
         if not arch.supports_partial:
             # One full serial download configures everything at once —
             # published as a single Load carrying the circuit count.
             boot = self.fpga.port.full_config()
             self.boot_load_time = boot.seconds
             self._publish(Load, None, handle="<boot>", seconds=boot.seconds,
-                          frames=boot.n_frames, count=len(entries))
+                          frames=boot.n_frames, count=len(entries),
+                          clbs=sum(e.bitstream.region.area for e in entries),
+                          exclusive=True)
 
     def execute(self, task: Task, op: FpgaOp):
         entry = self.registry.get(op.config)

@@ -107,6 +107,9 @@ class Kernel:
         self.service.attach(self)
         self.context_switch = context_switch
         self.tasks: List[Task] = []
+        #: Span-correlation ids: every FpgaRequest/FpgaComplete pair
+        #: shares one kernel-unique op id (see repro.telemetry.spans).
+        self._next_op_id = 1
         self._progress: Dict[int, _Progress] = {}
         self._wakeup: Optional[Event] = None
         self._dispatcher_started = False
@@ -218,23 +221,25 @@ class Kernel:
                 prog.step_index += 1
                 task.state = TaskState.WAITING
                 task.accounting.n_fpga_ops += 1
+                op_id = self._next_op_id
+                self._next_op_id += 1
                 self.bus.publish(
                     FpgaRequest(self.sim.now, task.name, source=self.SOURCE,
-                                config=step.config)
+                                config=step.config, op_id=op_id)
                 )
                 self.sim.process(
-                    self._fpga_wrapper(task, step),
+                    self._fpga_wrapper(task, step, op_id),
                     name=f"fpga:{task.name}",
                 )
                 return  # the CPU is free while the task waits
             else:  # pragma: no cover - guarded by Task typing
                 raise TypeError(f"unknown step {step!r}")
 
-    def _fpga_wrapper(self, task: Task, op: FpgaOp):
+    def _fpga_wrapper(self, task: Task, op: FpgaOp, op_id: int):
         yield from self.service.execute(task, op)
         self.bus.publish(
             FpgaComplete(self.sim.now, task.name, source=self.SOURCE,
-                         config=op.config)
+                         config=op.config, op_id=op_id)
         )
         if self._progress[task.tid].step_index >= len(task.program):
             self._finish(task)

@@ -11,9 +11,18 @@ cross-checked only informally.  Now there is one spine:
 * the legacy trace and the service metrics are **derived subscribers**
   (:mod:`repro.telemetry.recorders`) — their public APIs are unchanged;
 * exporters (:mod:`repro.telemetry.exporters`) turn a recorded stream
-  into JSONL or a Chrome ``trace_event`` file (open in Perfetto);
+  into JSONL or a Chrome ``trace_event`` file (open in Perfetto) — and
+  back (:func:`read_jsonl`), plus Prometheus text and per-span CSV;
 * the :class:`Profiler` (:mod:`repro.telemetry.profiling`) adds the
-  wall-clock dimension for machine-readable benchmark artifacts.
+  wall-clock dimension for machine-readable benchmark artifacts;
+* the metrics layer (:mod:`repro.telemetry.metrics`) folds the stream
+  into latency :class:`Histogram`\\ s (p50/p95/p99) and time-weighted
+  utilization gauges (CLB occupancy, config-port busy, residency);
+* the span layer (:mod:`repro.telemetry.spans`) pairs every
+  ``FpgaRequest``/``FpgaComplete`` into a causal :class:`Span` with
+  per-phase durations and preemption annotations;
+* :mod:`repro.telemetry.report` renders both as the ``repro report``
+  summary tables and the ``BENCH_*.json`` analytics block.
 
 Every future policy gets instrumentation for free by composing the
 charging primitives in :class:`repro.core.base.VfpgaServiceBase`.
@@ -57,12 +66,32 @@ from .events import (
     Wait,
     event_type,
 )
-from .exporters import JsonlExporter, to_chrome_trace, to_jsonl
+from .exporters import (
+    JsonlExporter,
+    from_record,
+    read_jsonl,
+    spans_to_csv,
+    to_chrome_trace,
+    to_jsonl,
+    to_prometheus,
+)
+from .metrics import (
+    LATENCY_BUCKETS,
+    Histogram,
+    MetricsAggregator,
+    TimeWeightedGauge,
+    aggregate_events,
+    log_buckets,
+)
 from .profiling import Profiler
 from .recorders import EventLog, MetricsRecorder, derive_metrics
+from .report import render_report, run_summary
+from .spans import SPAN_FIELDS, Span, SpanBuilder, build_spans
 
 __all__ = [
     "EVENT_TYPES",
+    "LATENCY_BUCKETS",
+    "SPAN_FIELDS",
     "Admit",
     "BoardDispatch",
     "Compact",
@@ -74,9 +103,11 @@ __all__ = [
     "Exec",
     "FpgaComplete",
     "FpgaRequest",
+    "Histogram",
     "Hit",
     "JsonlExporter",
     "Load",
+    "MetricsAggregator",
     "MetricsRecorder",
     "Miss",
     "OpStart",
@@ -94,17 +125,29 @@ __all__ = [
     "ScrubPass",
     "SegmentFault",
     "SimStep",
+    "Span",
+    "SpanBuilder",
     "StateRestore",
     "StateSave",
     "Subscription",
     "Suspend",
     "TaskDone",
     "TelemetryEvent",
+    "TimeWeightedGauge",
     "Upset",
     "Wait",
+    "aggregate_events",
+    "build_spans",
     "derive_metrics",
     "event_type",
+    "from_record",
+    "log_buckets",
     "make_source",
+    "read_jsonl",
+    "render_report",
+    "run_summary",
+    "spans_to_csv",
     "to_chrome_trace",
     "to_jsonl",
+    "to_prometheus",
 ]

@@ -108,9 +108,17 @@ class TaskDone(TelemetryEvent):
 
 @dataclass(frozen=True)
 class FpgaRequest(TelemetryEvent):
-    """A task issued an FPGA operation (left the CPU)."""
+    """A task issued an FPGA operation (left the CPU).
+
+    ``op_id`` is the kernel-minted span-correlation id: the matching
+    :class:`FpgaComplete` carries the same id, so the span builder
+    (:mod:`repro.telemetry.spans`) can pair request/complete even when a
+    recorded stream is filtered or truncated (0 = unknown, for events
+    recorded before ids existed).
+    """
 
     config: str = ""
+    op_id: int = 0
     kind: ClassVar[Optional[str]] = "fpga-request"
 
     @property
@@ -120,9 +128,11 @@ class FpgaRequest(TelemetryEvent):
 
 @dataclass(frozen=True)
 class FpgaComplete(TelemetryEvent):
-    """The service finished a task's FPGA operation."""
+    """The service finished a task's FPGA operation (see
+    :class:`FpgaRequest` for ``op_id``)."""
 
     config: str = ""
+    op_id: int = 0
     kind: ClassVar[Optional[str]] = "fpga-complete"
 
     @property
@@ -171,6 +181,12 @@ class Load(TelemetryEvent):
     ``count`` is normally 1; a full-serial boot download that configures
     several circuits at once publishes a single event with ``count`` set
     to the number of circuits it made resident.
+
+    ``clbs`` is the CLB area the download makes resident and
+    ``exclusive`` marks a full-device download on a device without
+    partial reconfiguration (everything previously resident ceased to
+    exist) — together they let utilization gauges track CLB occupancy
+    from the stream alone.
     """
 
     handle: str = ""
@@ -178,6 +194,8 @@ class Load(TelemetryEvent):
     seconds: float = 0.0
     frames: int = 0
     count: int = 1
+    clbs: int = 0
+    exclusive: bool = False
     kind: ClassVar[Optional[str]] = "fpga-load"
 
     @property
@@ -187,10 +205,12 @@ class Load(TelemetryEvent):
 
 @dataclass(frozen=True)
 class Evict(TelemetryEvent):
-    """A resident configuration was cleared (an eviction)."""
+    """A resident configuration was cleared (an eviction); ``clbs`` is
+    the CLB area the eviction freed."""
 
     handle: str = ""
     seconds: float = 0.0
+    clbs: int = 0
     kind: ClassVar[Optional[str]] = "fpga-unload"
 
     @property

@@ -1,11 +1,19 @@
-"""Export a telemetry stream to machine-readable formats.
+"""Export (and re-import) a telemetry stream in machine-readable formats.
 
 * :func:`to_jsonl` / :class:`JsonlExporter` — one JSON object per line;
   trivially greppable/`jq`-able, append-friendly for streaming.
+* :func:`from_record` / :func:`read_jsonl` — the inverse: reconstruct
+  typed events from recorded JSONL, so ``repro report`` can aggregate a
+  stored stream exactly as if it were live.
 * :func:`to_chrome_trace` — the Chrome ``trace_event`` JSON format:
   open the file in ``chrome://tracing`` or https://ui.perfetto.dev and
   see every download, state save, transfer and execution as a timeline
   lane per task (instant events for dispatches, faults, preemptions).
+* :func:`to_prometheus` — Prometheus text exposition of a
+  :class:`~repro.telemetry.metrics.MetricsAggregator` (histograms with
+  cumulative ``le`` buckets, gauges, per-event-type counters).
+* :func:`spans_to_csv` — one row per causal span (see
+  :mod:`repro.telemetry.spans`), spreadsheet/pandas-ready.
 
 Duration semantics: charge events are published at their *start* instant
 with their ``seconds`` known up front (the simulator charges, then
@@ -15,12 +23,16 @@ yields), so they map directly onto complete ("X") trace events.
 from __future__ import annotations
 
 import json
+from dataclasses import fields as _dataclass_fields
 from typing import Dict, Iterable, List, Optional, TextIO, Union
 
 from .bus import EventBus
-from .events import TelemetryEvent
+from .events import TelemetryEvent, event_type
 
-__all__ = ["to_jsonl", "JsonlExporter", "to_chrome_trace", "DURATION_ATTR"]
+__all__ = [
+    "to_jsonl", "JsonlExporter", "to_chrome_trace", "DURATION_ATTR",
+    "from_record", "read_jsonl", "to_prometheus", "spans_to_csv",
+]
 
 #: Events carrying this attribute with a positive value are rendered as
 #: complete (duration) trace events; everything else is an instant.
@@ -78,6 +90,37 @@ class JsonlExporter:
 
     def __exit__(self, *exc) -> None:
         self.close()
+
+
+def from_record(rec: Dict[str, object]) -> TelemetryEvent:
+    """Rebuild one typed event from its :meth:`~TelemetryEvent.to_record`
+    dict.  Unknown *fields* are dropped (forward compatibility: newer
+    recorders may add fields older readers ignore); an unknown *event
+    name* raises ``KeyError``."""
+    cls = event_type(str(rec["event"]))
+    known = {f.name for f in _dataclass_fields(cls)}
+    kwargs = {
+        k: tuple(v) if isinstance(v, list) else v
+        for k, v in rec.items()
+        if k != "event" and k in known
+    }
+    return cls(**kwargs)
+
+
+def read_jsonl(source: Union[str, TextIO, Iterable[str]]) -> List[TelemetryEvent]:
+    """Load a recorded JSONL stream (path, file object, or iterable of
+    lines) back into typed events, preserving order."""
+    if isinstance(source, str):
+        with open(source, "r", encoding="utf-8") as fh:
+            lines = fh.readlines()
+    else:
+        lines = list(source)
+    events: List[TelemetryEvent] = []
+    for line in lines:
+        line = line.strip()
+        if line:
+            events.append(from_record(json.loads(line)))
+    return events
 
 
 def _lane(event: TelemetryEvent) -> str:
@@ -143,3 +186,103 @@ def to_chrome_trace(
     elif out is not None:
         json.dump(doc, out)
     return doc
+
+
+# ---------------------------------------------------------------------------
+# metrics exporters
+# ---------------------------------------------------------------------------
+
+def _write_text(text: str, out: Union[str, TextIO, None]) -> str:
+    if isinstance(out, str):
+        with open(out, "w", encoding="utf-8") as fh:
+            fh.write(text)
+    elif out is not None:
+        out.write(text)
+    return text
+
+
+def _prom_num(v: float) -> str:
+    return f"{v:.10g}"
+
+
+def to_prometheus(agg, out: Union[str, TextIO, None] = None,
+                  prefix: str = "repro") -> str:
+    """Render a :class:`~repro.telemetry.metrics.MetricsAggregator` in
+    the Prometheus text exposition format (histograms as cumulative
+    ``le`` buckets with ``_sum``/``_count``, gauges, event counters).
+    Returns the text; also writes it to ``out`` when given."""
+    lines: List[str] = []
+
+    def histogram(name: str, help_: str, hist) -> None:
+        full = f"{prefix}_{name}"
+        lines.append(f"# HELP {full} {help_}")
+        lines.append(f"# TYPE {full} histogram")
+        cum = 0
+        for bound, n in zip(hist.bounds, hist.bucket_counts):
+            cum += n
+            lines.append(f'{full}_bucket{{le="{_prom_num(bound)}"}} {cum}')
+        lines.append(f'{full}_bucket{{le="+Inf"}} {hist.count}')
+        lines.append(f"{full}_sum {_prom_num(hist.total)}")
+        lines.append(f"{full}_count {hist.count}")
+
+    def gauge(name: str, help_: str, value: float) -> None:
+        full = f"{prefix}_{name}"
+        lines.append(f"# HELP {full} {help_}")
+        lines.append(f"# TYPE {full} gauge")
+        lines.append(f"{full} {_prom_num(value)}")
+
+    histogram("reconfig_latency_seconds",
+              "Configuration download latency per Load.",
+              agg.reconfig_latency)
+    histogram("wait_latency_seconds",
+              "Fabric queueing latency per operation.", agg.wait_latency)
+    histogram("exec_latency_seconds",
+              "Useful fabric time per execution.", agg.exec_latency)
+    histogram("op_latency_seconds",
+              "Whole-operation latency (FpgaRequest to FpgaComplete).",
+              agg.op_latency)
+
+    util = agg.utilization_summary()
+    gauge("clb_occupancy", "Resident CLB area (current).",
+          agg.clb_occupancy.value)
+    gauge("clb_occupancy_mean", "Time-weighted mean resident CLB area.",
+          util["clb_occupancy_mean"])
+    gauge("clb_occupancy_max", "Peak resident CLB area.",
+          util["clb_occupancy_max"])
+    gauge("config_port_busy_fraction",
+          "Configuration-port busy share of the observed window.",
+          util["port_busy_fraction"])
+    gauge("resident_configurations_mean",
+          "Time-weighted mean number of resident configurations.",
+          util["residency_mean"])
+    gauge("inflight_ops_mean",
+          "Time-weighted mean number of in-flight FPGA operations.",
+          util["inflight_mean"])
+
+    total = f"{prefix}_events_total"
+    lines.append(f"# HELP {total} Telemetry events folded, by type.")
+    lines.append(f"# TYPE {total} counter")
+    for name, n in sorted(agg.counts.items()):
+        lines.append(f'{total}{{event="{name}"}} {n}')
+
+    return _write_text("\n".join(lines) + "\n", out)
+
+
+def spans_to_csv(spans, out: Union[str, TextIO, None] = None) -> str:
+    """Serialize spans (a :class:`~repro.telemetry.spans.SpanBuilder` or
+    an iterable of :class:`~repro.telemetry.spans.Span`) as CSV, one row
+    per operation, columns in :data:`~repro.telemetry.spans.SPAN_FIELDS`
+    order.  Returns the text; also writes it to ``out`` when given."""
+    import csv
+    import io
+
+    from .spans import SPAN_FIELDS
+
+    rows = spans.spans if hasattr(spans, "spans") else list(spans)
+    buf = io.StringIO()
+    writer = csv.DictWriter(buf, fieldnames=list(SPAN_FIELDS),
+                            extrasaction="ignore", lineterminator="\n")
+    writer.writeheader()
+    for span in rows:
+        writer.writerow(span.to_record())
+    return _write_text(buf.getvalue(), out)

@@ -1,0 +1,152 @@
+"""The run report: one human-readable summary of a telemetry stream.
+
+``repro report``, ``examples/quickstart.py --report`` and the benchmark
+harness all reduce a run to the same two structures:
+
+* :func:`run_summary` — a JSON-ready dict (latency histograms with
+  p50/p95/p99, utilization gauges, per-task phase totals) embedded
+  verbatim into ``BENCH_<experiment>.json``;
+* :func:`render_report` — the ASCII tables a human reads at the end of
+  a run (the numbers are the same objects, formatted).
+
+Keeping the two views one function apart is the acceptance criterion:
+what ``repro report`` prints *is* what the benchmark artifact records.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .metrics import MetricsAggregator
+from .spans import SpanBuilder
+
+__all__ = ["run_summary", "render_report", "per_task_rows"]
+
+
+def per_task_rows(spans: SpanBuilder) -> List[Dict[str, object]]:
+    """One row per task: operation count and phase totals (seconds)."""
+    rows: List[Dict[str, object]] = []
+    for task, task_spans in sorted(spans.by_task().items()):
+        rows.append({
+            "task": task,
+            "ops": len(task_spans),
+            "wait": sum(s.wait_seconds for s in task_spans),
+            "reconfig": sum(s.reconfig_seconds for s in task_spans),
+            "state": sum(s.state_seconds for s in task_spans),
+            "exec": sum(s.exec_seconds for s in task_spans),
+            "io": sum(s.io_seconds for s in task_spans),
+            "turnaround": sum(s.duration for s in task_spans),
+            "faults": sum(s.n_page_faults + s.n_segment_faults
+                          for s in task_spans),
+            "preemptions": sum(s.n_preemptions for s in task_spans),
+        })
+    return rows
+
+
+def run_summary(agg: MetricsAggregator,
+                spans: Optional[SpanBuilder] = None) -> Dict[str, object]:
+    """JSON-ready reduction of a run (what ``BENCH_*.json`` embeds)."""
+    out: Dict[str, object] = {
+        "latency": agg.latency_summary(),
+        "utilization": agg.utilization_summary(),
+    }
+    if spans is not None:
+        out["spans"] = {
+            "n_spans": len(spans.spans),
+            "n_open": len(spans.open_spans),
+            "n_orphans": spans.n_orphans,
+            "per_task": per_task_rows(spans),
+        }
+    return out
+
+
+def _latency_rows(agg: MetricsAggregator) -> List[Dict[str, object]]:
+    from ..analysis import fmt_time
+
+    def fmt(v: Optional[float]) -> str:
+        return "-" if v is None else fmt_time(v)
+
+    rows = []
+    for label, hist in [
+        ("reconfiguration", agg.reconfig_latency),
+        ("wait (queueing)", agg.wait_latency),
+        ("execution", agg.exec_latency),
+        ("operation (req→done)", agg.op_latency),
+    ]:
+        d = hist.as_dict()
+        rows.append({
+            "latency": label,
+            "count": d["count"],
+            "mean": fmt(d["mean"] if d["count"] else None),
+            "p50": fmt(d["p50"]),
+            "p95": fmt(d["p95"]),
+            "p99": fmt(d["p99"]),
+            "max": fmt(d["max"]),
+        })
+    return rows
+
+
+def _utilization_rows(agg: MetricsAggregator) -> List[Dict[str, object]]:
+    from ..analysis import fmt_pct
+
+    util = agg.utilization_summary()
+    occupancy_mean = f"{util['clb_occupancy_mean']:.1f}"
+    occupancy_max = f"{util['clb_occupancy_max']:.0f}"
+    if "clb_capacity" in util:
+        occupancy_mean += (
+            f" ({fmt_pct(util['clb_occupancy_fraction_mean'])}"
+            f" of {util['clb_capacity']})"
+        )
+        occupancy_max += f" ({fmt_pct(util['clb_occupancy_fraction_max'])})"
+    return [
+        {"gauge": "CLB occupancy", "time-weighted mean": occupancy_mean,
+         "max": occupancy_max},
+        {"gauge": "config-port busy",
+         "time-weighted mean": fmt_pct(util["port_busy_fraction"]),
+         "max": ""},
+        {"gauge": "resident configurations",
+         "time-weighted mean": f"{util['residency_mean']:.2f}",
+         "max": f"{util['residency_max']:.0f}"},
+        {"gauge": "in-flight FPGA ops",
+         "time-weighted mean": f"{util['inflight_mean']:.2f}",
+         "max": f"{util['inflight_max']:.0f}"},
+    ]
+
+
+def render_report(agg: MetricsAggregator,
+                  spans: Optional[SpanBuilder] = None,
+                  title: str = "run report") -> str:
+    """Human-readable summary tables: latency percentiles, utilization
+    gauges and (given spans) the per-task phase breakdown."""
+    from ..analysis import fmt_time, format_table
+
+    parts = [
+        format_table(_latency_rows(agg), title=f"{title} — latency"),
+        format_table(_utilization_rows(agg),
+                     title=f"{title} — utilization "
+                           f"(window {fmt_time(agg.elapsed)})"),
+    ]
+    if spans is not None and spans.spans:
+        rows = [
+            {
+                "task": r["task"],
+                "ops": r["ops"],
+                "wait": fmt_time(r["wait"]),
+                "reconfig": fmt_time(r["reconfig"]),
+                "state": fmt_time(r["state"]),
+                "exec": fmt_time(r["exec"]),
+                "io": fmt_time(r["io"]),
+                "turnaround": fmt_time(r["turnaround"]),
+                "faults": r["faults"],
+                "preempts": r["preemptions"],
+            }
+            for r in per_task_rows(spans)
+        ]
+        parts.append(format_table(rows, title=f"{title} — per-task breakdown"))
+        if spans.open_spans:
+            parts.append(
+                f"note: {len(spans.open_spans)} operation(s) never completed "
+                f"in the stream (truncated recording or deadlock): "
+                + ", ".join(sorted(spans.open_spans))
+            )
+    return "\n\n".join(parts)

@@ -1,0 +1,240 @@
+"""Causal spans: fold the event stream into per-operation request trees.
+
+One span covers one FPGA operation's life:
+``FpgaRequest → Wait → Load/PageFault/SegmentFault → Exec → FpgaComplete``.
+The kernel mints an ``op_id`` shared by the request/complete pair; every
+event the service publishes in between is attributed to the issuing task
+(a task has at most one FPGA operation in flight — the paper's blocking
+co-processor model — so task attribution is unambiguous), which is how
+the builder assigns phase durations and preemption/rollback annotations
+to the right span without any global ordering assumptions.
+
+Phase accounting mirrors the charge sites:
+
+* ``wait_seconds``     — fabric queueing (:class:`Wait`);
+* ``reconfig_seconds`` — configuration-port downloads and evictions
+  charged to this operation (:class:`Load`/:class:`Evict`);
+* ``state_seconds``    — save/restore traffic (:class:`StateSave`/
+  :class:`StateRestore`), i.e. preemption cost;
+* ``exec_seconds``     — useful fabric time (:class:`Exec`);
+* ``io_seconds``       — pin-multiplexed transfers (:class:`PortTransfer`).
+
+``duration - accounted`` time is CPU-side dispatch latency and port
+queueing not charged to the task — visible as ``unaccounted_seconds``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Type
+
+from .bus import EventBus
+from .events import (
+    Evict,
+    Exec,
+    FpgaComplete,
+    FpgaRequest,
+    Hit,
+    Load,
+    Miss,
+    PageFault,
+    PortTransfer,
+    Preempt,
+    Rollback,
+    SegmentFault,
+    StateRestore,
+    StateSave,
+    Suspend,
+    TelemetryEvent,
+    Wait,
+)
+
+__all__ = ["Span", "SpanBuilder", "build_spans", "SPAN_FIELDS"]
+
+
+@dataclass
+class Span:
+    """One FPGA operation, request to completion, with phase durations."""
+
+    task: str
+    config: str
+    op_id: int
+    start: float
+    end: Optional[float] = None
+
+    # -- phase durations (seconds) ------------------------------------------
+    wait_seconds: float = 0.0
+    reconfig_seconds: float = 0.0
+    state_seconds: float = 0.0
+    exec_seconds: float = 0.0
+    io_seconds: float = 0.0
+
+    # -- annotations --------------------------------------------------------
+    n_loads: int = 0
+    n_evictions: int = 0
+    n_page_faults: int = 0
+    n_segment_faults: int = 0
+    n_preemptions: int = 0
+    n_rollbacks: int = 0
+    n_suspends: int = 0
+    n_hits: int = 0
+    n_misses: int = 0
+    sources: List[str] = field(default_factory=list)
+
+    @property
+    def closed(self) -> bool:
+        return self.end is not None
+
+    @property
+    def duration(self) -> float:
+        """Whole-operation turnaround (0.0 while still open)."""
+        return 0.0 if self.end is None else self.end - self.start
+
+    @property
+    def accounted_seconds(self) -> float:
+        return (self.wait_seconds + self.reconfig_seconds
+                + self.state_seconds + self.exec_seconds + self.io_seconds)
+
+    @property
+    def unaccounted_seconds(self) -> float:
+        return max(0.0, self.duration - self.accounted_seconds)
+
+    @property
+    def overhead_seconds(self) -> float:
+        """Everything that was not useful fabric time."""
+        return max(0.0, self.duration - self.exec_seconds)
+
+    def phases(self) -> Dict[str, float]:
+        return {
+            "wait": self.wait_seconds,
+            "reconfig": self.reconfig_seconds,
+            "state": self.state_seconds,
+            "exec": self.exec_seconds,
+            "io": self.io_seconds,
+            "unaccounted": self.unaccounted_seconds,
+        }
+
+    def to_record(self) -> Dict[str, object]:
+        """Flat JSON/CSV-ready view (one row per span)."""
+        rec = asdict(self)
+        rec["sources"] = ";".join(self.sources)
+        rec["duration"] = self.duration
+        rec["unaccounted_seconds"] = self.unaccounted_seconds
+        return rec
+
+
+#: CSV column order (stable export schema).
+SPAN_FIELDS = (
+    "task", "config", "op_id", "start", "end", "duration",
+    "wait_seconds", "reconfig_seconds", "state_seconds", "exec_seconds",
+    "io_seconds", "unaccounted_seconds",
+    "n_loads", "n_evictions", "n_page_faults", "n_segment_faults",
+    "n_preemptions", "n_rollbacks", "n_suspends", "n_hits", "n_misses",
+    "sources",
+)
+
+
+class SpanBuilder:
+    """Bus subscriber pairing requests with completions into spans.
+
+    ``spans`` holds closed spans in completion order; ``open_spans``
+    maps task names to operations still in flight (non-empty after a
+    run only if the stream was truncated or the run deadlocked).
+    """
+
+    def __init__(self, bus: Optional[EventBus] = None) -> None:
+        self.spans: List[Span] = []
+        self.open_spans: Dict[str, Span] = {}
+        #: completes whose task had no open span (truncated streams).
+        self.n_orphans = 0
+        self._handlers: Dict[Type[TelemetryEvent], Callable] = {
+            FpgaRequest: self._on_request,
+            FpgaComplete: self._on_complete,
+            Wait: self._charge("wait_seconds"),
+            Load: self._on_load,
+            Evict: self._on_evict,
+            StateSave: self._charge("state_seconds"),
+            StateRestore: self._charge("state_seconds"),
+            Exec: self._charge("exec_seconds"),
+            PortTransfer: self._charge("io_seconds"),
+            PageFault: self._count("n_page_faults"),
+            SegmentFault: self._count("n_segment_faults"),
+            Preempt: self._count("n_preemptions"),
+            Rollback: self._count("n_rollbacks"),
+            Suspend: self._count("n_suspends"),
+            Hit: self._count("n_hits"),
+            Miss: self._count("n_misses"),
+        }
+        if bus is not None:
+            self.attach(bus)
+
+    def attach(self, bus: EventBus):
+        """Subscribe to exactly the event types that shape a span."""
+        return bus.subscribe(self, *self._handlers)
+
+    # -- handlers ------------------------------------------------------------
+    def _on_request(self, e: FpgaRequest) -> None:
+        self.open_spans[e.task] = Span(
+            task=e.task, config=e.config, op_id=e.op_id, start=e.time
+        )
+
+    def _on_complete(self, e: FpgaComplete) -> None:
+        span = self.open_spans.pop(e.task, None)
+        if span is None:
+            self.n_orphans += 1
+            return
+        span.end = e.time
+        self.spans.append(span)
+
+    def _span_of(self, e: TelemetryEvent) -> Optional[Span]:
+        span = self.open_spans.get(e.task) if e.task else None
+        if span is not None and e.source and e.source not in span.sources:
+            span.sources.append(e.source)
+        return span
+
+    def _charge(self, attr: str):
+        def handler(e):
+            span = self._span_of(e)
+            if span is not None:
+                setattr(span, attr, getattr(span, attr) + e.seconds)
+        return handler
+
+    def _count(self, attr: str):
+        def handler(e):
+            span = self._span_of(e)
+            if span is not None:
+                setattr(span, attr, getattr(span, attr) + 1)
+        return handler
+
+    def _on_load(self, e: Load) -> None:
+        span = self._span_of(e)
+        if span is not None:
+            span.reconfig_seconds += e.seconds
+            span.n_loads += e.count
+
+    def _on_evict(self, e: Evict) -> None:
+        span = self._span_of(e)
+        if span is not None:
+            span.reconfig_seconds += e.seconds
+            span.n_evictions += 1
+
+    def __call__(self, event: TelemetryEvent) -> None:
+        handler = self._handlers.get(type(event))
+        if handler is not None:
+            handler(event)
+
+    # -- views ---------------------------------------------------------------
+    def by_task(self) -> Dict[str, List[Span]]:
+        out: Dict[str, List[Span]] = {}
+        for span in self.spans:
+            out.setdefault(span.task, []).append(span)
+        return out
+
+
+def build_spans(events: Iterable[TelemetryEvent]) -> SpanBuilder:
+    """Replay a recorded stream into a fresh builder — the parity
+    primitive for span accounting (live spans == replayed spans)."""
+    builder = SpanBuilder()
+    for e in events:
+        builder(e)
+    return builder

@@ -9,7 +9,7 @@ import pytest
 
 from repro.core import ConfigRegistry
 from repro.device import get_family
-from repro.osim import Kernel, RoundRobin, Scheduler
+from repro.osim import Kernel, RoundRobin
 from repro.sim import Simulator
 
 

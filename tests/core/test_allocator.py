@@ -130,7 +130,6 @@ class TestInvariants:
             if rng.random() < 0.1:
                 a.merge_free()
             # Invariants: no overlap, conservation of columns.
-            spans = sorted(a.free_spans) + sorted(held)
             total = a.total_free + sum(w for _x, w in held)
             assert total == 32
             covered = sorted(a.free_spans + held)

@@ -8,7 +8,7 @@ from repro.core import (
     Rollback,
     SaveRestore,
 )
-from repro.osim import CpuBurst, FpgaOp, Task
+from repro.osim import FpgaOp, Task
 
 CP = 20e-9  # synthetic entries' critical path (see conftest)
 

@@ -6,7 +6,7 @@ import pytest
 from repro.core import ConfigRegistry, VirtualFpga, make_service
 from repro.device import get_family
 from repro.netlist import LogicSimulator, counter, parity_tree
-from repro.osim import FpgaOp, Kernel, RoundRobin, Task, uniform_workload
+from repro.osim import Kernel, RoundRobin, uniform_workload
 from repro.sim import Simulator
 
 CP = 25e-9

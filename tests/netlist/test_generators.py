@@ -189,7 +189,7 @@ class TestSerialCrc:
         sim = LogicSimulator(serial_crc(width, poly))
         bits = [rng.randint(0, 1) for _ in range(64)]
         for bit in bits:
-            out = sim.step({"din": bit})
+            sim.step({"din": bit})
         got = LogicSimulator.unpack_bus(sim.evaluate({"din": 0}), "crc")
         assert got == self.crc_reference(bits, width, poly)
 

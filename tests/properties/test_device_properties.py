@@ -6,7 +6,6 @@ from hypothesis import strategies as st
 from repro.device import (
     Architecture,
     ClbConfig,
-    Coord,
     FrameCodec,
     IobConfig,
     IobDirection,

@@ -7,7 +7,6 @@ from hypothesis import strategies as st
 
 from repro.cad import absorb_fanin, check_mapped, technology_map
 from repro.netlist import (
-    CellKind,
     LogicSimulator,
     accumulator,
     counter,

@@ -34,14 +34,19 @@ def registry(arch):
 class LoggedRun:
     """One simulated system with a recording bus."""
 
-    def __init__(self, service, scheduler=None, context_switch=0.0, **kw):
+    def __init__(self, service, scheduler=None, context_switch=0.0,
+                 subscribe=None, **kw):
         self.sim = Simulator()
         self.service = service
         # Subscribe the log before the kernel attaches the service: boot
         # downloads (merged/overlay) publish during attach and must be in
-        # the stream for it to be replayable.
+        # the stream for it to be replayable.  ``subscribe`` lets a test
+        # attach further live subscribers (aggregators, span builders) at
+        # the same point, for exact live-vs-replay parity.
         self.bus = EventBus()
         self.log = EventLog(self.bus)
+        if subscribe is not None:
+            subscribe(self.bus)
         self.kernel = Kernel(
             self.sim,
             scheduler if scheduler is not None else RoundRobin(time_slice=1e-3),

@@ -41,8 +41,20 @@ class TestJsonl:
         assert rec == {
             "event": "Load", "time": 0.001, "task": "t0", "source": "Svc#1",
             "handle": "a3", "anchor": [2, 0], "seconds": 0.004, "frames": 3,
-            "count": 1,
+            "count": 1, "clbs": 0, "exclusive": False,
         }
+
+    def test_roundtrip_through_jsonl(self):
+        from repro.telemetry import read_jsonl
+        text = to_jsonl(SAMPLE)
+        assert read_jsonl(io.StringIO(text)) == SAMPLE
+        assert read_jsonl(text.splitlines()) == SAMPLE
+
+    def test_from_record_drops_unknown_fields(self):
+        from repro.telemetry import from_record
+        rec = json.loads(to_jsonl([SAMPLE[1]]).strip())
+        rec["future_field"] = 42
+        assert from_record(rec) == SAMPLE[1]
 
     def test_write_to_path(self, tmp_path):
         p = tmp_path / "events.jsonl"

@@ -1,0 +1,144 @@
+"""Unit tests for the causal span builder and its CSV export."""
+
+import csv
+import io
+
+import pytest
+
+from repro.core import DynamicLoadingService
+from repro.osim import FpgaOp, Task
+from repro.telemetry import (
+    SPAN_FIELDS,
+    Evict,
+    Exec,
+    FpgaComplete,
+    FpgaRequest,
+    Load,
+    PageFault,
+    Preempt,
+    SpanBuilder,
+    StateSave,
+    Wait,
+    build_spans,
+    spans_to_csv,
+)
+
+
+def synthetic_stream():
+    """One operation with every phase: queue, load, exec, complete."""
+    return [
+        FpgaRequest(0.0, "t", source="kernel", config="c", op_id=1),
+        Wait(0.0, "t", source="svc", seconds=0.5),
+        Load(0.5, "t", source="svc", handle="c", seconds=1.0, clbs=9),
+        PageFault(1.0, "t", source="svc", unit="p1"),
+        Exec(1.5, "t", source="svc", handle="c", seconds=2.0),
+        FpgaComplete(3.5, "t", source="kernel", config="c", op_id=1),
+    ]
+
+
+class TestSpanBuilder:
+    def test_phases_and_annotations(self):
+        b = build_spans(synthetic_stream())
+        assert len(b.spans) == 1 and not b.open_spans and b.n_orphans == 0
+        s = b.spans[0]
+        assert (s.task, s.config, s.op_id) == ("t", "c", 1)
+        assert s.closed and s.duration == pytest.approx(3.5)
+        assert s.wait_seconds == pytest.approx(0.5)
+        assert s.reconfig_seconds == pytest.approx(1.0)
+        assert s.exec_seconds == pytest.approx(2.0)
+        assert s.n_loads == 1 and s.n_page_faults == 1
+        assert s.unaccounted_seconds == pytest.approx(0.0)
+        assert s.overhead_seconds == pytest.approx(1.5)
+        assert "svc" in s.sources and "kernel" not in s.sources
+
+    def test_open_span_until_complete(self):
+        b = build_spans(synthetic_stream()[:-1])
+        assert not b.spans
+        assert "t" in b.open_spans
+        span = b.open_spans["t"]
+        assert not span.closed and span.duration == 0.0
+
+    def test_orphan_complete_counted(self):
+        b = build_spans([
+            FpgaComplete(1.0, "t", source="kernel", config="c", op_id=7),
+        ])
+        assert b.n_orphans == 1 and not b.spans
+
+    def test_events_between_ops_unattributed(self):
+        """Service activity outside any request window (boot loads,
+        background evictions) must not land on a span."""
+        b = build_spans([
+            Load(0.0, "", source="svc", handle="boot", seconds=1.0),
+            *synthetic_stream(),
+            Evict(9.0, "t", source="svc", handle="c", seconds=0.2),
+        ])
+        assert len(b.spans) == 1
+        assert b.spans[0].n_loads == 1  # the boot load is not counted
+        assert b.spans[0].n_evictions == 0  # nor the post-complete evict
+
+    def test_preemption_annotations(self):
+        b = build_spans([
+            FpgaRequest(0.0, "t", source="kernel", config="c", op_id=1),
+            Preempt(1.0, "t", source="svc", handle="c"),
+            StateSave(1.0, "t", source="svc", handle="c", seconds=0.3),
+            FpgaComplete(2.0, "t", source="kernel", config="c", op_id=1),
+        ])
+        s = b.spans[0]
+        assert s.n_preemptions == 1
+        assert s.state_seconds == pytest.approx(0.3)
+
+    def test_interleaved_tasks_attributed_separately(self):
+        b = build_spans([
+            FpgaRequest(0.0, "a", source="kernel", config="c", op_id=1),
+            FpgaRequest(0.0, "b", source="kernel", config="d", op_id=2),
+            Exec(0.0, "a", source="svc", handle="c", seconds=1.0),
+            Exec(0.0, "b", source="svc", handle="d", seconds=2.0),
+            FpgaComplete(1.0, "a", source="kernel", config="c", op_id=1),
+            FpgaComplete(2.0, "b", source="kernel", config="d", op_id=2),
+        ])
+        by = {s.task: s for s in b.spans}
+        assert by["a"].exec_seconds == pytest.approx(1.0)
+        assert by["b"].exec_seconds == pytest.approx(2.0)
+
+    def test_to_record_matches_span_fields(self):
+        b = build_spans(synthetic_stream())
+        rec = b.spans[0].to_record()
+        assert set(SPAN_FIELDS) <= set(rec)
+        assert rec["sources"] == "svc"
+        assert rec["duration"] == pytest.approx(3.5)
+
+
+class TestCsvExport:
+    def test_header_and_rows(self):
+        text = spans_to_csv(build_spans(synthetic_stream()))
+        rows = list(csv.DictReader(io.StringIO(text)))
+        assert len(rows) == 1
+        assert list(rows[0]) == list(SPAN_FIELDS)
+        assert rows[0]["task"] == "t"
+        assert float(rows[0]["exec_seconds"]) == pytest.approx(2.0)
+
+    def test_accepts_builder_or_iterable(self):
+        b = build_spans(synthetic_stream())
+        assert spans_to_csv(b) == spans_to_csv(list(b.spans))
+
+    def test_write_to_path(self, tmp_path):
+        p = tmp_path / "spans.csv"
+        spans_to_csv(build_spans(synthetic_stream()), str(p))
+        assert p.read_text().startswith("task,config,op_id")
+
+
+class TestKernelRun:
+    def test_span_count_matches_ops(self, registry, logged):
+        spans_holder = {}
+        run = logged(DynamicLoadingService(registry),
+                     subscribe=lambda bus: spans_holder.update(
+                         b=SpanBuilder(bus)))
+        tasks = [Task("t0", [FpgaOp("a3", 5000), FpgaOp("b3", 5000)]),
+                 Task("t1", [FpgaOp("c4", 5000)])]
+        run.run(tasks)
+        b = spans_holder["b"]
+        assert len(b.spans) == 3
+        assert not b.open_spans and b.n_orphans == 0
+        assert all(s.closed and s.duration > 0 for s in b.spans)
+        assert all(s.accounted_seconds <= s.duration + 1e-12
+                   for s in b.spans)

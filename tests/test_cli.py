@@ -103,3 +103,68 @@ class TestCommands:
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["teleport"])
+
+
+SMALL_RUN = [
+    "--family", "VF10", "--circuits", "parity_tree:4,counter:3",
+    "--policy", "dynamic", "--tasks", "3", "--ops", "2",
+    "--cycles", "20000",
+]
+
+
+class TestReport:
+    def test_live_report_tables(self, capsys):
+        assert main(["report", *SMALL_RUN]) == 0
+        out = capsys.readouterr().out
+        # latency percentiles...
+        assert "p50" in out and "p95" in out and "p99" in out
+        assert "reconfiguration" in out and "operation (req" in out
+        # ...utilization gauges...
+        assert "CLB occupancy" in out and "config-port busy" in out
+        # ...and the per-task phase breakdown.
+        assert "task0" in out and "task2" in out
+
+    def test_json_summary(self, capsys):
+        import json
+        assert main(["report", *SMALL_RUN, "--json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert set(summary) == {"latency", "utilization", "spans"}
+        assert summary["latency"]["reconfig"]["count"] > 0
+        assert summary["latency"]["op"]["p99"] > 0
+        assert summary["utilization"]["clb_occupancy_mean"] > 0
+        assert summary["spans"]["n_spans"] == 3 * 2
+
+    def test_report_from_recorded_jsonl(self, capsys, tmp_path):
+        """Recording then reporting must match reporting live."""
+        import json
+        events = tmp_path / "events.jsonl"
+        assert main(["trace", *SMALL_RUN, "--format", "jsonl",
+                     "-o", str(events)]) == 0
+        capsys.readouterr()
+        assert main(["report", "-i", str(events), "--json"]) == 0
+        recorded = json.loads(capsys.readouterr().out)
+        assert main(["report", *SMALL_RUN, "--json"]) == 0
+        live = json.loads(capsys.readouterr().out)
+        assert recorded["latency"] == live["latency"]
+        assert recorded["spans"] == live["spans"]
+
+    def test_prometheus_and_csv_exports(self, capsys, tmp_path):
+        prom = tmp_path / "metrics.prom"
+        csv_path = tmp_path / "spans.csv"
+        assert main(["report", *SMALL_RUN, "--prometheus", str(prom),
+                     "--csv", str(csv_path)]) == 0
+        text = prom.read_text()
+        assert "# TYPE repro_reconfig_latency_seconds histogram" in text
+        assert 'repro_reconfig_latency_seconds_bucket{le="+Inf"}' in text
+        assert "repro_clb_occupancy_mean" in text
+        rows = csv_path.read_text().strip().splitlines()
+        assert rows[0].startswith("task,config,op_id")
+        assert len(rows) == 1 + 3 * 2  # header + one row per operation
+        err = capsys.readouterr().err
+        assert "Prometheus" in err and "span rows" in err
+
+    def test_truncated_stream_warns(self, capsys):
+        assert main(["report", *SMALL_RUN, "--max-events", "10"]) == 0
+        captured = capsys.readouterr()
+        assert "dropped" in captured.err and "partial" in captured.err
+        assert "(truncated)" in captured.out
