@@ -16,11 +16,24 @@ fraction, residency).  :func:`emit` writes the accumulated run records
 as ``BENCH_<experiment>.json`` next to the ``.txt`` table, so
 regressions in *results*, *tail latency* and *simulator performance*
 are diffable by machines, not just eyeballs.
+
+Every :func:`run_system` call also runs under a **strict**
+:class:`repro.telemetry.Auditor` — the online invariant monitors abort
+the experiment at the first contract violation (double allocation,
+overlapping port transfers, unmatched save/restore, occupancy drift).
+Set ``REPRO_AUDIT=lenient`` to collect violations without aborting, or
+``REPRO_AUDIT=off`` to disable auditing entirely.
+
+When a committed baseline exists under ``benchmarks/baselines/``,
+:func:`emit` additionally prints a soft bench-diff against it (the hard
+gate is the CI ``bench-diff`` job; locally the diff is informational —
+wall-clock numbers are machine-dependent).
 """
 
 from __future__ import annotations
 
 import json
+import os
 import pathlib
 import time
 from typing import List, Optional, Tuple
@@ -29,14 +42,30 @@ from repro.core import ConfigRegistry, make_service
 from repro.osim import Kernel, RoundRobin, RunStats, Scheduler
 from repro.sim import Simulator
 from repro.telemetry import (
+    Auditor,
     EventBus,
     MetricsAggregator,
     Profiler,
     SpanBuilder,
+    diff_benches,
     run_summary,
 )
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+BASELINES_DIR = pathlib.Path(__file__).parent / "baselines"
+
+#: ``strict`` (default): abort at the first invariant violation;
+#: ``lenient``: record violations in the artifact; ``off``: no auditing.
+AUDIT_MODE = os.environ.get("REPRO_AUDIT", "strict")
+
+
+def make_auditor(bus: EventBus, clb_capacity: Optional[int] = None,
+                 device_port: bool = False) -> Optional[Auditor]:
+    """The experiment-wide auditor policy (honors ``REPRO_AUDIT``)."""
+    if AUDIT_MODE == "off":
+        return None
+    return Auditor(bus, mode=AUDIT_MODE, clb_capacity=clb_capacity,
+                   device_port=device_port)
 
 #: Run records accumulated since the last :func:`emit` (one experiment
 #: file usually makes several :func:`run_system` calls for its table).
@@ -78,6 +107,7 @@ def run_system(
     profiler = Profiler(bus)
     aggregator = MetricsAggregator(bus, clb_capacity=registry.arch.n_clbs)
     spans = SpanBuilder(bus)
+    auditor = make_auditor(bus, clb_capacity=registry.arch.n_clbs)
     sched = scheduler if scheduler is not None else RoundRobin(time_slice=1e-3)
     kernel = Kernel(
         sim,
@@ -88,7 +118,11 @@ def run_system(
     )
     kernel.spawn_all(list(tasks))
     t0 = time.perf_counter()
-    stats = kernel.run()
+    try:
+        stats = kernel.run()
+    finally:
+        if auditor is not None:
+            auditor.finish()
     wall = time.perf_counter() - t0
     _RUNS.append({
         "policy": policy,
@@ -102,7 +136,7 @@ def run_system(
         "useful_fraction": stats.useful_fraction,
         "metrics": service.metrics.as_dict(),
         "telemetry": profiler.summary(),
-        **run_summary(aggregator, spans),
+        **run_summary(aggregator, spans, auditor=auditor),
     })
     return stats, service
 
@@ -115,10 +149,15 @@ def emit(name: str, text: str) -> None:
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
     runs, _RUNS[:] = list(_RUNS), []
+    doc = {"experiment": name, "runs": runs}
     (RESULTS_DIR / f"BENCH_{name}.json").write_text(
-        json.dumps({"experiment": name, "runs": runs}, indent=2,
-                   sort_keys=True) + "\n"
+        json.dumps(doc, indent=2, sort_keys=True) + "\n"
     )
+    baseline = BASELINES_DIR / f"BENCH_{name}.json"
+    if baseline.exists():
+        diff = diff_benches(str(baseline), doc)
+        print()
+        print(diff.render())
 
 
 def monotone_nonincreasing(values, slack: float = 0.0) -> bool:

@@ -14,12 +14,13 @@ with the period (≈ period/2 plus detection latency), while scrub overhead
 falls as 1/period.
 """
 
-from _harness import emit, monotone_nondecreasing, monotone_nonincreasing
+from _harness import emit, make_auditor, monotone_nondecreasing, monotone_nonincreasing
 
 from repro.analysis import format_table, sweep
 from repro.core import ConfigRegistry, Scrubber, UpsetInjector
 from repro.device import Fpga, get_family
 from repro.sim import Simulator
+from repro.telemetry import EventBus
 
 HORIZON = 2.0          # simulated seconds
 UPSET_INTERVAL = 20e-3  # mean time between upsets
@@ -34,11 +35,20 @@ def run_point(period_ms: float):
     for i, name in enumerate(["a", "b"]):
         entry = reg.register_synthetic(name, 3, arch.height, n_state_bits=4)
         fpga.load(name, entry.bitstream.anchored_at(3 * i, 0))
+    # Strict audit of the device-port stream: every repair's unload +
+    # reload must serialize on the configuration port (the scrubber
+    # installs the device telemetry hook when given a bus).
+    bus = EventBus()
+    auditor = make_auditor(bus, device_port=True)
     inj = UpsetInjector(sim, fpga, mean_interval=UPSET_INTERVAL, seed=31,
-                        stop_after=HORIZON * 0.9)
+                        stop_after=HORIZON * 0.9, bus=bus)
     scrub = Scrubber(sim, fpga, period=period, injector=inj,
-                     stop_after=HORIZON)
-    sim.run()
+                     stop_after=HORIZON, bus=bus)
+    try:
+        sim.run()
+    finally:
+        if auditor is not None:
+            auditor.finish()
     exposures = [r.exposure for r in inj.records if r.exposure is not None]
     hits = [r for r in inj.records if r.handle is not None]
     return {

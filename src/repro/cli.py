@@ -14,6 +14,13 @@ Gives a downstream user the whole stack without writing Python:
   gauges (CLB occupancy, config-port busy) and the per-task phase
   breakdown of a run — live, or aggregated from a recorded JSONL
   stream; optionally exported as Prometheus text / per-span CSV;
+* ``audit``       — run the online invariant monitors
+  (:class:`repro.telemetry.Auditor`) over a live workload or a recorded
+  JSONL stream and print the violation report (exit 1 on any
+  error-severity violation);
+* ``bench-diff``  — compare two ``BENCH_*.json`` benchmark artifacts
+  run by run and fail on wall-clock / event-count regressions past a
+  threshold;
 * ``experiments`` — the experiment index (E1–E19) with the command that
   regenerates each table.
 
@@ -118,14 +125,17 @@ def cmd_compile(args) -> int:
 
 def _build_workload(args):
     """Shared setup of ``simulate``/``trace``: facade, tasks, policy kwargs."""
-    from .core import VirtualFpga
+    from .core import VirtualFpga, make_paged_circuit
     from .osim import uniform_workload
 
+    if args.policy == "pagination":  # friendly alias for the paper's term
+        args.policy = "paged"
     vf = VirtualFpga(args.family)
     for spec in args.circuits.split(","):
         vf.add_circuit(build_circuit(spec), seed=args.seed,
                        effort=args.effort, state_accessible=True)
     policy_kw = {}
+    task_circuits = vf.circuits
     if args.policy == "fixed":
         policy_kw["n_partitions"] = args.partitions
     if args.policy == "variable":
@@ -135,8 +145,18 @@ def _build_workload(args):
         policy_kw["resident_names"] = vf.circuits[:1]
     if args.policy == "multi":
         policy_kw["n_devices"] = args.devices
+    if args.policy == "paged":
+        # Demand paging runs one synthetic virtual circuit wider than the
+        # device; every task pages through it (see experiment E8).
+        circ = make_paged_circuit(
+            vf.registry, "virt", n_pages=args.pages,
+            page_width=args.page_width, pattern="zipf", seed=args.seed,
+        )
+        policy_kw["circuits"] = [circ]
+        policy_kw["frame_width"] = args.page_width
+        task_circuits = ["virt"]
     tasks = uniform_workload(
-        vf.circuits, n_tasks=args.tasks, ops_per_task=args.ops,
+        task_circuits, n_tasks=args.tasks, ops_per_task=args.ops,
         cpu_burst=args.cpu_ms * 1e-3, cycles=args.cycles, seed=args.seed,
     )
     return vf, tasks, policy_kw
@@ -276,6 +296,69 @@ def cmd_report(args) -> int:
     return 0
 
 
+def cmd_audit(args) -> int:
+    from .telemetry import AuditError, audit_events, read_jsonl
+
+    auditor = None
+    aborted = None
+    if args.input is not None:
+        # Replay a recording through the monitors — same verdicts as live.
+        auditor = audit_events(
+            read_jsonl(args.input), deadline=args.deadline,
+            device_port=args.device_port,
+        )
+        title = f"audit of {args.input}"
+    else:
+        vf, tasks, policy_kw = _build_workload(args)
+        mode = "strict" if args.strict else "lenient"
+        try:
+            vf.simulate(tasks, policy=args.policy, audit=mode,
+                        audit_deadline=args.deadline, **policy_kw)
+        except AuditError as exc:
+            aborted = exc
+        auditor = vf.last_auditor
+        auditor.finish()
+        title = f"audit of {args.policy}@{args.family}"
+
+    if args.json:
+        import json
+
+        print(json.dumps(auditor.summary(), indent=2, sort_keys=True))
+    else:
+        if auditor.ok:
+            print(f"{title}: {auditor.n_events} events, no violations")
+        else:
+            rows = [
+                {
+                    "time": f"{v.time:.9g}",
+                    "invariant": v.invariant,
+                    "severity": v.severity,
+                    "message": v.message,
+                }
+                for v in auditor.violations
+            ]
+            print(format_table(rows, title=title))
+    if aborted is not None:
+        print(f"strict audit aborted the run: {aborted}", file=sys.stderr)
+    return 1 if auditor.n_errors else 0
+
+
+def cmd_bench_diff(args) -> int:
+    from .telemetry import diff_benches
+
+    try:
+        diff = diff_benches(args.base, args.new, fail_on=args.fail_on)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"bench-diff: {exc}") from None
+    if args.json:
+        import json
+
+        print(json.dumps(diff.summary(), indent=2, sort_keys=True))
+    else:
+        print(diff.render())
+    return 0 if diff.ok else 1
+
+
 def cmd_experiments(_args) -> int:
     index = [
         ("E1", "dynamic loading vs configuration time", "test_e1_dynamic_loading.py"),
@@ -342,13 +425,18 @@ def make_parser() -> argparse.ArgumentParser:
         sp.add_argument("--policy", default="variable",
                         choices=["merged", "software", "nonpreemptable",
                                  "dynamic", "fixed", "variable", "overlay",
-                                 "multi"])
+                                 "paged", "pagination", "multi"],
+                        help="management policy (pagination = paged)")
         sp.add_argument("--tasks", type=int, default=6)
         sp.add_argument("--ops", type=int, default=4)
         sp.add_argument("--cycles", type=int, default=100_000)
         sp.add_argument("--cpu-ms", type=float, default=1.0)
         sp.add_argument("--partitions", type=int, default=2)
         sp.add_argument("--devices", type=int, default=2)
+        sp.add_argument("--pages", type=_positive_int, default=6,
+                        help="paged policy: pages of the virtual circuit")
+        sp.add_argument("--page-width", type=_positive_int, default=3,
+                        help="paged policy: columns per page/frame")
         sp.add_argument("--gc", default="compact",
                         choices=["none", "merge", "compact"])
         sp.add_argument("--layout", default="columns",
@@ -393,6 +481,41 @@ def make_parser() -> argparse.ArgumentParser:
     r.add_argument("--max-events", type=_positive_int, default=None,
                    help="ring-buffer bound on the recorded stream the "
                         "report aggregates (warns when events are dropped)")
+
+    a = sub.add_parser(
+        "audit",
+        help="verify stream invariants (double allocation, save/restore "
+             "pairing, port serialization, liveness, occupancy) over a "
+             "live run or a recorded JSONL stream",
+    )
+    add_workload_args(a)
+    a.add_argument("-i", "--input", default=None, metavar="EVENTS.jsonl",
+                   help="audit this recorded JSONL stream instead of "
+                        "running a workload (workload options are ignored)")
+    a.add_argument("--strict", action="store_true",
+                   help="abort the live run at the first error-severity "
+                        "violation (replay audits are always lenient)")
+    a.add_argument("--deadline", type=float, default=None, metavar="SECONDS",
+                   help="liveness bound: flag FPGA operations still open "
+                        "this long (sim time) after their request")
+    a.add_argument("--device-port", action="store_true",
+                   help="also serialize device-level ConfigPortOp events "
+                        "(bare-device streams, e.g. the scrubbing "
+                        "experiment)")
+    a.add_argument("--json", action="store_true",
+                   help="print the machine-readable violation report")
+
+    b = sub.add_parser(
+        "bench-diff",
+        help="compare two BENCH_*.json artifacts; exit 1 on wall-clock "
+             "or event-count regressions past the threshold",
+    )
+    b.add_argument("base", help="baseline BENCH_*.json")
+    b.add_argument("new", help="candidate BENCH_*.json")
+    b.add_argument("--fail-on", type=float, default=20.0, metavar="PCT",
+                   help="regression threshold in percent (default 20)")
+    b.add_argument("--json", action="store_true",
+                   help="print the machine-readable diff")
     return p
 
 
@@ -403,6 +526,8 @@ _COMMANDS = {
     "simulate": cmd_simulate,
     "trace": cmd_trace,
     "report": cmd_report,
+    "audit": cmd_audit,
+    "bench-diff": cmd_bench_diff,
     "experiments": cmd_experiments,
 }
 

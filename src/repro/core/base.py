@@ -91,6 +91,12 @@ class VfpgaServiceBase(FpgaService):
         self._idle_waiters = []
         #: handle -> anchor used at load time (for state addressing).
         self._anchors: Dict[str, tuple] = {}
+        #: State snapshot versioning: every save mints a fresh version
+        #: and the matching restore republishes it, so stream auditors
+        #: can prove restores write back exactly what was saved.
+        self._next_state_version = 0
+        #: (task name, handle) -> version of the last saved snapshot.
+        self._state_versions: Dict[tuple, int] = {}
 
     # -- kernel lifecycle -----------------------------------------------------
     def attach(self, kernel) -> None:
@@ -169,10 +175,11 @@ class VfpgaServiceBase(FpgaService):
             if task is not None:
                 task.accounting.fpga_reconfig_time += timing.seconds
                 task.accounting.n_reconfigs += 1
+            region = entry.bitstream.region
             self._publish(Load, task, handle=handle, anchor=tuple(anchor),
                           seconds=timing.seconds, frames=timing.n_frames,
-                          clbs=entry.bitstream.region.area,
-                          exclusive=exclusive)
+                          clbs=region.area, exclusive=exclusive,
+                          shape=(region.w, region.h))
             yield self.sim.timeout(timing.seconds)
 
     def _charge_unload(self, task: Optional[Task], handle: str):
@@ -192,15 +199,28 @@ class VfpgaServiceBase(FpgaService):
 
     def _charge_state(self, task: Optional[Task], seconds: float, kind: str,
                       handle: str = ""):
-        """Charge a state save or restore over the configuration port."""
+        """Charge a state save or restore over the configuration port.
+
+        Saves mint a fresh state version under (task, handle); the
+        matching restore republishes it — the pairing invariant the
+        :class:`~repro.telemetry.Auditor` verifies from the stream.
+        """
         if seconds <= 0:
             return
         with self._port.request() as req:
             yield req
             if task is not None:
                 task.accounting.fpga_state_time += seconds
-            event_cls = StateSave if kind == "save" else StateRestore
-            self._publish(event_cls, task, handle=handle, seconds=seconds)
+            key = (task.name if task is not None else "", handle)
+            if kind == "save":
+                self._next_state_version += 1
+                version = self._state_versions[key] = self._next_state_version
+                event_cls = StateSave
+            else:
+                version = self._state_versions.get(key, 0)
+                event_cls = StateRestore
+            self._publish(event_cls, task, handle=handle, seconds=seconds,
+                          version=version)
             yield self.sim.timeout(seconds)
 
     def _charge_io(self, task: Task, entry: ConfigEntry, op: FpgaOp):

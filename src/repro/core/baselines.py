@@ -92,10 +92,11 @@ class MergedResidentService(VfpgaServiceBase):
             self.boot_load_time += timing.seconds
             self._locks[entry.name] = Resource(self.sim, capacity=1)
             if arch.supports_partial:
+                region = entry.bitstream.region
                 self._publish(Load, None, handle=entry.name,
                               anchor=anchors[entry.name],
                               seconds=timing.seconds, frames=timing.n_frames,
-                              clbs=entry.bitstream.region.area)
+                              clbs=region.area, shape=(region.w, region.h))
         if not arch.supports_partial:
             # One full serial download configures everything at once —
             # published as a single Load carrying the circuit count.

@@ -62,7 +62,8 @@ class OverlayService(VfpgaServiceBase):
                 )
             timing = self.fpga.load(name, entry.bitstream.anchored_at(x, 0))
             self._publish(Load, None, handle=name, anchor=(x, 0),
-                          seconds=timing.seconds, frames=timing.n_frames)
+                          seconds=timing.seconds, frames=timing.n_frames,
+                          clbs=r.area, shape=(r.w, r.h))
             self._locks[name] = Resource(self.sim, capacity=1)
             x += r.w
         self._overlay_x = x

@@ -22,7 +22,7 @@ from typing import List, Optional
 
 from ..device import Fpga
 from ..sim import Simulator
-from ..telemetry import EventBus, Repair, ScrubPass, Upset, make_source
+from ..telemetry import ConfigPortOp, EventBus, Repair, ScrubPass, Upset, make_source
 
 __all__ = ["Scrubber", "UpsetInjector", "UpsetRecord"]
 
@@ -98,9 +98,17 @@ class UpsetInjector:
 class Scrubber:
     """Periodic readback-compare-repair process over one device.
 
-    Repairs reload the corrupted circuit's golden bitstream; the scrub
-    itself charges the device's readback time so availability numbers are
-    honest.
+    Repairs reload the corrupted circuit's golden bitstream; both the
+    readback pass and each repair's unload + reload charge their
+    configuration-port time, so availability numbers are honest and the
+    device-port stream stays serial (the
+    :class:`~repro.telemetry.Auditor` ``device_port`` monitor holds the
+    scrubbing experiment to this).
+
+    When a ``bus`` is given and the device has no telemetry hook yet (no
+    service owns it — the scrubbing experiment runs the device bare),
+    the scrubber installs one, so repairs appear as
+    :class:`~repro.telemetry.ConfigPortOp` events.
     """
 
     def __init__(
@@ -122,9 +130,18 @@ class Scrubber:
         self.n_scrubs = 0
         self.n_repairs = 0
         self.scrub_time_total = 0.0
+        self.repair_time_total = 0.0
         self.bus = bus
         self.source = make_source(type(self).__name__)
+        if bus is not None and fpga.telemetry is None:
+            fpga.telemetry = self._device_port_event
         sim.process(self._run(), name="scrubber")
+
+    def _device_port_event(self, op: str, handle: str, timing) -> None:
+        self._publish(ConfigPortOp(
+            self.sim.now, source=self.source, op=op, handle=handle,
+            seconds=timing.seconds, frames=timing.n_frames,
+        ))
 
     def _publish(self, event) -> None:
         if self.bus is not None:
@@ -146,8 +163,11 @@ class Scrubber:
                                     n_corrupted=len(corrupted)))
             for handle in corrupted:
                 golden = self.fpga.resident[handle]
-                self.fpga.unload(handle)
-                self.fpga.load(handle, golden)
+                t_unload = self.fpga.unload(handle)
+                yield self.sim.timeout(t_unload.seconds)
+                t_load = self.fpga.load(handle, golden)
+                yield self.sim.timeout(t_load.seconds)
+                self.repair_time_total += t_unload.seconds + t_load.seconds
                 self.n_repairs += 1
                 self._publish(Repair(self.sim.now, source=self.source,
                                      handle=handle))

@@ -21,9 +21,9 @@ from typing import Dict, Iterable, List, Mapping, Optional, Union
 
 from ..device import Architecture, DeviceView, Fpga, get_family
 from ..netlist import Netlist
-from ..osim import Kernel, RoundRobin, RunStats, Scheduler, Task
+from ..osim import DEFAULT_MAX_TRACE_EVENTS, Kernel, RoundRobin, RunStats, Scheduler, Task
 from ..sim import Simulator
-from ..telemetry import EventBus
+from ..telemetry import Auditor, EventBus
 from .baselines import (
     MergedResidentService,
     NonPreemptableService,
@@ -180,6 +180,10 @@ class VirtualFpga:
         context_switch: float = 20e-6,
         bus: Optional[EventBus] = None,
         telemetry_steps: bool = False,
+        audit: Union[None, str, Auditor] = None,
+        audit_deadline: Optional[float] = None,
+        op_deadline: Optional[float] = None,
+        max_trace_events: Optional[int] = DEFAULT_MAX_TRACE_EVENTS,
         **policy_kw,
     ) -> RunStats:
         """Run ``tasks`` under ``policy`` on a fresh simulated system.
@@ -190,9 +194,31 @@ class VirtualFpga:
         ``bus`` (with recorders/exporters already subscribed) to capture
         the run's full event stream; ``telemetry_steps`` additionally
         publishes one event per simulator step.
+
+        Auditing: ``audit`` may be ``"lenient"``/``"strict"`` (an
+        :class:`~repro.telemetry.Auditor` is created and subscribed
+        before the kernel boots, so boot downloads are audited too) or a
+        ready-made auditor to attach; it is available afterwards as
+        :attr:`last_auditor` with its end-of-stream checks already run.
+        ``audit_deadline`` is the auditor's liveness bound;
+        ``op_deadline`` arms the kernel's fail-fast watchdog (a
+        :class:`~repro.osim.DeadlockError` at the deadline instant).
         """
         sim = Simulator()
         service = make_service(policy, self.registry, **policy_kw)
+        auditor: Optional[Auditor] = None
+        if audit is not None:
+            if bus is None:
+                bus = EventBus()
+            if isinstance(audit, Auditor):
+                auditor = audit
+                if auditor.bus is None:
+                    auditor.bus = bus
+                    bus.subscribe_all(auditor)
+            else:
+                auditor = Auditor(bus, mode=audit, deadline=audit_deadline,
+                                  clb_capacity=self.arch.n_clbs)
+        self.last_auditor = auditor
         kernel = Kernel(
             sim,
             scheduler if scheduler is not None else RoundRobin(),
@@ -200,10 +226,16 @@ class VirtualFpga:
             context_switch=context_switch,
             bus=bus,
             telemetry_steps=telemetry_steps,
+            max_trace_events=max_trace_events,
+            op_deadline=op_deadline,
         )
         kernel.spawn_all(list(tasks))
         # Expose before running so a DeadlockError still leaves the
         # service inspectable (starvation post-mortems need it).
         self.last_service = service
         self.last_kernel = kernel
-        return kernel.run()
+        try:
+            return kernel.run()
+        finally:
+            if auditor is not None:
+                auditor.finish()

@@ -9,7 +9,7 @@ from .kernel import DeadlockError, Kernel
 from .scheduler import Fifo, PriorityScheduler, RoundRobin, Scheduler
 from .syscalls import FpgaService, NullFpgaService, SyscallError
 from .task import CpuBurst, FpgaOp, Step, Task, TaskAccounting, TaskState
-from .trace import RunStats, Trace, TraceEvent, run_stats
+from .trace import DEFAULT_MAX_TRACE_EVENTS, RunStats, Trace, TraceEvent, run_stats
 from .workload import (
     alternating_task,
     bursty_arrivals,
@@ -20,6 +20,7 @@ from .workload import (
 
 __all__ = [
     "CpuBurst",
+    "DEFAULT_MAX_TRACE_EVENTS",
     "DeadlockError",
     "Fifo",
     "FpgaOp",

@@ -29,7 +29,7 @@ from ..telemetry import (
 from .scheduler import Scheduler
 from .syscalls import FpgaService, SyscallError
 from .task import CpuBurst, FpgaOp, Task, TaskState
-from .trace import RunStats, Trace, run_stats
+from .trace import DEFAULT_MAX_TRACE_EVENTS, RunStats, Trace, run_stats
 
 __all__ = ["Kernel", "DeadlockError"]
 
@@ -71,11 +71,20 @@ class Kernel:
         bus to attach exporters/profilers before the run starts.
     max_trace_events:
         Bound the legacy trace to a ring of this many rows (see
-        :class:`~repro.osim.trace.Trace`).
+        :class:`~repro.osim.trace.Trace`).  Every entry point shares the
+        same default, :data:`~repro.osim.trace.DEFAULT_MAX_TRACE_EVENTS`
+        (DESIGN.md §7c); pass ``None`` for the legacy unbounded ring.
     telemetry_steps:
         Publish a :class:`~repro.telemetry.SimStep` event (with calendar
         depth) for every simulator step.  Off by default — it is the one
         high-frequency event source.
+    op_deadline:
+        Liveness watchdog in simulation seconds: if an FPGA operation is
+        still open that long after its :class:`~repro.telemetry.FpgaRequest`,
+        the kernel raises :class:`DeadlockError` at the deadline instant
+        instead of simulating a starving system to the bitter end
+        (``None`` = off).  The stream-side equivalent is the
+        :class:`~repro.telemetry.Auditor` ``deadline``.
     """
 
     #: ``source`` attribution of kernel-published events.
@@ -89,9 +98,12 @@ class Kernel:
         context_switch: float = 20e-6,
         trace: bool = True,
         bus: Optional[EventBus] = None,
-        max_trace_events: Optional[int] = None,
+        max_trace_events: Optional[int] = DEFAULT_MAX_TRACE_EVENTS,
         telemetry_steps: bool = False,
+        op_deadline: Optional[float] = None,
     ) -> None:
+        if op_deadline is not None and op_deadline <= 0:
+            raise ValueError("op_deadline must be positive (or None)")
         self.sim = sim
         self.scheduler = scheduler
         self.service = fpga_service
@@ -106,10 +118,14 @@ class Kernel:
             )
         self.service.attach(self)
         self.context_switch = context_switch
+        self.op_deadline = op_deadline
         self.tasks: List[Task] = []
         #: Span-correlation ids: every FpgaRequest/FpgaComplete pair
         #: shares one kernel-unique op id (see repro.telemetry.spans).
         self._next_op_id = 1
+        #: op_id -> (task name, config) of in-flight FPGA operations
+        #: (the op_deadline watchdog's view).
+        self._open_ops: Dict[int, tuple] = {}
         self._progress: Dict[int, _Progress] = {}
         self._wakeup: Optional[Event] = None
         self._dispatcher_started = False
@@ -227,6 +243,12 @@ class Kernel:
                     FpgaRequest(self.sim.now, task.name, source=self.SOURCE,
                                 config=step.config, op_id=op_id)
                 )
+                if self.op_deadline is not None:
+                    self._open_ops[op_id] = (task.name, step.config)
+                    self.sim.schedule_callback(
+                        self.op_deadline,
+                        lambda oid=op_id: self._check_op_deadline(oid),
+                    )
                 self.sim.process(
                     self._fpga_wrapper(task, step, op_id),
                     name=f"fpga:{task.name}",
@@ -235,8 +257,19 @@ class Kernel:
             else:  # pragma: no cover - guarded by Task typing
                 raise TypeError(f"unknown step {step!r}")
 
+    def _check_op_deadline(self, op_id: int) -> None:
+        open_op = self._open_ops.get(op_id)
+        if open_op is not None:
+            task, config = open_op
+            raise DeadlockError(
+                f"operation {op_id} ({config!r}) of task {task!r} is still "
+                f"open {self.op_deadline:g}s after its request "
+                f"(op_deadline liveness watchdog)"
+            )
+
     def _fpga_wrapper(self, task: Task, op: FpgaOp, op_id: int):
         yield from self.service.execute(task, op)
+        self._open_ops.pop(op_id, None)
         self.bus.publish(
             FpgaComplete(self.sim.now, task.name, source=self.SOURCE,
                          config=op.config, op_id=op_id)

@@ -17,7 +17,15 @@ from typing import Dict, Iterable, List, Optional
 
 from .task import Task
 
-__all__ = ["TraceEvent", "Trace", "RunStats", "run_stats"]
+__all__ = ["TraceEvent", "Trace", "RunStats", "run_stats",
+           "DEFAULT_MAX_TRACE_EVENTS"]
+
+#: The one default trace bound every entry point shares (see DESIGN.md
+#: §7c): large enough that no realistic experiment truncates (the whole
+#: benchmark suite stays under ~10^5 rows), small enough that a runaway
+#: million-task run cannot exhaust memory.  Pass ``max_trace_events=None``
+#: for the legacy unbounded behaviour.
+DEFAULT_MAX_TRACE_EVENTS = 1_000_000
 
 
 @dataclass(frozen=True)

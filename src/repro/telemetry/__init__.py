@@ -26,6 +26,20 @@ cross-checked only informally.  Now there is one spine:
 
 Every future policy gets instrumentation for free by composing the
 charging primitives in :class:`repro.core.base.VfpgaServiceBase`.
+
+On top of the passive stream, the audit layer makes it an active
+watchdog:
+
+* the :class:`Auditor` (:mod:`repro.telemetry.audit`) verifies the
+  OS contract online — disjoint residency, serial config port, paired
+  state save/restore versions, operation liveness, and a cross-check of
+  stream-derived occupancy against the metrics gauge — publishing
+  :class:`AuditViolation` events back onto the bus;
+* the :class:`AnomalyDetector` (:mod:`repro.telemetry.anomaly`) adds
+  rolling-window detectors (latency spikes, occupancy leaks,
+  starvation) as warning-severity violations;
+* :mod:`repro.telemetry.benchdiff` diffs two ``BENCH_*.json``
+  artifacts and gates CI on wall-clock / event-count regressions.
 """
 
 from .bus import EventBus, Subscription, make_source
@@ -65,7 +79,12 @@ from .events import (
     Upset,
     Wait,
     event_type,
+    register_event_type,
+    registered_event_types,
 )
+from .audit import INVARIANTS, AuditError, Auditor, AuditViolation, audit_events
+from .anomaly import AnomalyDetector
+from .benchdiff import BenchDiff, DiffRow, diff_benches, load_bench
 from .exporters import (
     JsonlExporter,
     from_record,
@@ -90,12 +109,19 @@ from .spans import SPAN_FIELDS, Span, SpanBuilder, build_spans
 
 __all__ = [
     "EVENT_TYPES",
+    "INVARIANTS",
     "LATENCY_BUCKETS",
     "SPAN_FIELDS",
     "Admit",
+    "AnomalyDetector",
+    "AuditError",
+    "AuditViolation",
+    "Auditor",
+    "BenchDiff",
     "BoardDispatch",
     "Compact",
     "ConfigPortOp",
+    "DiffRow",
     "Dispatch",
     "EventBus",
     "EventLog",
@@ -137,13 +163,18 @@ __all__ = [
     "Upset",
     "Wait",
     "aggregate_events",
+    "audit_events",
     "build_spans",
     "derive_metrics",
+    "diff_benches",
     "event_type",
     "from_record",
+    "load_bench",
     "log_buckets",
     "make_source",
     "read_jsonl",
+    "register_event_type",
+    "registered_event_types",
     "render_report",
     "run_summary",
     "spans_to_csv",

@@ -1,0 +1,207 @@
+"""Rolling-window anomaly detection over the telemetry stream.
+
+The :class:`~repro.telemetry.audit.Auditor` proves hard contract
+violations; this module flags *statistical* trouble — patterns that are
+legal event by event but pathological in aggregate.  Detections are
+published as warning-severity
+:class:`~repro.telemetry.audit.AuditViolation` events (invariant ids
+prefixed ``anomaly-``), so they ride the same export paths and the same
+``repro audit`` report.
+
+Detectors
+---------
+* ``anomaly-latency-spike`` — an operation's request→complete latency
+  exceeds ``spike_factor`` × the trailing-window p95 (the window holds
+  the last ``window`` completed latencies; detection starts once
+  ``min_samples`` have been seen).
+* ``anomaly-occupancy-leak`` — monotone residency drift: the *minimum*
+  number of resident configurations over each successive window keeps
+  strictly rising ``leak_windows`` times in a row — capacity that is
+  claimed and never returned to the free pool.
+* ``anomaly-starvation`` — an operation has been open longer than
+  ``starvation_factor`` × the median completed latency (flagged once
+  per op; complements the auditor's hard deadline).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+from .bus import EventBus
+from .events import (
+    Evict,
+    FpgaComplete,
+    FpgaRequest,
+    Load,
+    TelemetryEvent,
+)
+from .audit import AuditViolation
+
+__all__ = ["AnomalyDetector"]
+
+
+def _p95(values: List[float]) -> float:
+    ordered = sorted(values)
+    idx = max(0, min(len(ordered) - 1, int(0.95 * len(ordered)) - 1))
+    return ordered[idx] if len(ordered) * 0.95 == int(len(ordered) * 0.95) \
+        else ordered[min(len(ordered) - 1, int(0.95 * len(ordered)))]
+
+
+def _median(values: List[float]) -> float:
+    ordered = sorted(values)
+    n = len(ordered)
+    mid = n // 2
+    return ordered[mid] if n % 2 else (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+class AnomalyDetector:
+    """Bus subscriber publishing warning-severity anomaly events.
+
+    Parameters
+    ----------
+    bus:
+        Subscribe immediately when given (anomalies are published back
+        onto the same bus).
+    window:
+        Trailing-window size in completed operations (latency spike) and
+        in residency observations (occupancy leak).
+    min_samples:
+        Completed operations required before spike/starvation detection
+        starts — early operations always look slow.
+    spike_factor:
+        A completed latency above ``spike_factor × trailing p95`` is a
+        spike.
+    leak_windows:
+        Consecutive windows of strictly rising residency minima that
+        constitute a leak.
+    starvation_factor:
+        An open operation older than ``starvation_factor × median
+        completed latency`` is starving.
+    """
+
+    def __init__(
+        self,
+        bus: Optional[EventBus] = None,
+        window: int = 32,
+        min_samples: int = 8,
+        spike_factor: float = 3.0,
+        leak_windows: int = 3,
+        starvation_factor: float = 10.0,
+    ) -> None:
+        if window < 2 or min_samples < 2:
+            raise ValueError("window and min_samples must be at least 2")
+        self.bus = bus
+        self.window = window
+        self.min_samples = min_samples
+        self.spike_factor = spike_factor
+        self.leak_windows = leak_windows
+        self.starvation_factor = starvation_factor
+        self.anomalies: List[AuditViolation] = []
+        self._latencies: Deque[float] = deque(maxlen=window)
+        self._n_completed = 0
+        #: op_id -> (request time, task, config); flagged ids removed.
+        self._open: Dict[int, Tuple[float, str, str]] = {}
+        #: source -> current residency count.
+        self._residency: Dict[str, int] = {}
+        #: minima of the current observation window / past windows.
+        self._window_min: Optional[int] = None
+        self._window_fill = 0
+        self._minima: List[int] = []
+        if bus is not None:
+            bus.subscribe_all(self)
+
+    def _emit(self, time: float, invariant: str, message: str,
+              task: str = "", source: str = "") -> None:
+        v = AuditViolation(time, task, source=source, invariant=invariant,
+                           severity="warning", message=message)
+        self.anomalies.append(v)
+        if self.bus is not None:
+            self.bus.publish(v)
+
+    # -- folding -------------------------------------------------------------
+    def __call__(self, event: TelemetryEvent) -> None:
+        cls = type(event)
+        if cls is FpgaRequest:
+            self._open[event.op_id] = (event.time, event.task, event.config)
+        elif cls is FpgaComplete:
+            self._on_complete(event)
+        elif cls is Load:
+            self._observe_residency(event.source,
+                                    self._delta_load(event), event.time)
+        elif cls is Evict:
+            self._observe_residency(event.source, -1, event.time)
+        if self._n_completed >= self.min_samples and self._open:
+            self._check_starvation(event.time)
+
+    # -- latency spike --------------------------------------------------------
+    def _on_complete(self, e: FpgaComplete) -> None:
+        started = self._open.pop(e.op_id, None)
+        if started is None:
+            return
+        latency = e.time - started[0]
+        if len(self._latencies) >= self.min_samples:
+            p95 = _p95(list(self._latencies))
+            if p95 > 0 and latency > self.spike_factor * p95:
+                self._emit(
+                    e.time, "anomaly-latency-spike",
+                    f"operation {e.op_id} ({e.config!r}) took "
+                    f"{latency:.3g}s, over {self.spike_factor:g}x the "
+                    f"trailing p95 of {p95:.3g}s",
+                    task=e.task,
+                )
+        self._latencies.append(latency)
+        self._n_completed += 1
+
+    # -- occupancy leak -------------------------------------------------------
+    def _delta_load(self, e: Load) -> int:
+        if e.exclusive:
+            self._residency[e.source] = 0
+            return e.count
+        return e.count
+
+    def _observe_residency(self, source: str, delta: int,
+                           time: float) -> None:
+        current = max(0, self._residency.get(source, 0) + delta)
+        self._residency[source] = current
+        total = sum(self._residency.values())
+        if self._window_min is None or total < self._window_min:
+            self._window_min = total
+        self._window_fill += 1
+        if self._window_fill < self.window:
+            return
+        self._minima.append(self._window_min)
+        self._window_min = None
+        self._window_fill = 0
+        tail = self._minima[-(self.leak_windows + 1):]
+        if len(tail) == self.leak_windows + 1 and \
+                all(b > a for a, b in zip(tail, tail[1:])):
+            self._emit(
+                time, "anomaly-occupancy-leak",
+                f"residency floor rose {self.leak_windows} windows in a "
+                f"row ({' -> '.join(str(m) for m in tail)}): capacity is "
+                f"being claimed and never freed",
+                source=source,
+            )
+            self._minima.clear()
+
+    # -- starvation -----------------------------------------------------------
+    def _check_starvation(self, now: float) -> None:
+        median = _median(list(self._latencies))
+        if median <= 0:
+            return
+        bound = self.starvation_factor * median
+        starving = [
+            (op_id, started, task, config)
+            for op_id, (started, task, config) in self._open.items()
+            if now - started > bound
+        ]
+        for op_id, started, task, config in starving:
+            del self._open[op_id]  # flag once
+            self._emit(
+                now, "anomaly-starvation",
+                f"operation {op_id} ({config!r}) has been open for "
+                f"{now - started:.3g}s, over {self.starvation_factor:g}x "
+                f"the median completed latency of {median:.3g}s",
+                task=task,
+            )

@@ -1,0 +1,199 @@
+"""Compare two ``BENCH_*.json`` benchmark artifacts.
+
+``benchmarks/_harness.py`` emits one artifact per experiment: a list of
+run records carrying the reproduction recipe (policy + kwargs +
+scheduler), simulation results (makespan, turnaround, useful fraction),
+and simulator performance (wall-clock seconds, events published).  This
+module is the regression gate over those artifacts — used three ways:
+
+* ``repro bench-diff A.json B.json [--fail-on pct]`` (CI fails the
+  build on regression against ``benchmarks/baselines/``);
+* the harness itself, which prints a soft diff against the committed
+  baseline after every ``emit``;
+* tests, which feed synthetic artifacts.
+
+Gating semantics: ``wall_seconds`` regresses when it *grows* past the
+threshold (machine-dependent, so only growth is a failure);
+``n_events`` regresses when it *deviates* past the threshold in either
+direction (event counts are deterministic — any drift means the
+simulation changed).  Simulation results (makespan, mean turnaround,
+useful fraction) are reported but never gate: changing them is what
+experiments are *for*, and the benchmarks' own asserts guard their
+shape.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+__all__ = ["load_bench", "diff_benches", "BenchDiff", "DiffRow"]
+
+
+def load_bench(path: str) -> Dict[str, object]:
+    """Load one ``BENCH_*.json`` artifact, validating its shape."""
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    if not isinstance(doc, dict) or "runs" not in doc:
+        raise ValueError(f"{path}: not a BENCH artifact (no 'runs' list)")
+    return doc
+
+
+def _run_label(run: Dict[str, object], index: int) -> str:
+    policy = run.get("policy", "?")
+    kw = run.get("policy_kw") or {}
+    suffix = ",".join(f"{k}={v}" for k, v in sorted(kw.items()))
+    return f"run{index}:{policy}" + (f"[{suffix}]" if suffix else "")
+
+
+def _metric(run: Dict[str, object], dotted: str) -> Optional[float]:
+    node: object = run
+    for part in dotted.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    return float(node) if isinstance(node, (int, float)) else None
+
+
+#: (dotted metric path, gate mode): "growth" fails only on increase,
+#: "drift" fails on change in either direction, None never fails.
+METRICS: Tuple[Tuple[str, Optional[str]], ...] = (
+    ("wall_seconds", "growth"),
+    ("telemetry.n_events", "drift"),
+    ("makespan", None),
+    ("mean_turnaround", None),
+    ("useful_fraction", None),
+)
+
+
+@dataclass
+class DiffRow:
+    """One compared metric of one paired run."""
+
+    run: str
+    metric: str
+    base: Optional[float]
+    new: Optional[float]
+    delta_pct: Optional[float]
+    regressed: bool = False
+    note: str = ""
+
+
+@dataclass
+class BenchDiff:
+    """The full comparison of two artifacts."""
+
+    base_name: str
+    new_name: str
+    fail_on: float
+    rows: List[DiffRow] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> List[DiffRow]:
+        return [r for r in self.rows if r.regressed]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def summary(self) -> Dict[str, object]:
+        """JSON-ready view (what ``repro bench-diff --json`` prints)."""
+        return {
+            "base": self.base_name,
+            "new": self.new_name,
+            "fail_on_pct": self.fail_on,
+            "ok": self.ok,
+            "n_regressions": len(self.regressions),
+            "notes": list(self.notes),
+            "rows": [vars(r) for r in self.rows],
+        }
+
+    def render(self) -> str:
+        """Human-readable comparison table."""
+        from ..analysis import format_table
+
+        def fmt(v: Optional[float]) -> str:
+            return "-" if v is None else f"{v:.6g}"
+
+        table = [
+            {
+                "run": r.run,
+                "metric": r.metric,
+                "base": fmt(r.base),
+                "new": fmt(r.new),
+                "delta": "-" if r.delta_pct is None
+                else f"{r.delta_pct:+.1f}%",
+                "verdict": "REGRESSED" if r.regressed
+                else (r.note or "ok"),
+            }
+            for r in self.rows
+        ]
+        parts = [format_table(
+            table,
+            title=f"bench diff: {self.base_name} -> {self.new_name} "
+                  f"(fail on >{self.fail_on:g}%)",
+        )]
+        parts.extend(self.notes)
+        if self.regressions:
+            parts.append(
+                f"{len(self.regressions)} metric(s) regressed past "
+                f"{self.fail_on:g}%"
+            )
+        else:
+            parts.append("no regressions")
+        return "\n".join(parts)
+
+
+def diff_benches(
+    base: Union[str, Dict[str, object]],
+    new: Union[str, Dict[str, object]],
+    fail_on: float = 20.0,
+) -> BenchDiff:
+    """Compare two BENCH artifacts (paths or loaded docs) run by run."""
+    base_doc = load_bench(base) if isinstance(base, str) else base
+    new_doc = load_bench(new) if isinstance(new, str) else new
+    base_runs = list(base_doc.get("runs") or [])
+    new_runs = list(new_doc.get("runs") or [])
+    diff = BenchDiff(
+        base_name=str(base_doc.get("experiment", "base")),
+        new_name=str(new_doc.get("experiment", "new")),
+        fail_on=fail_on,
+    )
+    if len(base_runs) != len(new_runs):
+        diff.notes.append(
+            f"run count changed: {len(base_runs)} -> {len(new_runs)} "
+            f"(only the common prefix is compared)"
+        )
+    for i, (b, n) in enumerate(zip(base_runs, new_runs)):
+        label = _run_label(b, i)
+        if _run_label(n, i) != label:
+            diff.notes.append(
+                f"run {i} identity changed: {label} -> {_run_label(n, i)}"
+            )
+        for dotted, gate in METRICS:
+            bv, nv = _metric(b, dotted), _metric(n, dotted)
+            if bv is None and nv is None:
+                continue
+            delta = None
+            regressed = False
+            note = ""
+            if bv is not None and nv is not None:
+                delta = 0.0 if bv == nv else (
+                    float("inf") if bv == 0 else (nv - bv) / bv * 100.0
+                )
+                if gate == "growth":
+                    regressed = delta > fail_on
+                elif gate == "drift":
+                    regressed = abs(delta) > fail_on
+                elif gate is None:
+                    note = "informational"
+            else:
+                regressed = gate is not None
+                note = "metric missing on one side"
+            diff.rows.append(DiffRow(
+                run=label, metric=dotted, base=bv, new=nv,
+                delta_pct=delta, regressed=regressed, note=note,
+            ))
+    return diff

@@ -3,13 +3,21 @@
 Design goals, in order:
 
 1. **Low overhead** — publishing dispatches on the event's exact type via
-   one dict lookup; a bus with no subscribers for a type costs one failed
-   lookup.  Subscribing to a *base* class is expanded to its concrete
-   subtypes at subscribe time, so publish never walks an MRO.
+   one dict lookup into a lazily built per-type callback cache; a bus
+   with no subscribers for a type costs one failed lookup and one cached
+   empty tuple.  The ``issubclass`` walk happens once per (concrete
+   type, subscription set), never per publish.
 2. **Deterministic ordering** — subscribers are called in subscription
-   order, and events are delivered synchronously in publish order (the
-   simulator is single-threaded; so is the bus).
-3. **Composability** — several publishers (kernel + N board services)
+   order (typed subscribers before wildcards), and events are delivered
+   synchronously in publish order (the simulator is single-threaded; so
+   is the bus).
+3. **Open vocabulary** — dispatch is resolved against the *published*
+   event's class, so a subscriber registered for a base class (e.g.
+   :class:`TelemetryEvent` itself) sees subtypes registered after it
+   subscribed — late-defined events such as
+   :class:`~repro.telemetry.audit.AuditViolation` reach existing
+   recorders without re-subscription.
+4. **Composability** — several publishers (kernel + N board services)
    share one bus; subscribers that only care about one publisher filter
    on ``event.source``.
 """
@@ -17,9 +25,9 @@ Design goals, in order:
 from __future__ import annotations
 
 import itertools
-from typing import Callable, Dict, Iterable, List, Optional, Tuple, Type
+from typing import Callable, Dict, List, Optional, Tuple, Type
 
-from .events import EVENT_TYPES, TelemetryEvent
+from .events import TelemetryEvent
 
 __all__ = ["EventBus", "Subscription", "make_source"]
 
@@ -65,63 +73,65 @@ class EventBus:
     """Synchronous typed publish/subscribe hub."""
 
     def __init__(self) -> None:
-        #: exact event type -> callbacks registered for it.
-        self._by_type: Dict[Type[TelemetryEvent], Tuple[Callback, ...]] = {}
+        #: Ordered typed registrations: (callback, subscribed types).
+        self._typed: List[Tuple[Callback, Tuple[type, ...]]] = []
         #: wildcard callbacks (every event).
         self._all: Tuple[Callback, ...] = ()
+        #: concrete event type -> matching callbacks, resolved lazily.
+        self._cache: Dict[Type[TelemetryEvent], Tuple[Callback, ...]] = {}
         #: total events published (cheap health metric).
         self.n_published = 0
 
     # -- subscription -------------------------------------------------------
-    @staticmethod
-    def _expand(event_types: Iterable[type]) -> List[Type[TelemetryEvent]]:
-        out: List[Type[TelemetryEvent]] = []
+    def subscribe(self, callback: Callback, *event_types: type) -> Subscription:
+        """Register ``callback`` for ``event_types`` (or every event when
+        none are given).  Base classes match all their subtypes —
+        including types defined *after* this call.  Returns a
+        :class:`Subscription` handle."""
+        if not event_types:
+            self._all = self._all + (callback,)
+            self._cache.clear()
+            return Subscription(self, callback, None)
         for t in event_types:
             if not (isinstance(t, type) and issubclass(t, TelemetryEvent)):
                 raise TypeError(f"not a TelemetryEvent type: {t!r}")
-            matched = [c for c in EVENT_TYPES if issubclass(c, t)]
-            if not matched and t is not TelemetryEvent:
-                matched = [t]  # externally defined event type
-            for c in matched:
-                if c not in out:
-                    out.append(c)
-        return out
+        self._typed.append((callback, tuple(event_types)))
+        self._cache.clear()
+        return Subscription(self, callback, tuple(event_types))
 
-    def subscribe(self, callback: Callback, *event_types: type) -> Subscription:
-        """Register ``callback`` for ``event_types`` (or every event when
-        none are given).  Base classes expand to all their concrete
-        subtypes.  Returns a :class:`Subscription` handle."""
-        if not event_types:
-            self._all = self._all + (callback,)
-            return Subscription(self, callback, None)
-        expanded = tuple(self._expand(event_types))
-        for t in expanded:
-            self._by_type[t] = self._by_type.get(t, _EMPTY) + (callback,)
-        return Subscription(self, callback, expanded)
+    def subscribe_all(self, callback: Callback) -> Subscription:
+        """Register ``callback`` for every event, present and future —
+        an explicit spelling of the no-types :meth:`subscribe` form."""
+        return self.subscribe(callback)
 
     def unsubscribe(self, callback: Callback) -> None:
         """Remove every registration of ``callback`` (wildcard and typed)."""
         self._all = tuple(cb for cb in self._all if cb is not callback)
-        for t, cbs in list(self._by_type.items()):
-            kept = tuple(cb for cb in cbs if cb is not callback)
-            if kept:
-                self._by_type[t] = kept
-            else:
-                del self._by_type[t]
+        self._typed = [(cb, ts) for cb, ts in self._typed if cb is not callback]
+        self._cache.clear()
 
     @property
     def n_subscribers(self) -> int:
-        uniq = set(self._all)
-        for cbs in self._by_type.values():
-            uniq.update(cbs)
+        uniq = {id(cb) for cb in self._all}
+        uniq.update(id(cb) for cb, _ in self._typed)
         return len(uniq)
 
     # -- publishing ---------------------------------------------------------
+    def _resolve(self, cls: Type[TelemetryEvent]) -> Tuple[Callback, ...]:
+        cbs = [cb for cb, types in self._typed
+               if any(issubclass(cls, t) for t in types)]
+        cbs.extend(self._all)
+        resolved = tuple(cbs)
+        self._cache[cls] = resolved
+        return resolved
+
     def publish(self, event: TelemetryEvent) -> None:
         """Deliver ``event`` synchronously to every matching subscriber,
         in subscription order (typed subscribers before wildcards)."""
         self.n_published += 1
-        for cb in self._by_type.get(type(event), _EMPTY):
-            cb(event)
-        for cb in self._all:
+        cls = type(event)
+        cbs = self._cache.get(cls)
+        if cbs is None:
+            cbs = self._resolve(cls)
+        for cb in cbs:
             cb(event)

@@ -43,7 +43,8 @@ __all__ = [
     "BoardDispatch",
     # device / integrity
     "ConfigPortOp", "ScrubPass", "Repair", "Upset",
-    "EVENT_TYPES", "event_type",
+    "EVENT_TYPES", "event_type", "register_event_type",
+    "registered_event_types",
 ]
 
 
@@ -186,7 +187,9 @@ class Load(TelemetryEvent):
     ``exclusive`` marks a full-device download on a device without
     partial reconfiguration (everything previously resident ceased to
     exist) — together they let utilization gauges track CLB occupancy
-    from the stream alone.
+    from the stream alone.  ``shape`` is the region's ``(w, h)`` in
+    CLBs (``(0, 0)`` = unknown); with ``anchor`` it gives auditors the
+    exact rectangle the download occupies.
     """
 
     handle: str = ""
@@ -196,6 +199,7 @@ class Load(TelemetryEvent):
     count: int = 1
     clbs: int = 0
     exclusive: bool = False
+    shape: Tuple[int, int] = (0, 0)
     kind: ClassVar[Optional[str]] = "fpga-load"
 
     @property
@@ -220,10 +224,17 @@ class Evict(TelemetryEvent):
 
 @dataclass(frozen=True)
 class StateSave(TelemetryEvent):
-    """Flip-flop state readback over the configuration port."""
+    """Flip-flop state readback over the configuration port.
+
+    ``version`` is the service-minted state snapshot id: the matching
+    :class:`StateRestore` must carry the same version, so auditors can
+    prove a restore writes back exactly the state that was saved
+    (0 = unversioned, for streams recorded before versions existed).
+    """
 
     handle: str = ""
     seconds: float = 0.0
+    version: int = 0
     kind: ClassVar[Optional[str]] = "fpga-state-save"
 
     @property
@@ -233,10 +244,12 @@ class StateSave(TelemetryEvent):
 
 @dataclass(frozen=True)
 class StateRestore(TelemetryEvent):
-    """Flip-flop state restore over the configuration port."""
+    """Flip-flop state restore over the configuration port (see
+    :class:`StateSave` for ``version``)."""
 
     handle: str = ""
     seconds: float = 0.0
+    version: int = 0
     kind: ClassVar[Optional[str]] = "fpga-state-restore"
 
     @property
@@ -441,13 +454,41 @@ def _concrete_subtypes(cls: Type[TelemetryEvent]) -> List[Type[TelemetryEvent]]:
     return out
 
 
-#: Every registered event type (base classes expand to this set when
-#: subscribing).
+#: Every registered event type — a *snapshot* taken at import; late
+#: registrations (see :func:`register_event_type`) appear in
+#: :func:`registered_event_types`, which reads the live registry.
 EVENT_TYPES: Tuple[Type[TelemetryEvent], ...] = tuple(
     t for t in _concrete_subtypes(TelemetryEvent) if t is not TelemetryEvent
 )
 
 _BY_NAME: Dict[str, Type[TelemetryEvent]] = {t.__name__: t for t in EVENT_TYPES}
+
+
+def registered_event_types() -> Tuple[Type[TelemetryEvent], ...]:
+    """The live event-type registry (module-defined + late-registered)."""
+    return tuple(_BY_NAME.values())
+
+
+def register_event_type(cls: Type[TelemetryEvent]) -> Type[TelemetryEvent]:
+    """Register a :class:`TelemetryEvent` subclass defined outside this
+    module (e.g. :class:`~repro.telemetry.audit.AuditViolation`) so name
+    lookup — and therefore JSONL round-tripping — sees it.  Idempotent;
+    usable as a class decorator.  Registering a *different* class under
+    an existing name is an error."""
+    if not (isinstance(cls, type) and issubclass(cls, TelemetryEvent)):
+        raise TypeError(f"not a TelemetryEvent type: {cls!r}")
+    existing = _BY_NAME.get(cls.__name__)
+    if existing is not None:
+        if existing is not cls:
+            raise ValueError(
+                f"event type name {cls.__name__!r} is already registered "
+                f"by {existing!r}"
+            )
+        return cls
+    global EVENT_TYPES
+    _BY_NAME[cls.__name__] = cls
+    EVENT_TYPES = EVENT_TYPES + (cls,)
+    return cls
 
 
 def event_type(name: str) -> Type[TelemetryEvent]:

@@ -44,8 +44,14 @@ def per_task_rows(spans: SpanBuilder) -> List[Dict[str, object]]:
 
 
 def run_summary(agg: MetricsAggregator,
-                spans: Optional[SpanBuilder] = None) -> Dict[str, object]:
-    """JSON-ready reduction of a run (what ``BENCH_*.json`` embeds)."""
+                spans: Optional[SpanBuilder] = None,
+                auditor=None) -> Dict[str, object]:
+    """JSON-ready reduction of a run (what ``BENCH_*.json`` embeds).
+
+    Given an :class:`~repro.telemetry.audit.Auditor`, its violation
+    report is embedded under ``"audit"`` — benchmark artifacts record
+    not just the numbers but whether the run honored the contract.
+    """
     out: Dict[str, object] = {
         "latency": agg.latency_summary(),
         "utilization": agg.utilization_summary(),
@@ -57,6 +63,8 @@ def run_summary(agg: MetricsAggregator,
             "n_orphans": spans.n_orphans,
             "per_task": per_task_rows(spans),
         }
+    if auditor is not None:
+        out["audit"] = auditor.summary()
     return out
 
 

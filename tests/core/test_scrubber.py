@@ -55,10 +55,13 @@ class TestScrubber:
         scrub = Scrubber(sim, fpga, period=5e-3, injector=inj,
                          stop_after=0.1)
         sim.run()
-        assert scrub.n_scrubs > 5
+        # Repairs charge real port time (unload + golden reload), so
+        # fewer passes fit in the window than when repairs were free.
+        assert scrub.n_scrubs >= 5
         hits = [r for r in inj.records if r.handle is not None]
         assert hits, "expected some upsets to land on residents"
         assert scrub.n_repairs >= 1
+        assert scrub.repair_time_total > 0
         # After the last scrub pass, everything repairable was repaired.
         assert fpga.scrub() == [] or sim.now < 0.1
         for r in hits:

@@ -35,3 +35,27 @@ def test_quickstart_runs():
     assert "9 + 5 = 14" in out
     assert "hidden cost" in out
     assert "partitioned virtualization" in out
+
+
+def test_quickstart_report_and_trace_together(tmp_path):
+    """Regression guard: ``--report`` combined with ``--trace`` must
+    emit *both* artifacts from the same run (neither flag may silently
+    eat the other)."""
+    trace_path = tmp_path / "quickstart_trace.json"
+    proc = subprocess.run(
+        [sys.executable, "examples/quickstart.py",
+         "--report", "--trace", str(trace_path)],
+        cwd=pathlib.Path(__file__).parents[2],
+        capture_output=True, text=True, timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr
+    out = proc.stdout
+    # The trace file exists and is a real Chrome trace...
+    assert trace_path.exists(), "--trace was ignored"
+    import json
+
+    doc = json.loads(trace_path.read_text())
+    assert doc["traceEvents"]
+    # ...and the report tables were printed in the same run.
+    assert "p50" in out and "CLB occupancy" in out, "--report was ignored"
+    assert str(trace_path) in out

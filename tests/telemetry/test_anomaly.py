@@ -1,0 +1,109 @@
+"""Rolling-window anomaly detectors (:mod:`repro.telemetry.anomaly`)."""
+
+import pytest
+
+from repro.telemetry import (
+    AnomalyDetector,
+    AuditViolation,
+    Evict,
+    EventBus,
+    FpgaComplete,
+    FpgaRequest,
+    Load,
+)
+
+
+def complete_op(det, op_id, start, latency, task="t", config="c"):
+    det(FpgaRequest(start, task, config=config, op_id=op_id))
+    det(FpgaComplete(start + latency, task, config=config, op_id=op_id))
+
+
+class TestLatencySpike:
+    def test_spike_over_trailing_p95(self):
+        det = AnomalyDetector(min_samples=4, spike_factor=3.0)
+        for i in range(4):
+            complete_op(det, i + 1, start=i * 10.0, latency=1.0)
+        complete_op(det, 99, start=100.0, latency=10.0)
+        spikes = [a for a in det.anomalies
+                  if a.invariant == "anomaly-latency-spike"]
+        assert len(spikes) == 1
+        assert spikes[0].severity == "warning"
+
+    def test_quiet_before_min_samples(self):
+        """Early operations always look slow; they must not alarm."""
+        det = AnomalyDetector(min_samples=4, spike_factor=3.0)
+        complete_op(det, 1, start=0.0, latency=1.0)
+        complete_op(det, 2, start=10.0, latency=50.0)
+        assert det.anomalies == []
+
+    def test_steady_stream_is_quiet(self):
+        det = AnomalyDetector(min_samples=4, spike_factor=3.0)
+        for i in range(20):
+            complete_op(det, i + 1, start=i * 10.0, latency=1.0 + 0.01 * i)
+        assert det.anomalies == []
+
+
+class TestOccupancyLeak:
+    def test_monotone_rising_floor_is_a_leak(self):
+        det = AnomalyDetector(window=2, leak_windows=2)
+        for i in range(6):  # six loads, never an evict
+            det(Load(float(i), "t", source="svc", handle=f"h{i}"))
+        leaks = [a for a in det.anomalies
+                 if a.invariant == "anomaly-occupancy-leak"]
+        assert len(leaks) == 1
+
+    def test_balanced_load_evict_is_quiet(self):
+        det = AnomalyDetector(window=2, leak_windows=2)
+        for i in range(6):
+            det(Load(float(i), "t", source="svc", handle="h"))
+            det(Evict(float(i) + 0.5, "t", source="svc", handle="h"))
+        assert det.anomalies == []
+
+    def test_exclusive_load_resets_residency(self):
+        det = AnomalyDetector(window=2, leak_windows=2)
+        for i in range(6):
+            det(Load(float(i), "t", source="svc", handle=f"h{i}",
+                     exclusive=True))
+        assert det.anomalies == []
+
+
+class TestStarvation:
+    def test_old_open_op_flags_once(self):
+        det = AnomalyDetector(min_samples=2, starvation_factor=10.0)
+        complete_op(det, 1, start=0.0, latency=1.0)
+        complete_op(det, 2, start=2.0, latency=1.0)
+        det(FpgaRequest(10.0, "starved", config="c", op_id=3))
+        det(Load(30.0, "t", source="svc", handle="h"))
+        starving = [a for a in det.anomalies
+                    if a.invariant == "anomaly-starvation"]
+        assert len(starving) == 1
+        assert starving[0].task == "starved"
+        det(Load(50.0, "t", source="svc", handle="h2"))
+        assert len([a for a in det.anomalies
+                    if a.invariant == "anomaly-starvation"]) == 1
+
+    def test_normal_wait_is_quiet(self):
+        det = AnomalyDetector(min_samples=2, starvation_factor=10.0)
+        complete_op(det, 1, start=0.0, latency=1.0)
+        complete_op(det, 2, start=2.0, latency=1.0)
+        det(FpgaRequest(10.0, "t", config="c", op_id=3))
+        det(Load(12.0, "t", source="svc", handle="h"))
+        assert det.anomalies == []
+
+
+class TestBusIntegration:
+    def test_publishes_warnings_back_to_the_bus(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(seen.append, AuditViolation)
+        det = AnomalyDetector(bus, min_samples=4, spike_factor=3.0)
+        for i in range(4):
+            complete_op(det, i + 1, start=i * 10.0, latency=1.0)
+        bus.publish(FpgaRequest(100.0, "t", config="c", op_id=99))
+        bus.publish(FpgaComplete(110.0, "t", config="c", op_id=99))
+        assert [v.invariant for v in seen] == ["anomaly-latency-spike"]
+        assert seen[0].severity == "warning"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AnomalyDetector(window=1)

@@ -95,6 +95,77 @@ class TestEventBus:
         with pytest.raises(KeyError):
             event_type("NotAnEvent")
 
+    def test_subscribe_all_alias(self):
+        bus = EventBus()
+        got = []
+        sub = bus.subscribe_all(got.append)
+        bus.publish(Load(1.0))
+        bus.publish(Hit(2.0))
+        sub.close()
+        bus.publish(Hit(3.0))
+        assert [type(e) for e in got] == [Load, Hit]
+
+    def test_base_subscriber_sees_audit_violations(self):
+        """AuditViolation is a TelemetryEvent subtype registered *after*
+        the core event module loaded: base-class subscribers must still
+        receive it (the subclass-dispatch edge the audit layer leans on —
+        traces/logs record the auditor's verdicts like any other event)."""
+        from repro.telemetry import AuditViolation
+
+        bus = EventBus()
+        base_got, exact_got = [], []
+        bus.subscribe(base_got.append, TelemetryEvent)
+        bus.subscribe(exact_got.append, AuditViolation)
+        v = AuditViolation(1.0, "t", invariant="double-allocation",
+                           message="boom")
+        bus.publish(v)
+        assert base_got == [v] and exact_got == [v]
+
+    def test_late_registered_subtype_reaches_base_subscriber(self):
+        """A subtype minted after subscription (and even after the bus
+        already dispatched its base) still reaches base subscribers —
+        the publish cache must not freeze the type lattice."""
+        from repro.telemetry import register_event_type
+
+        bus = EventBus()
+        got = []
+        bus.subscribe(got.append, PageFault)
+        bus.publish(PageFault(1.0, "t", unit="p0"))  # warms the cache
+
+        from dataclasses import dataclass
+
+        @register_event_type
+        @dataclass(frozen=True)
+        class LateFault(PageFault):
+            pass
+
+        bus.publish(LateFault(2.0, "t", unit="p1"))
+        assert [type(e).__name__ for e in got] == ["PageFault", "LateFault"]
+
+    def test_register_event_type_round_trips(self):
+        """Late-registered types decode from their recorded name."""
+        from repro.telemetry import register_event_type, registered_event_types
+
+        from dataclasses import dataclass
+
+        @register_event_type
+        @dataclass(frozen=True)
+        class CustomProbe(TelemetryEvent):
+            payload: int = 0
+
+        assert event_type("CustomProbe") is CustomProbe
+        assert CustomProbe in registered_event_types()
+        # Idempotent; a clashing name with a different class is rejected.
+        assert register_event_type(CustomProbe) is CustomProbe
+
+        @dataclass(frozen=True)
+        class Impostor(TelemetryEvent):
+            pass
+
+        Impostor.__name__ = "CustomProbe"
+        with pytest.raises(ValueError):
+            register_event_type(Impostor)
+
 
 class TestMakeSource:
     def test_unique_and_prefixed(self):

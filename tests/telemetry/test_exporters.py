@@ -41,7 +41,7 @@ class TestJsonl:
         assert rec == {
             "event": "Load", "time": 0.001, "task": "t0", "source": "Svc#1",
             "handle": "a3", "anchor": [2, 0], "seconds": 0.004, "frames": 3,
-            "count": 1, "clbs": 0, "exclusive": False,
+            "count": 1, "clbs": 0, "exclusive": False, "shape": [0, 0],
         }
 
     def test_roundtrip_through_jsonl(self):

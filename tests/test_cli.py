@@ -168,3 +168,121 @@ class TestReport:
         captured = capsys.readouterr()
         assert "dropped" in captured.err and "partial" in captured.err
         assert "(truncated)" in captured.out
+
+
+class TestAudit:
+    def test_live_audit_clean(self, capsys):
+        assert main(["audit", *SMALL_RUN]) == 0
+        out = capsys.readouterr().out
+        assert "no violations" in out
+
+    def test_pagination_policy_audits_clean(self, capsys):
+        """The acceptance case: demand paging under the online monitors."""
+        rc = main(["audit", "--policy", "pagination", "--tasks", "2",
+                   "--ops", "2", "--cycles", "20000"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "paged" in out and "no violations" in out
+
+    def test_json_report(self, capsys):
+        import json
+        assert main(["audit", *SMALL_RUN, "--json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["n_violations"] == 0
+        assert summary["n_events"] > 0
+
+    def test_replay_of_recording_is_clean(self, capsys, tmp_path):
+        events = tmp_path / "events.jsonl"
+        assert main(["trace", *SMALL_RUN, "--format", "jsonl",
+                     "-o", str(events)]) == 0
+        capsys.readouterr()
+        assert main(["audit", "-i", str(events)]) == 0
+        assert "no violations" in capsys.readouterr().out
+
+    def test_corrupted_recording_fails(self, capsys, tmp_path):
+        """Dropping an eviction from the recording makes the next load of
+        that area a double allocation: exit code 1 + violation table."""
+        events = tmp_path / "events.jsonl"
+        assert main(["trace", *SMALL_RUN, "--format", "jsonl",
+                     "-o", str(events)]) == 0
+        lines = events.read_text().splitlines()
+        import json
+        kept, dropped = [], 0
+        for line in lines:
+            if not dropped and json.loads(line)["event"] == "Evict":
+                dropped += 1
+                continue
+            kept.append(line)
+        assert dropped == 1
+        events.write_text("\n".join(kept) + "\n")
+        capsys.readouterr()
+        assert main(["audit", "-i", str(events)]) == 1
+        out = capsys.readouterr().out
+        assert "double-allocation" in out
+
+    def test_strict_live_audit_passes_clean_run(self, capsys):
+        assert main(["audit", *SMALL_RUN, "--strict"]) == 0
+
+
+class TestBenchDiff:
+    def make_bench(self, tmp_path, name, wall, events=1000):
+        import json
+        doc = {
+            "experiment": "demo",
+            "runs": [{
+                "policy": "dynamic", "policy_kw": {},
+                "wall_seconds": wall, "makespan": 0.5,
+                "mean_turnaround": 0.1, "useful_fraction": 0.4,
+                "telemetry": {"n_events": events},
+            }],
+        }
+        path = tmp_path / name
+        path.write_text(json.dumps(doc))
+        return str(path)
+
+    def test_identical_artifacts_pass(self, capsys, tmp_path):
+        a = self.make_bench(tmp_path, "a.json", wall=1.0)
+        b = self.make_bench(tmp_path, "b.json", wall=1.0)
+        assert main(["bench-diff", a, b]) == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_25pct_wall_regression_fails(self, capsys, tmp_path):
+        """The acceptance case: a synthetic 25% wall-clock regression
+        must exit non-zero at the default 20% threshold."""
+        a = self.make_bench(tmp_path, "a.json", wall=1.0)
+        b = self.make_bench(tmp_path, "b.json", wall=1.25)
+        assert main(["bench-diff", a, b]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSED" in out and "+25.0%" in out
+
+    def test_wall_improvement_passes(self, capsys, tmp_path):
+        """Wall-clock gates on growth only — getting faster is fine."""
+        a = self.make_bench(tmp_path, "a.json", wall=1.0)
+        b = self.make_bench(tmp_path, "b.json", wall=0.5)
+        assert main(["bench-diff", a, b]) == 0
+
+    def test_event_count_drift_fails_both_ways(self, tmp_path, capsys):
+        """Event counts are deterministic: shrinking is drift too."""
+        a = self.make_bench(tmp_path, "a.json", wall=1.0, events=1000)
+        b = self.make_bench(tmp_path, "b.json", wall=1.0, events=700)
+        assert main(["bench-diff", a, b]) == 1
+        assert "telemetry.n_events" in capsys.readouterr().out
+
+    def test_fail_on_threshold(self, tmp_path, capsys):
+        a = self.make_bench(tmp_path, "a.json", wall=1.0)
+        b = self.make_bench(tmp_path, "b.json", wall=1.25)
+        assert main(["bench-diff", a, b, "--fail-on", "30"]) == 0
+
+    def test_json_output(self, tmp_path, capsys):
+        import json
+        a = self.make_bench(tmp_path, "a.json", wall=1.0)
+        b = self.make_bench(tmp_path, "b.json", wall=1.25)
+        assert main(["bench-diff", a, b, "--json"]) == 1
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["ok"] is False
+        assert summary["n_regressions"] == 1
+
+    def test_missing_file_errors(self, tmp_path):
+        a = self.make_bench(tmp_path, "a.json", wall=1.0)
+        with pytest.raises(SystemExit):
+            main(["bench-diff", a, str(tmp_path / "nope.json")])
