@@ -26,25 +26,29 @@ CP = 25e-9
 N_CONFIGS = 8
 
 
+def run_rect_workload(circuit_height: int, layout: str, **extra_kw):
+    arch = get_family("VF12")
+    reg = ConfigRegistry(arch)
+    names = []
+    for i in range(N_CONFIGS):
+        reg.register_synthetic(
+            f"c{i}", 4, circuit_height, critical_path=CP
+        )
+        names.append(f"c{i}")
+    tasks = uniform_workload(
+        names, n_tasks=8, ops_per_task=4, cpu_burst=0.5e-3,
+        cycles=120_000, seed=29,
+    )
+    return run_system(
+        reg, tasks, "variable", layout=layout, gc="compact",
+        hold_mode="op", **extra_kw,
+    )
+
+
 def run_point(circuit_height: int):
     row = {}
     for layout in ("columns", "rect"):
-        arch = get_family("VF12")
-        reg = ConfigRegistry(arch)
-        names = []
-        for i in range(N_CONFIGS):
-            reg.register_synthetic(
-                f"c{i}", 4, circuit_height, critical_path=CP
-            )
-            names.append(f"c{i}")
-        tasks = uniform_workload(
-            names, n_tasks=8, ops_per_task=4, cpu_burst=0.5e-3,
-            cycles=120_000, seed=29,
-        )
-        stats, service = run_system(
-            reg, tasks, "variable", layout=layout, gc="compact",
-            hold_mode="op",
-        )
+        stats, service = run_rect_workload(circuit_height, layout)
         row[f"{layout}_ms"] = round(stats.makespan * 1e3, 2)
         row[f"{layout}_loads"] = service.metrics.n_loads
         row[f"{layout}_resident"] = len(service.residents)
@@ -71,4 +75,41 @@ def test_e18_2d_partitioning(benchmark):
     assert by_h[4]["rect_loads"] < by_h[4]["columns_loads"]
     # Shape 3: the 2-D layout keeps more circuits resident.
     assert by_h[4]["rect_resident"] > by_h[4]["columns_resident"]
+
+
+def test_e18_placement_strategies(benchmark):
+    """2-D placement-engine cross-product on the short-circuit point
+    (height 4 of 12), where packing decisions matter most."""
+    strategies = ["bottom-left", "best-fit", "skyline"]
+
+    def run_one(placement: str):
+        stats, service = run_rect_workload(4, "rect",
+                                           placement=placement)
+        return {
+            "makespan_ms": round(stats.makespan * 1e3, 2),
+            "loads": service.metrics.n_loads,
+            "resident": len(service.residents),
+            "fragmentation": round(service.layout.fragmentation, 3),
+        }
+
+    result = benchmark.pedantic(
+        lambda: sweep("placement", strategies, run_one),
+        rounds=1, iterations=1,
+    )
+    base_stats, base_service = run_rect_workload(4, "rect")
+    emit("e18_placement", format_table(
+        result.rows,
+        title="E18b: 2-D placement strategies, variable partitions "
+              f"({N_CONFIGS} circuits of 4x4 on a 12x12 device)",
+    ))
+    by = {r["placement"]: r for r in result.rows}
+    # The engine default (bottom-left) reproduces the unparameterized run.
+    assert by["bottom-left"]["loads"] == base_service.metrics.n_loads
+    assert by["bottom-left"]["makespan_ms"] == pytest.approx(
+        round(base_stats.makespan * 1e3, 2)
+    )
+    # Every strategy completes the workload with multiple residents.
+    for row in result.rows:
+        assert row["loads"] >= N_CONFIGS
+        assert row["resident"] > 1
 

@@ -136,15 +136,22 @@ def _build_workload(args):
                        effort=args.effort, state_accessible=True)
     policy_kw = {}
     task_circuits = vf.circuits
+    if args.policy in ("fixed", "variable", "overlay", "paged"):
+        # The pluggable victim-selection engine (seeded for "random").
+        policy_kw["replacement"] = args.replacement
+        policy_kw["replacement_seed"] = args.seed
     if args.policy == "fixed":
         policy_kw["n_partitions"] = args.partitions
     if args.policy == "variable":
         policy_kw["gc"] = args.gc
         policy_kw["layout"] = args.layout
+        if args.placement is not None:
+            policy_kw["placement"] = args.placement
     if args.policy == "overlay":
         policy_kw["resident_names"] = vf.circuits[:1]
     if args.policy == "multi":
         policy_kw["n_devices"] = args.devices
+        policy_kw["dispatch"] = args.board_dispatch
     if args.policy == "paged":
         # Demand paging runs one synthetic virtual circuit wider than the
         # device; every task pages through it (see experiment E8).
@@ -441,6 +448,20 @@ def make_parser() -> argparse.ArgumentParser:
                         choices=["none", "merge", "compact"])
         sp.add_argument("--layout", default="columns",
                         choices=["columns", "rect"])
+        sp.add_argument("--placement", default=None,
+                        choices=["bottom-left", "best-fit", "skyline",
+                                 "column-first-fit", "column-best-fit",
+                                 "column-worst-fit"],
+                        help="placement engine (variable policy; default: "
+                             "the layout's native strategy)")
+        sp.add_argument("--replacement", default="lru",
+                        choices=["lru", "mru", "fifo", "clock", "random"],
+                        help="victim-selection engine (fixed/variable/"
+                             "overlay/paged; random is seeded by --seed)")
+        sp.add_argument("--board-dispatch", default="affinity",
+                        choices=["affinity", "least-busy", "round-robin",
+                                 "least-occupancy"],
+                        help="board-selection engine (multi policy)")
         sp.add_argument("--effort", default="greedy", choices=["greedy", "sa"])
         sp.add_argument("--seed", type=int, default=0)
 

@@ -29,6 +29,15 @@ from .baselines import (
     SoftwareOnlyService,
     shelf_pack,
 )
+from .dispatch import (
+    AffinityDispatch,
+    BoardDispatchPolicy,
+    DISPATCH_POLICIES,
+    LeastBusyDispatch,
+    LeastOccupancyDispatch,
+    RoundRobinDispatch,
+    make_dispatch,
+)
 from .dynamic_loading import DynamicLoadingService
 from .errors import (
     AdmissionError,
@@ -46,6 +55,19 @@ from .partitioning import (
     ColumnAllocator,
     FixedPartitionService,
     VariablePartitionService,
+)
+from .placement import (
+    BestFitPlacement,
+    BottomLeftPlacement,
+    ColumnBestFit,
+    ColumnFirstFit,
+    ColumnWorstFit,
+    PLACEMENT_STRATEGIES,
+    PlacementRequest,
+    PlacementStrategy,
+    Proposal,
+    SkylinePlacement,
+    make_placement,
 )
 from .policies import (
     ClockReplacement,
@@ -79,14 +101,24 @@ from .vfpga import VirtualFpga, make_preemption_policy, make_service
 __all__ = [
     "Adaptive",
     "AdmissionError",
+    "AffinityDispatch",
+    "BestFitPlacement",
+    "BoardDispatchPolicy",
+    "BottomLeftPlacement",
     "CapacityError",
     "ClockReplacement",
     "ColumnAllocator",
+    "ColumnBestFit",
+    "ColumnFirstFit",
+    "ColumnWorstFit",
     "ConfigEntry",
     "ConfigRegistry",
+    "DISPATCH_POLICIES",
     "DynamicLoadingService",
     "FifoReplacement",
     "FixedPartitionService",
+    "LeastBusyDispatch",
+    "LeastOccupancyDispatch",
     "LruReplacement",
     "MergedResidentService",
     "MruReplacement",
@@ -94,21 +126,27 @@ __all__ = [
     "MuxedTransfer",
     "NonPreemptableService",
     "OverlayService",
+    "PLACEMENT_STRATEGIES",
     "PagedCircuit",
     "PagedVfpgaService",
     "PinMultiplexer",
+    "PlacementRequest",
+    "PlacementStrategy",
     "PreemptDecision",
     "PreemptionPolicy",
+    "Proposal",
     "RandomReplacement",
     "RectAllocator",
     "ReplacementPolicy",
     "Rollback",
+    "RoundRobinDispatch",
     "RunToCompletion",
     "SaveRestore",
     "Scrubber",
     "SegmentedCircuit",
     "SegmentedVfpgaService",
     "ServiceMetrics",
+    "SkylinePlacement",
     "SoftwareOnlyService",
     "StateAccessError",
     "UnknownConfigError",
@@ -119,7 +157,9 @@ __all__ = [
     "VfpgaServiceBase",
     "VirtualFpga",
     "access_trace",
+    "make_dispatch",
     "make_paged_circuit",
+    "make_placement",
     "make_preemption_policy",
     "make_replacement",
     "make_segmented_circuit",

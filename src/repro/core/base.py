@@ -18,6 +18,7 @@ Physical honesty rules enforced here:
 
 from __future__ import annotations
 
+import inspect
 from typing import Dict, Optional, Set, Type
 
 from ..device import Fpga
@@ -137,6 +138,116 @@ class VfpgaServiceBase(FpgaService):
 
     def resident_handles(self) -> Set[str]:
         return set(self.fpga.resident)
+
+    # -- shared demand-fault pipeline -------------------------------------------
+    #: Optional serialization of fault service.  Policies with fixed
+    #: frames/segments set a :class:`~repro.sim.Resource` at attach so
+    #: victim choices are sane; policies relying on post-yield
+    #: re-validation (variable partitioning) leave it ``None``.
+    _fault_lock: Optional[Resource] = None
+
+    def ensure_resident(self, task: Optional[Task], key: str):
+        """Demand-fault pipeline shared by every demand-loading policy:
+        **lookup → place (evict-until-fits) → load**, re-validating
+        residency after every yield of simulation time.
+
+        The concrete policy supplies the bookkeeping through five hooks
+        (pagination, segmentation and variable partitioning differ only
+        here — the control flow above is identical and lives once):
+
+        * ``_resident_lookup(task, key)`` — the current residency token
+          (frame index, anchor, resident record …) or ``None``;
+        * ``_note_hit(task, key, token)`` — a lookup succeeded: pin,
+          touch the replacement policy, publish ``Hit`` — whatever the
+          policy's vocabulary is;
+        * ``_publish_fault(task, key)`` — the typed fault event (may be
+          a no-op where the miss is reported at load time);
+        * ``_place_unit(task, key)`` (generator) — one attempt to find a
+          spot, evicting victims as needed (charging their unload time);
+          returns the spot or ``None`` when the policy must wait;
+        * ``_undo_place(task, key, spot)`` — roll back a spot that lost
+          a residency race while placement yielded;
+        * ``_load_unit(task, key, spot)`` — commit the mapping and
+          charge (or schedule) the download; returns the residency
+          token.  May be a generator or a plain function — the latter
+          when the download is deferred (e.g. under a residency lock);
+        * ``_wait_for_space(task, key)`` (generator) — block until a
+          departure could change the picture.
+
+        When :attr:`_fault_lock` is set the whole fault service runs
+        under it; either way the pipeline re-validates residency after
+        every placement attempt, so policies without the lock stay
+        race-free through re-validation alone.
+        """
+        token = self._resident_lookup(task, key)
+        if token is not None:
+            self._note_hit(task, key, token)
+            return token
+        if self._fault_lock is not None:
+            with self._fault_lock.request() as req:
+                yield req
+                token = yield from self._fault_service(task, key)
+            return token
+        token = yield from self._fault_service(task, key)
+        return token
+
+    def _fault_service(self, task: Optional[Task], key: str):
+        """The fault path of :meth:`ensure_resident` (post-lookup)."""
+        token = self._resident_lookup(task, key)
+        if token is not None:
+            # Resolved while we waited for fault service.
+            self._note_hit(task, key, token)
+            return token
+        self._publish_fault(task, key)
+        while True:
+            spot = yield from self._place_unit(task, key)
+            token = self._resident_lookup(task, key)
+            if token is not None:
+                # Raced: `key` became resident while placement yielded.
+                if spot is not None:
+                    self._undo_place(task, key, spot)
+                self._note_hit(task, key, token)
+                return token
+            if spot is not None:
+                loaded = self._load_unit(task, key, spot)
+                if inspect.isgenerator(loaded):
+                    loaded = yield from loaded
+                return loaded
+            yield from self._wait_for_space(task, key)
+
+    # Hook defaults: a policy must override everything it reaches.
+    def _resident_lookup(self, task: Optional[Task], key: str):
+        raise NotImplementedError(
+            f"{type(self).__name__} uses ensure_resident() but does not "
+            "implement _resident_lookup()"
+        )
+
+    def _note_hit(self, task: Optional[Task], key: str, token) -> None:
+        pass
+
+    def _publish_fault(self, task: Optional[Task], key: str) -> None:
+        pass
+
+    def _place_unit(self, task: Optional[Task], key: str):
+        raise NotImplementedError(
+            f"{type(self).__name__} uses ensure_resident() but does not "
+            "implement _place_unit()"
+        )
+
+    def _undo_place(self, task: Optional[Task], key: str, spot) -> None:
+        pass
+
+    def _load_unit(self, task: Optional[Task], key: str, spot):
+        raise NotImplementedError(
+            f"{type(self).__name__} uses ensure_resident() but does not "
+            "implement _load_unit()"
+        )
+
+    def _wait_for_space(self, task: Optional[Task], key: str):
+        raise NotImplementedError(
+            f"{type(self).__name__} uses ensure_resident() but does not "
+            "implement _wait_for_space()"
+        )
 
     # -- fabric idleness (full-serial devices) --------------------------------------
     def _begin_exec(self, handle: str) -> None:

@@ -1,0 +1,133 @@
+"""Pluggable board dispatch for multi-device virtualization.
+
+The paper's "virtual computer" vision (§2) composes many FPGA boards
+behind one service; *which board gets the next operation* is a scheduling
+policy in its own right, mirroring the placement/replacement split of the
+single-board engines.  A :class:`BoardDispatchPolicy` sees the
+configuration name, the per-board services, and the current in-flight
+counts, and answers with a board index.
+
+``affinity`` (the seed behavior) prefers a board already holding the
+configuration and falls back to least-busy; ``least-busy`` ignores
+residency entirely; ``round-robin`` is the oblivious control arm; and
+``least-occupancy`` targets the board with the most free CLBs — the
+greedy capacity balancer of Le & Youn's resource-manager separation.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, Sequence, Type, Union
+
+__all__ = [
+    "BoardDispatchPolicy",
+    "AffinityDispatch",
+    "LeastBusyDispatch",
+    "RoundRobinDispatch",
+    "LeastOccupancyDispatch",
+    "make_dispatch",
+    "DISPATCH_POLICIES",
+]
+
+
+class BoardDispatchPolicy(ABC):
+    """Choose the board an operation runs on."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def choose(
+        self,
+        config: str,
+        boards: Sequence,
+        in_flight: Sequence[int],
+    ) -> int:
+        """Board index for an operation on ``config``.
+
+        ``boards`` are the per-board services (each answers
+        ``is_resident(config)`` and exposes ``fpga``); ``in_flight[i]``
+        counts operations currently dispatched to board ``i``.
+        """
+
+
+def _least_busy(in_flight: Sequence[int]) -> int:
+    return min(range(len(in_flight)), key=lambda i: (in_flight[i], i))
+
+
+class LeastBusyDispatch(BoardDispatchPolicy):
+    """Fewest outstanding operations; ties go to the lowest index."""
+
+    name = "least-busy"
+
+    def choose(self, config: str, boards: Sequence,
+               in_flight: Sequence[int]) -> int:
+        return _least_busy(in_flight)
+
+
+class AffinityDispatch(LeastBusyDispatch):
+    """A board already holding the configuration wins (no reload);
+    otherwise least-busy — the seed dispatcher, preserved exactly."""
+
+    name = "affinity"
+
+    def choose(self, config: str, boards: Sequence,
+               in_flight: Sequence[int]) -> int:
+        for i, board in enumerate(boards):
+            if board.is_resident(config):
+                return i
+        return _least_busy(in_flight)
+
+
+class RoundRobinDispatch(BoardDispatchPolicy):
+    """Strict rotation regardless of residency or load."""
+
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def choose(self, config: str, boards: Sequence,
+               in_flight: Sequence[int]) -> int:
+        i = self._next % len(boards)
+        self._next = (i + 1) % len(boards)
+        return i
+
+
+class LeastOccupancyDispatch(BoardDispatchPolicy):
+    """Most free CLBs wins (capacity balancing); ties to lowest index."""
+
+    name = "least-occupancy"
+
+    def choose(self, config: str, boards: Sequence,
+               in_flight: Sequence[int]) -> int:
+        return min(
+            range(len(boards)),
+            key=lambda i: (-boards[i].fpga.free_area(), in_flight[i], i),
+        )
+
+
+#: Registry of instantiable dispatch policies (CLI sweep space).
+DISPATCH_POLICIES: Dict[str, Type[BoardDispatchPolicy]] = {
+    cls.name: cls
+    for cls in (
+        AffinityDispatch,
+        LeastBusyDispatch,
+        RoundRobinDispatch,
+        LeastOccupancyDispatch,
+    )
+}
+
+
+def make_dispatch(
+    name: Union[str, BoardDispatchPolicy],
+) -> BoardDispatchPolicy:
+    """Instantiate a dispatch policy by name (instances pass through)."""
+    if isinstance(name, BoardDispatchPolicy):
+        return name
+    try:
+        return DISPATCH_POLICIES[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown board dispatch policy {name!r}; "
+            f"have {sorted(DISPATCH_POLICIES)}"
+        ) from None

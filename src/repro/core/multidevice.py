@@ -15,11 +15,12 @@ block, so "a rack of boards under variable partitioning" is one line.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Union
 
 from ..osim import FpgaOp, FpgaService, Task
 from ..telemetry import BoardDispatch, make_source
 from .base import VfpgaServiceBase
+from .dispatch import BoardDispatchPolicy, make_dispatch
 from .dynamic_loading import DynamicLoadingService
 from .metrics import ServiceMetrics
 from .registry import ConfigRegistry
@@ -39,6 +40,10 @@ class MultiDeviceService(FpgaService):
     board_factory:
         Builds one per-board service from the registry (defaults to
         :class:`DynamicLoadingService`).  Called once per board.
+    dispatch:
+        A :class:`~repro.core.dispatch.BoardDispatchPolicy` name or
+        instance; the default ``"affinity"`` (configuration-resident
+        board first, then least-busy) is the seed behavior.
     """
 
     def __init__(
@@ -48,10 +53,12 @@ class MultiDeviceService(FpgaService):
         board_factory: Optional[
             Callable[[ConfigRegistry], VfpgaServiceBase]
         ] = None,
+        dispatch: Union[str, BoardDispatchPolicy] = "affinity",
     ) -> None:
         if n_devices < 1:
             raise ValueError("need at least one device")
         self.registry = registry
+        self.dispatch = make_dispatch(dispatch)
         factory = board_factory or (lambda reg: DynamicLoadingService(reg))
         self.boards: List[VfpgaServiceBase] = [
             factory(registry) for _ in range(n_devices)
@@ -82,12 +89,13 @@ class MultiDeviceService(FpgaService):
 
     # -- placement --------------------------------------------------------------
     def _choose_board(self, config: str) -> int:
-        # Affinity: a board already holding the configuration wins …
-        for i, board in enumerate(self.boards):
-            if board.is_resident(config):
-                return i
-        # … otherwise the board with the fewest outstanding operations.
-        return min(range(len(self.boards)), key=lambda i: (self._in_flight[i], i))
+        i = self.dispatch.choose(config, self.boards, self._in_flight)
+        if not 0 <= i < len(self.boards):
+            raise ValueError(
+                f"dispatch policy {self.dispatch.name!r} chose board {i} "
+                f"of {len(self.boards)}"
+            )
+        return i
 
     def execute(self, task: Task, op: FpgaOp):
         i = self._choose_board(op.config)

@@ -6,27 +6,45 @@ functions which are typically rarely used or mutually exclusive."
 
 :class:`OverlayService` pins a chosen set of hot configurations at boot
 (packed from the left edge) and dynamically loads everything else into the
-remaining columns, one circuit at a time with configuration affinity —
-i.e. the overlay area behaves like a miniature
-:class:`~repro.core.dynamic_loading.DynamicLoadingService`.
+remaining columns — the *overlay area* — which is divided into
+``overlay_slots`` equal column slots, each caching one circuit at a time
+with configuration affinity.  With the default single slot the overlay
+area behaves like a miniature
+:class:`~repro.core.dynamic_loading.DynamicLoadingService` (the seed
+behavior); more slots turn it into a small fixed-partition cache whose
+victims are chosen by the pluggable ``replacement`` engine.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Union
 
 from ..osim import FpgaOp, Task
 from ..sim import Resource
-from ..telemetry import Hit, Load, Miss, OpStart
+from ..telemetry import Hit, Load, Miss, OpStart, Placement
 from .base import VfpgaServiceBase
 from .errors import CapacityError
-from .registry import ConfigRegistry
+from .policies import ReplacementPolicy, make_replacement
+from .registry import ConfigEntry, ConfigRegistry
 
 __all__ = ["OverlayService"]
 
 
+@dataclass
+class _Slot:
+    """One overlay slot's bookkeeping."""
+
+    index: int
+    x: int
+    width: int
+    lock: Resource
+    resident: Optional[str] = None
+    last_used: float = 0.0
+
+
 class OverlayService(VfpgaServiceBase):
-    """Pinned hot set + single-slot dynamic overlay area.
+    """Pinned hot set + replacement-managed dynamic overlay slots.
 
     Parameters
     ----------
@@ -36,17 +54,36 @@ class OverlayService(VfpgaServiceBase):
         Configurations pinned for the whole run (the "common functions").
         They are packed side by side from column 0; the rest of the device
         is the overlay area.
+    replacement:
+        Victim selection among idle overlay slots — a
+        :class:`~repro.core.policies.ReplacementPolicy` name or instance
+        (default ``"lru"``, the seed behavior).
+    replacement_seed:
+        Seed for stochastic replacement policies.
+    overlay_slots:
+        Equal column slots the overlay area is divided into (default 1 —
+        one circuit resident at a time, exactly the seed service).
     """
 
     def __init__(
-        self, registry: ConfigRegistry, resident_names: Sequence[str], **kw
+        self,
+        registry: ConfigRegistry,
+        resident_names: Sequence[str],
+        replacement: Union[str, ReplacementPolicy] = "lru",
+        replacement_seed: int = 0,
+        overlay_slots: int = 1,
+        **kw,
     ) -> None:
         super().__init__(registry, **kw)
+        if overlay_slots < 1:
+            raise ValueError("need at least one overlay slot")
         self.resident_names = list(dict.fromkeys(resident_names))
-        self._locks: Dict[str, Resource] = {}
-        self._overlay_lock: Optional[Resource] = None
+        self.replacement = make_replacement(replacement,
+                                            seed=replacement_seed)
+        self.overlay_slots = overlay_slots
+        self._locks = {}
+        self._slots: List[_Slot] = []
         self._overlay_x = 0
-        self._overlay_resident: Optional[str] = None
 
     def attach(self, kernel) -> None:
         super().attach(kernel)
@@ -67,13 +104,51 @@ class OverlayService(VfpgaServiceBase):
             self._locks[name] = Resource(self.sim, capacity=1)
             x += r.w
         self._overlay_x = x
-        self._overlay_lock = Resource(self.sim, capacity=1)
+        slot_width = self.overlay_width // self.overlay_slots
+        self._slots = [
+            _Slot(
+                index=i,
+                x=x + i * slot_width,
+                width=slot_width,
+                lock=Resource(self.sim, capacity=1),
+            )
+            for i in range(self.overlay_slots)
+        ]
 
     @property
     def overlay_width(self) -> int:
         return self.fpga.arch.width - self._overlay_x
 
     # ------------------------------------------------------------------
+    def _choose_slot(self, entry: ConfigEntry) -> _Slot:
+        """Affinity → empty idle → replacement victim → shortest queue
+        (mirrors :meth:`FixedPartitionService._choose` over the slots)."""
+        r = entry.bitstream.region
+        fitting = [
+            s for s in self._slots
+            if r.w <= s.width and r.h <= self.fpga.arch.height
+        ]
+        if not fitting:
+            raise CapacityError(
+                f"configuration {entry.name!r} ({r.w} cols) exceeds the "
+                f"overlay area ({self.overlay_width} cols in "
+                f"{self.overlay_slots} slot(s))"
+            )
+        for s in fitting:  # affinity: never reload a resident circuit
+            if s.resident == entry.name:
+                return s
+        idle = [
+            s for s in fitting
+            if s.lock.count == 0 and s.lock.queue_length == 0
+        ]
+        if idle:
+            empty = [s for s in idle if s.resident is None]
+            if empty:
+                return empty[0]
+            victim = self.replacement.victim([s.index for s in idle])
+            return next(s for s in idle if s.index == victim)
+        return min(fitting, key=lambda s: (s.lock.queue_length, s.index))
+
     def execute(self, task: Task, op: FpgaOp):
         entry = self.registry.get(op.config)
         t0 = self.sim.now
@@ -88,32 +163,35 @@ class OverlayService(VfpgaServiceBase):
                 yield from self._charge_exec(task, entry,
                                              self.op_seconds(entry, op))
             return
-        # Overlay path: one rarely-used circuit resident at a time.
-        r = entry.bitstream.region
-        if r.w > self.overlay_width or r.h > self.fpga.arch.height:
-            raise CapacityError(
-                f"configuration {op.config!r} ({r.w} cols) exceeds the "
-                f"overlay area ({self.overlay_width} cols)"
-            )
-        with self._overlay_lock.request() as req:
+        # Overlay path: one rarely-used circuit per slot.
+        slot = self._choose_slot(entry)
+        handle = f"ov:{op.config}"
+        with slot.lock.request() as req:
             yield req
             self._charge_wait(task, t0)
-            if self._overlay_resident != op.config:
+            slot.last_used = self.sim.now
+            self.replacement.on_access(slot.index)
+            if slot.resident != op.config:
                 self._publish(Miss, task, handle=op.config)
-                if self._overlay_resident is not None:
-                    yield from self._charge_unload(
-                        task, f"ov:{self._overlay_resident}"
-                    )
-                    self._overlay_resident = None
-                yield from self._charge_load(
-                    task, entry, (self._overlay_x, 0), handle=f"ov:{op.config}"
+                if slot.resident is not None:
+                    yield from self._charge_unload(task,
+                                                   f"ov:{slot.resident}")
+                    slot.resident = None
+                    self.replacement.on_remove(slot.index)
+                self._publish(
+                    Placement, task, strategy="overlay-slot",
+                    handle=handle, anchor=(slot.x, 0),
+                    candidates=len(self._slots), fragmentation=0.0,
                 )
-                self._overlay_resident = op.config
+                yield from self._charge_load(
+                    task, entry, (slot.x, 0), handle=handle
+                )
+                slot.resident = op.config
+                self.replacement.on_insert(slot.index)
             else:
                 self._publish(Hit, task, handle=op.config)
             task.current_config = op.config
             yield from self._charge_io(task, entry, op)
             yield from self._charge_exec(
-                task, entry, self.op_seconds(entry, op),
-                handle=f"ov:{op.config}",
+                task, entry, self.op_seconds(entry, op), handle=handle,
             )

@@ -22,7 +22,7 @@ from ..osim import FpgaOp, Task
 from ..sim import Resource
 from .base import VfpgaServiceBase
 from .errors import CapacityError, UnknownConfigError
-from ..telemetry import OpStart, PageAccess, PageFault
+from ..telemetry import OpStart, PageAccess, PageFault, Placement
 from .policies import ReplacementPolicy, access_trace, make_replacement
 from .registry import ConfigRegistry
 
@@ -95,6 +95,8 @@ class PagedVfpgaService(VfpgaServiceBase):
         ``device_width // frame_width`` frames.
     replacement:
         Policy instance or name ("fifo", "lru", "mru", "clock", "random").
+    replacement_seed:
+        Seed for stochastic replacement policies (reproducible sweeps).
     cycles_per_access:
         Clock cycles of useful work per page access.
     """
@@ -105,6 +107,7 @@ class PagedVfpgaService(VfpgaServiceBase):
         circuits: List[PagedCircuit],
         frame_width: int,
         replacement: Union[str, ReplacementPolicy] = "lru",
+        replacement_seed: int = 0,
         cycles_per_access: int = 256,
         **kw,
     ) -> None:
@@ -126,11 +129,8 @@ class PagedVfpgaService(VfpgaServiceBase):
                         f"page {page!r} ({r.w}x{r.h}) exceeds the frame "
                         f"({frame_width}x{arch.height})"
                     )
-        self.replacement = (
-            make_replacement(replacement)
-            if isinstance(replacement, str)
-            else replacement
-        )
+        self.replacement = make_replacement(replacement,
+                                            seed=replacement_seed)
         self.cycles_per_access = cycles_per_access
         #: frame index -> resident page name (None = empty).
         self.frame_holds: List[Optional[str]] = [None] * self.n_frames
@@ -166,53 +166,59 @@ class PagedVfpgaService(VfpgaServiceBase):
                 if not ev.triggered:
                     ev.succeed()
 
-    def _ensure_page(self, task: Task, page: str):
-        """Make ``page`` resident and return its (pinned) frame index."""
-        frame = self.page_table.get(page)
-        if frame is not None:
-            self._pin(frame)
-            self.replacement.on_access(page)
-            return frame
-        # Page fault — serialize fault service so victim choices are sane.
-        with self._fault_lock.request() as req:
-            yield req
-            frame = self.page_table.get(page)  # may have been fetched meanwhile
-            if frame is not None:
-                self._pin(frame)
-                self.replacement.on_access(page)
-                return frame
-            self._publish(PageFault, task, unit=page)
-            while True:
-                empty = [i for i, p in enumerate(self.frame_holds) if p is None]
-                if empty:
-                    frame = empty[0]
-                    break
-                unpinned = [
-                    p for i, p in enumerate(self.frame_holds)
-                    if p is not None and i not in self._pins
-                ]
-                if unpinned:
-                    victim = self.replacement.victim(unpinned)
-                    frame = self.page_table[victim]
-                    # Claim the mapping atomically, then pay for the I/O.
-                    del self.page_table[victim]
-                    self.frame_holds[frame] = None
-                    self.replacement.on_remove(victim)
-                    yield from self._charge_unload(task, victim)
-                    break
-                ev = self.sim.event()
-                self._frame_waiters.append(ev)
-                yield ev
-            # Claim before yielding so concurrent faults pick other frames.
-            self.frame_holds[frame] = page
-            self.page_table[page] = frame
-            self._pin(frame)
-            entry = self.registry.get(page)
-            yield from self._charge_load(
-                task, entry, self._frame_anchor(frame), handle=page
-            )
-            self.replacement.on_insert(page)
-            return frame
+    # -- demand-fault pipeline hooks (see VfpgaServiceBase.ensure_resident) --
+    def _resident_lookup(self, task, page):
+        return self.page_table.get(page)
+
+    def _note_hit(self, task, page, frame) -> None:
+        self._pin(frame)
+        self.replacement.on_access(page)
+
+    def _publish_fault(self, task, page) -> None:
+        self._publish(PageFault, task, unit=page)
+
+    def _place_unit(self, task, page):
+        """One free frame: the first empty one, else a single eviction
+        (the mapping is claimed atomically before the unload I/O)."""
+        empty = [i for i, p in enumerate(self.frame_holds) if p is None]
+        if empty:
+            return empty[0]
+        unpinned = [
+            p for i, p in enumerate(self.frame_holds)
+            if p is not None and i not in self._pins
+        ]
+        if not unpinned:
+            return None
+        victim = self.replacement.victim(unpinned)
+        frame = self.page_table[victim]
+        del self.page_table[victim]
+        self.frame_holds[frame] = None
+        self.replacement.on_remove(victim)
+        yield from self._charge_unload(task, victim)
+        return frame
+
+    def _load_unit(self, task, page, frame):
+        # Claim before yielding so concurrent faults pick other frames.
+        self.frame_holds[frame] = page
+        self.page_table[page] = frame
+        self._pin(frame)
+        entry = self.registry.get(page)
+        self._publish(
+            Placement, task, strategy="fixed-frame", handle=page,
+            anchor=self._frame_anchor(frame),
+            candidates=self.frame_holds.count(None) + 1,
+            fragmentation=0.0,
+        )
+        yield from self._charge_load(
+            task, entry, self._frame_anchor(frame), handle=page
+        )
+        self.replacement.on_insert(page)
+        return frame
+
+    def _wait_for_space(self, task, page):
+        ev = self.sim.event()
+        self._frame_waiters.append(ev)
+        yield ev
 
     # -- execution ------------------------------------------------------------------
     def execute(self, task: Task, op: FpgaOp):
@@ -233,7 +239,7 @@ class PagedVfpgaService(VfpgaServiceBase):
         for index in trace:
             page = circ.page_names[index]
             self._publish(PageAccess, task, unit=page)
-            frame = yield from self._ensure_page(task, page)
+            frame = yield from self.ensure_resident(task, page)
             try:
                 entry = self.registry.get(page)
                 if first_io:

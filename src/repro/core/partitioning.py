@@ -22,14 +22,30 @@ paper's one-dimensional split/merge narrative.  The allocator itself
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..device import Rect
 from ..osim import FpgaOp, Task
 from ..sim import Resource
-from ..telemetry import Compact, Hit, Miss, OpStart, Relocate, Suspend
+from ..telemetry import (
+    Compact,
+    Hit,
+    Miss,
+    OpStart,
+    Placement,
+    Relocate,
+    Suspend,
+)
 from .base import VfpgaServiceBase
 from .errors import CapacityError, VfpgaError
+from .placement import (
+    SPAN_FITS,
+    PlacementRequest,
+    PlacementStrategy,
+    Proposal,
+    make_placement,
+)
+from .policies import ReplacementPolicy, make_replacement
 from .registry import ConfigEntry, ConfigRegistry
 
 __all__ = [
@@ -56,6 +72,8 @@ class ColumnAllocator:
         self.width = width
         self.coalesce = coalesce
         self.free_spans: List[Tuple[int, int]] = [(0, width)]
+        #: The most recent successful placement decision (telemetry).
+        self.last_proposal: Optional[Proposal] = None
 
     # -- queries ------------------------------------------------------------
     @property
@@ -73,25 +91,42 @@ class ColumnAllocator:
         return 0.0 if total == 0 else 1.0 - self.largest_free / total
 
     # -- allocation ------------------------------------------------------------
-    def allocate(self, w: int, fit: str = "first") -> Optional[int]:
-        """Reserve ``w`` columns; returns the anchor x or None."""
+    def _strategy(self, fit) -> PlacementStrategy:
+        """Resolve a fit name (``first``/``best``/``worst``) or any
+        :class:`PlacementStrategy` instance to a strategy object."""
+        if isinstance(fit, PlacementStrategy):
+            return fit
+        try:
+            return SPAN_FITS[fit]()
+        except KeyError:
+            raise ValueError(f"unknown fit policy {fit!r}") from None
+
+    def allocate(self, w: int, fit="first") -> Optional[int]:
+        """Reserve ``w`` columns; returns the anchor x or None.
+
+        ``fit`` is a seed fit name or a placement-strategy instance; the
+        strategy only *chooses* among the persistent free spans — the
+        split bookkeeping (remainder span, sorted order) lives here.
+        """
         if w < 1:
             raise ValueError("width must be >= 1")
-        candidates = [(x, fw) for x, fw in self.free_spans if fw >= w]
-        if not candidates:
+        strategy = self._strategy(fit)
+        proposal = strategy.propose(
+            PlacementRequest(
+                w=w, h=1, bounds_w=self.width, bounds_h=1,
+                free_spans=tuple(self.free_spans),
+            )
+        )
+        if proposal is None:
+            self.last_proposal = None
             return None
-        if fit == "first":
-            x, fw = candidates[0]
-        elif fit == "best":
-            x, fw = min(candidates, key=lambda c: (c[1], c[0]))
-        elif fit == "worst":
-            x, fw = max(candidates, key=lambda c: (c[1], -c[0]))
-        else:
-            raise ValueError(f"unknown fit policy {fit!r}")
+        x = proposal.anchor[0]
+        fw = next(fw for fx, fw in self.free_spans if fx == x)
         self.free_spans.remove((x, fw))
         if fw > w:
             self.free_spans.append((x + w, fw - w))
             self.free_spans.sort()
+        self.last_proposal = proposal
         return x
 
     def reserve(self, x: int, w: int) -> None:
@@ -150,19 +185,25 @@ class FixedPartitionService(VfpgaServiceBase):
     """Boot-time partition table; each partition caches one configuration.
 
     Requests prefer the partition already holding their configuration
-    (affinity), then an idle empty/LRU partition, then the fitting
-    partition with the shortest queue.  Circuits wider than every
-    partition are rejected with :class:`CapacityError` — under fixed
-    partitioning such tasks would wait forever (§4).
+    (affinity), then an idle empty partition, then an idle victim chosen
+    by the pluggable ``replacement`` policy (default ``"lru"`` — the
+    seed behavior), then the fitting partition with the shortest queue.
+    Circuits wider than every partition are rejected with
+    :class:`CapacityError` — under fixed partitioning such tasks would
+    wait forever (§4).
     """
 
     def __init__(
         self,
         registry: ConfigRegistry,
         partition_widths: Sequence[int],
+        replacement: Union[str, ReplacementPolicy] = "lru",
+        replacement_seed: int = 0,
         **kw,
     ) -> None:
         super().__init__(registry, **kw)
+        self.replacement = make_replacement(replacement,
+                                            seed=replacement_seed)
         if not partition_widths:
             raise ValueError("need at least one partition")
         if sum(partition_widths) > self.fpga.arch.width:
@@ -217,7 +258,8 @@ class FixedPartitionService(VfpgaServiceBase):
             empty = [p for p in idle if p.resident is None]
             if empty:
                 return empty[0]
-            return min(idle, key=lambda p: p.last_used)  # LRU victim
+            victim = self.replacement.victim([p.index for p in idle])
+            return next(p for p in idle if p.index == victim)
         return min(fitting, key=lambda p: (p.lock.queue_length, p.index))
 
     def execute(self, task: Task, op: FpgaOp):
@@ -229,16 +271,19 @@ class FixedPartitionService(VfpgaServiceBase):
             yield req
             self._charge_wait(task, t0)
             part.last_used = self.sim.now
+            self.replacement.on_access(part.index)
             handle = f"p{part.index}"
             if part.resident != entry.name:
                 self._publish(Miss, task, handle=entry.name)
                 if part.resident is not None:
                     yield from self._charge_unload(task, handle)
                     part.resident = None
+                    self.replacement.on_remove(part.index)
                 yield from self._charge_load(
                     task, entry, (part.rect.x, part.rect.y), handle=handle
                 )
                 part.resident = entry.name
+                self.replacement.on_insert(part.index)
             else:
                 self._publish(Hit, task, handle=entry.name)
             task.current_config = op.config
@@ -247,6 +292,7 @@ class FixedPartitionService(VfpgaServiceBase):
                 task, entry, self.op_seconds(entry, op), handle=handle
             )
             part.last_used = self.sim.now
+            self.replacement.on_access(part.index)
 
 
 @dataclass
@@ -261,6 +307,9 @@ class _Resident:
     idle: bool = True
     #: Tasks holding this partition (hold_mode="task"); empty = cached.
     holders: set = field(default_factory=set)
+    #: The download is still owed; the first residency-lock holder (its
+    #: creator — created and locked in one synchronous step) charges it.
+    pending_load: bool = False
 
     @property
     def cached(self) -> bool:
@@ -300,20 +349,28 @@ class _ColumnLayout:
         return w  # columns are the unit
 
     @property
+    def last_proposal(self) -> Optional[Proposal]:
+        return self.cols.last_proposal
+
+    @property
     def fragmentation(self) -> float:
         return self.cols.fragmentation
 
 
 class _RectLayout:
-    """2-D bottom-left allocation behind the same protocol."""
+    """2-D strategy-driven allocation behind the same protocol."""
 
-    def __init__(self, width: int, height: int) -> None:
+    def __init__(self, width: int, height: int,
+                 placement="bottom-left") -> None:
         from .rect_alloc import RectAllocator
 
-        self.rects = RectAllocator(width, height)
+        self.rects = RectAllocator(width, height, placement=placement)
 
     def allocate(self, w, h, fit):
-        return self.rects.allocate(w, h)  # bottom-left ignores `fit`
+        # Seed fit names are a column-layout concept; only an explicit
+        # strategy overrides the allocator's configured placement.
+        override = fit if isinstance(fit, PlacementStrategy) else None
+        return self.rects.allocate(w, h, placement=override)
 
     def release(self, anchor, w, h):
         self.rects.release(anchor[0], anchor[1], w, h)
@@ -327,6 +384,10 @@ class _RectLayout:
     @staticmethod
     def demand_units(w: int, h: int) -> float:
         return w * h  # CLBs are the unit
+
+    @property
+    def last_proposal(self) -> Optional[Proposal]:
+        return self.rects.last_proposal
 
     @property
     def fragmentation(self) -> float:
@@ -371,6 +432,9 @@ class VariablePartitionService(VfpgaServiceBase):
         gc: str = "compact",
         hold_mode: str = "task",
         layout: str = "columns",
+        placement: Optional[Union[str, PlacementStrategy]] = None,
+        replacement: Union[str, ReplacementPolicy] = "lru",
+        replacement_seed: int = 0,
         **kw,
     ) -> None:
         super().__init__(registry, **kw)
@@ -384,15 +448,29 @@ class VariablePartitionService(VfpgaServiceBase):
         self.gc = gc
         self.hold_mode = hold_mode
         self.layout_name = layout
+        self.replacement = make_replacement(replacement,
+                                            seed=replacement_seed)
+        #: Explicit strategy override; None defers to the layout default
+        #: (the seed ``fit`` names for columns, bottom-left for rect).
+        self.placement = (
+            None if placement is None else make_placement(placement)
+        )
         arch = self.fpga.arch
         self.layout = (
             _ColumnLayout(arch.width) if layout == "columns"
-            else _RectLayout(arch.width, arch.height)
+            else _RectLayout(arch.width, arch.height,
+                             placement=self.placement or "bottom-left")
         )
         self.residents: Dict[str, _Resident] = {}
         self._space_waiters: List = []
         #: allocation failed although total free space was sufficient.
         self.starvation_events = 0
+
+    @property
+    def _fit_arg(self):
+        """What :meth:`_ColumnLayout.allocate` et al. place with: the
+        explicit strategy when configured, else the seed fit name."""
+        return self.placement if self.placement is not None else self.fit
 
     @property
     def allocator(self):
@@ -426,40 +504,46 @@ class VariablePartitionService(VfpgaServiceBase):
     def _evict(self, task: Optional[Task], name: str):
         # Pop before the first yield so no task can "hit" a dying resident.
         res = self.residents.pop(name)
+        self.replacement.on_remove(name)
         yield from self._charge_unload(task, name)
         self.layout.release(res.anchor, *res.footprint)
         self._notify_space()
 
-    def _idle_evictables(self) -> List[_Resident]:
-        return sorted(
-            (r for r in self.residents.values() if self._is_evictable(r)),
-            key=lambda r: r.last_used,
-        )
+    def _choose_victim(self) -> Optional[_Resident]:
+        """The replacement policy's pick among evictable residents."""
+        evictable = [
+            r for r in self.residents.values() if self._is_evictable(r)
+        ]
+        if not evictable:
+            return None
+        name = self.replacement.victim([r.entry.name for r in evictable])
+        return next(r for r in evictable if r.entry.name == name)
 
     def _try_place(self, task: Task, entry: ConfigEntry):
         """One placement attempt; returns the anchor x or None (generator:
         may charge eviction/compaction time)."""
         r = entry.bitstream.region
         w, h = r.w, r.h
-        anchor = self.layout.allocate(w, h, self.fit)
+        anchor = self.layout.allocate(w, h, self._fit_arg)
         if anchor is not None:
             return anchor
         # Phase 1: merge adjacent free spans (cheap GC bookkeeping).
         if self.gc != "none" and self.layout.merge_free():
-            anchor = self.layout.allocate(w, h, self.fit)
+            anchor = self.layout.allocate(w, h, self._fit_arg)
             if anchor is not None:
                 return anchor
-        # Phase 2: evict cached (unheld) circuits, LRU first.  Re-validate
-        # each victim right before eviction: earlier charges yielded
-        # simulation time during which a victim may have been claimed.
+        # Phase 2: evict cached (unheld) circuits, replacement-policy
+        # order.  Re-validate each victim right before eviction: earlier
+        # charges yielded simulation time during which a victim may have
+        # been claimed.
         while True:
-            victims = self._idle_evictables()
-            if not victims:
+            victim = self._choose_victim()
+            if victim is None:
                 break
-            yield from self._evict(task, victims[0].entry.name)
+            yield from self._evict(task, victim.entry.name)
             if self.gc != "none":
                 self.layout.merge_free()
-            anchor = self.layout.allocate(w, h, self.fit)
+            anchor = self.layout.allocate(w, h, self._fit_arg)
             if anchor is not None:
                 return anchor
         demand = self.layout.demand_units(w, h)
@@ -474,7 +558,7 @@ class VariablePartitionService(VfpgaServiceBase):
         # the array.
         yield from self._compact(task)
         self.layout.merge_free()
-        return self.layout.allocate(w, h, self.fit)
+        return self.layout.allocate(w, h, self._fit_arg)
 
     def _compact(self, task: Optional[Task]):
         """Slide idle resident circuits toward x = 0 (paper §4 relocation).
@@ -537,6 +621,65 @@ class VariablePartitionService(VfpgaServiceBase):
             # ping-pong wakeups forever at the same simulation instant.
             self._notify_space()
 
+    # -- demand-fault pipeline hooks (see VfpgaServiceBase.ensure_resident) --
+    # No _fault_lock: variable partitioning stays lock-free, relying on
+    # the pipeline's residency re-validation after yielding placement
+    # attempts (the paper's partitions are grabbed optimistically).
+    def _resident_lookup(self, task, name):
+        return self.residents.get(name)
+
+    def _note_hit(self, task, name, res) -> None:
+        self._publish(Hit, task, handle=name)
+
+    def _place_unit(self, task, name):
+        entry = self.registry.get(name)
+        placed = yield from self._try_place(task, entry)
+        return placed
+
+    def _undo_place(self, task, name, anchor) -> None:
+        r = self.registry.get(name).bitstream.region
+        self.layout.release(anchor, r.w, r.h)
+
+    def _load_unit(self, task, name, anchor):
+        # Plain hook (no generator): the download is deferred — it
+        # happens under the residency lock so late-comers wait for it.
+        entry = self.registry.get(name)
+        self._publish(Miss, task, handle=name)
+        proposal = self.layout.last_proposal
+        self._publish(
+            Placement, task, strategy=self.strategy_name, handle=name,
+            anchor=tuple(anchor),
+            candidates=proposal.candidates if proposal is not None else 1,
+            fragmentation=self.layout.fragmentation,
+        )
+        res = _Resident(
+            entry=entry,
+            anchor=anchor,
+            lock=Resource(self.sim, capacity=1),
+            last_used=self.sim.now,
+            idle=False,
+            pending_load=True,
+        )
+        self.residents[name] = res
+        self.replacement.on_insert(name)
+        return res
+
+    def _wait_for_space(self, task, name):
+        # No space: suspend until departures change the picture.
+        ev = self.sim.event()
+        self._space_waiters.append(ev)
+        self._publish(Suspend, task, config=name)
+        yield ev
+
+    @property
+    def strategy_name(self) -> str:
+        """The effective placement strategy's registry name."""
+        if self.placement is not None:
+            return self.placement.name
+        if self.layout_name == "rect":
+            return "bottom-left"
+        return SPAN_FITS[self.fit].name
+
     # -- main entry ------------------------------------------------------------------
     def execute(self, task: Task, op: FpgaOp):
         entry = self.registry.get(op.config)
@@ -551,42 +694,7 @@ class VariablePartitionService(VfpgaServiceBase):
             if prev is not None and task.tid in prev.holders:
                 prev.holders.discard(task.tid)
                 self._notify_space()
-        # Acquire (or create) the residency.
-        needs_load = False
-        while True:
-            res = self.residents.get(entry.name)
-            if res is not None:
-                self._publish(Hit, task, handle=entry.name)
-                break
-            placed = yield from self._try_place(task, entry)
-            if self.residents.get(entry.name) is not None:
-                # Raced with another task placing the same configuration
-                # during our (yielding) placement attempt.
-                if placed is not None:
-                    r = entry.bitstream.region
-                    self.layout.release(placed, r.w, r.h)
-                res = self.residents[entry.name]
-                self._publish(Hit, task, handle=entry.name)
-                break
-            if placed is not None:
-                self._publish(Miss, task, handle=entry.name)
-                res = _Resident(
-                    entry=entry,
-                    anchor=placed,
-                    lock=Resource(self.sim, capacity=1),
-                    last_used=self.sim.now,
-                    idle=False,
-                )
-                # Publish before yielding; the download happens under the
-                # residency lock so late-comers wait for it.
-                self.residents[entry.name] = res
-                needs_load = True
-                break
-            # No space: suspend until departures change the picture.
-            ev = self.sim.event()
-            self._space_waiters.append(ev)
-            self._publish(Suspend, task, config=entry.name)
-            yield ev
+        res = yield from self.ensure_resident(task, entry.name)
         if self.hold_mode == "task":
             res.holders.add(task.tid)
         with res.lock.request() as req:
@@ -594,12 +702,15 @@ class VariablePartitionService(VfpgaServiceBase):
             self._charge_wait(task, t0)
             res.idle = False
             res.last_used = self.sim.now
-            if needs_load:
+            self.replacement.on_access(entry.name)
+            if res.pending_load:
+                res.pending_load = False
                 yield from self._charge_load(task, entry, res.anchor)
             task.current_config = op.config
             yield from self._charge_io(task, entry, op)
             yield from self._charge_exec(task, entry, self.op_seconds(entry, op))
             res.last_used = self.sim.now
+            self.replacement.on_access(entry.name)
             res.idle = True
         self._notify_space()
 

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import random
 from abc import ABC, abstractmethod
-from typing import Dict, Hashable, List, Sequence
+from typing import Dict, Hashable, List, Optional, Sequence, Union
 
 __all__ = [
     "ReplacementPolicy",
@@ -150,12 +150,19 @@ class ClockReplacement(ReplacementPolicy):
 
 
 class RandomReplacement(ReplacementPolicy):
-    """Seeded uniform-random victim (the control arm of E8)."""
+    """Uniform-random victim (the control arm of E8).
+
+    The generator is injectable so sweeps stay reproducible: pass either
+    a ``seed`` or a pre-seeded :class:`random.Random` (``rng`` wins when
+    both are given) — sharing one ``rng`` across services models a
+    single OS-wide entropy source.
+    """
 
     name = "random"
 
-    def __init__(self, seed: int = 0) -> None:
-        self._rng = random.Random(seed)
+    def __init__(self, seed: int = 0,
+                 rng: Optional[random.Random] = None) -> None:
+        self._rng = rng if rng is not None else random.Random(seed)
 
     def victim(self, candidates: Sequence[Key]) -> Key:
         return candidates[self._rng.randrange(len(candidates))]
@@ -170,14 +177,27 @@ _POLICIES = {
 }
 
 
-def make_replacement(name: str) -> ReplacementPolicy:
-    """Instantiate a replacement policy by name."""
+def make_replacement(
+    name: Union[str, ReplacementPolicy],
+    seed: int = 0,
+    rng: Optional[random.Random] = None,
+) -> ReplacementPolicy:
+    """Instantiate a replacement policy by name (instances pass through).
+
+    ``seed``/``rng`` parameterize the stochastic policies (currently
+    ``random``); deterministic policies ignore them.
+    """
+    if isinstance(name, ReplacementPolicy):
+        return name
     try:
-        return _POLICIES[name]()
+        cls = _POLICIES[name]
     except KeyError:
         raise ValueError(
             f"unknown replacement policy {name!r}; have {sorted(_POLICIES)}"
         ) from None
+    if cls is RandomReplacement:
+        return RandomReplacement(seed=seed, rng=rng)
+    return cls()
 
 
 def access_trace(

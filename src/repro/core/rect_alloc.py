@@ -6,34 +6,59 @@ FPGA virtualization allocates rectangular 2-D zones instead; this module
 provides that alternative so experiment E18 can quantify what the second
 dimension buys.
 
-:class:`RectAllocator` uses the classic bottom-left heuristic: candidate
-anchors are the origin plus the top-left/bottom-right corners of resident
-rectangles; among fitting anchors the lowest (then leftmost) wins.  The
+:class:`RectAllocator` is a thin stateful wrapper over the pluggable
+:mod:`placement engine <repro.core.placement>`: the strategy proposes an
+anchor (bottom-left by default — the classic heuristic this allocator
+originally hard-coded), the allocator commits it and keeps the resident
+ledger plus an **incrementally maintained** occupancy grid.  The
 fragmentation gauge finds the largest empty rectangle by dynamic
-programming over the occupancy grid.
+programming over that grid; because the grid is updated in place on
+allocate/release instead of rebuilt from the resident list on every
+query, repeated fragmentation probes on large fabrics are cheap
+(``benchmarks/test_occupancy_microbench.py`` quantifies the win).
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Optional, Tuple, Union
 
 import numpy as np
 
 from ..device import Rect
 from .errors import VfpgaError
+from .placement import (
+    PlacementRequest,
+    PlacementStrategy,
+    Proposal,
+    make_placement,
+)
 
 __all__ = ["RectAllocator"]
 
 
 class RectAllocator:
-    """Bottom-left rectangular placement over a ``width`` × ``height`` grid."""
+    """Strategy-driven rectangular placement over ``width`` × ``height``.
 
-    def __init__(self, width: int, height: int) -> None:
+    ``placement`` names any 2-D strategy from
+    :data:`repro.core.placement.PLACEMENT_STRATEGIES` (or is an instance);
+    the default reproduces the seed bottom-left behavior anchor-for-anchor.
+    """
+
+    def __init__(
+        self,
+        width: int,
+        height: int,
+        placement: Union[str, PlacementStrategy] = "bottom-left",
+    ) -> None:
         if width < 1 or height < 1:
             raise ValueError("degenerate allocator bounds")
         self.width = width
         self.height = height
+        self.placement = make_placement(placement)
         self.resident: List[Rect] = []
+        self._grid = np.zeros((width, height), dtype=bool)
+        #: The most recent successful placement decision (telemetry).
+        self.last_proposal: Optional[Proposal] = None
 
     # -- queries ------------------------------------------------------------
     @property
@@ -42,6 +67,12 @@ class RectAllocator:
         return self.width * self.height - sum(r.area for r in self.resident)
 
     def _occupancy(self) -> np.ndarray:
+        """The incrementally maintained occupancy grid (do not mutate)."""
+        return self._grid
+
+    def _rebuild_occupancy(self) -> np.ndarray:
+        """Reference implementation: grid from scratch off the resident
+        list.  Kept for validation and the occupancy microbenchmark."""
         grid = np.zeros((self.width, self.height), dtype=bool)
         for r in self.resident:
             grid[r.x:r.x2, r.y:r.y2] = True
@@ -84,37 +115,54 @@ class RectAllocator:
         return lw >= w and lh >= h
 
     # -- allocation ------------------------------------------------------------
-    def _candidates(self) -> List[Tuple[int, int]]:
-        anchors = {(0, 0)}
-        for r in self.resident:
-            anchors.add((r.x2, r.y))
-            anchors.add((r.x, r.y2))
-            anchors.add((r.x2, 0))
-            anchors.add((0, r.y2))
-        return sorted(anchors, key=lambda a: (a[1], a[0]))  # bottom-left
-
     def _fits(self, rect: Rect) -> bool:
         if rect.x2 > self.width or rect.y2 > self.height:
             return False
         return all(not rect.overlaps(r) for r in self.resident)
 
-    def allocate(self, w: int, h: int) -> Optional[Tuple[int, int]]:
-        """Reserve a ``w`` × ``h`` rectangle; returns its anchor or None."""
+    def _commit(self, rect: Rect) -> None:
+        self.resident.append(rect)
+        self._grid[rect.x:rect.x2, rect.y:rect.y2] = True
+
+    def allocate(
+        self,
+        w: int,
+        h: int,
+        placement: Optional[PlacementStrategy] = None,
+    ) -> Optional[Tuple[int, int]]:
+        """Reserve a ``w`` × ``h`` rectangle; returns its anchor or None.
+
+        ``placement`` overrides the configured strategy for this call
+        (compaction uses this to slide residents with a specific rule).
+        """
         if w < 1 or h < 1:
             raise ValueError("degenerate request")
-        for (x, y) in self._candidates():
-            rect = Rect(x, y, w, h) if x + w <= self.width and \
-                y + h <= self.height else None
-            if rect is not None and self._fits(rect):
-                self.resident.append(rect)
-                return (x, y)
-        return None
+        strategy = placement if placement is not None else self.placement
+        proposal = strategy.propose(
+            PlacementRequest(
+                w=w, h=h,
+                bounds_w=self.width, bounds_h=self.height,
+                resident=tuple(self.resident),
+            )
+        )
+        if proposal is None:
+            return None
+        x, y = proposal.anchor
+        rect = Rect(x, y, w, h)
+        if not self._fits(rect):
+            raise VfpgaError(
+                f"placement strategy {strategy.name!r} proposed "
+                f"occupied/out-of-bounds rect {rect}"
+            )
+        self._commit(rect)
+        self.last_proposal = proposal
+        return (x, y)
 
     def reserve(self, x: int, y: int, w: int, h: int) -> None:
         rect = Rect(x, y, w, h)
         if not self._fits(rect):
             raise VfpgaError(f"rect {rect} is not free")
-        self.resident.append(rect)
+        self._commit(rect)
 
     def release(self, x: int, y: int, w: int, h: int) -> None:
         rect = Rect(x, y, w, h)
@@ -122,6 +170,7 @@ class RectAllocator:
             self.resident.remove(rect)
         except ValueError:
             raise VfpgaError(f"release of unallocated rect {rect}") from None
+        self._grid[rect.x:rect.x2, rect.y:rect.y2] = False
 
     def merge_free(self) -> int:
         """2-D free space needs no span merging; present for protocol

@@ -27,7 +27,8 @@ from ..osim import FpgaOp, Task
 from ..sim import Resource
 from .base import VfpgaServiceBase
 from .errors import CapacityError, UnknownConfigError
-from ..telemetry import OpStart, PageAccess, SegmentFault
+from ..telemetry import OpStart, PageAccess, Placement, SegmentFault
+from .placement import PlacementStrategy, make_placement
 from .policies import ReplacementPolicy, access_trace, make_replacement
 from .partitioning import ColumnAllocator
 from .registry import ConfigRegistry
@@ -133,6 +134,8 @@ class SegmentedVfpgaService(VfpgaServiceBase):
         registry: ConfigRegistry,
         circuits: List[SegmentedCircuit],
         replacement: Union[str, ReplacementPolicy] = "lru",
+        replacement_seed: int = 0,
+        placement: Union[str, PlacementStrategy] = "column-first-fit",
         cycles_per_access: int = 256,
         **kw,
     ) -> None:
@@ -147,11 +150,9 @@ class SegmentedVfpgaService(VfpgaServiceBase):
                     raise CapacityError(
                         f"segment {seg!r} ({r.w}x{r.h}) exceeds the device"
                     )
-        self.replacement = (
-            make_replacement(replacement)
-            if isinstance(replacement, str)
-            else replacement
-        )
+        self.replacement = make_replacement(replacement,
+                                            seed=replacement_seed)
+        self.placement = make_placement(placement)
         self.cycles_per_access = cycles_per_access
         self.allocator = ColumnAllocator(arch.width)
         #: segment name -> anchor x (the segment table).
@@ -182,43 +183,61 @@ class SegmentedVfpgaService(VfpgaServiceBase):
                 if not ev.triggered:
                     ev.succeed()
 
-    def _ensure_segment(self, task: Task, seg: str):
-        anchor = self.segment_table.get(seg)
-        if anchor is not None:
-            self._pin(seg)
-            self.replacement.on_access(seg)
-            return
-        with self._fault_lock.request() as req:
-            yield req
-            if seg in self.segment_table:
-                self._pin(seg)
-                self.replacement.on_access(seg)
-                return
-            self._publish(SegmentFault, task, unit=seg)
-            entry = self.registry.get(seg)
-            w = entry.bitstream.region.w
-            while True:
-                x = self.allocator.allocate(w, fit="first")
-                if x is not None:
-                    break
-                unpinned = [
-                    s for s in self.segment_table if s not in self._pins
-                ]
-                if unpinned:
-                    victim = self.replacement.victim(unpinned)
-                    vx = self.segment_table.pop(victim)
-                    self.replacement.on_remove(victim)
-                    ventry = self.registry.get(victim)
-                    yield from self._charge_unload(task, victim)
-                    self.allocator.release(vx, ventry.bitstream.region.w)
-                    continue
-                ev = self.sim.event()
-                self._waiters.append(ev)
-                yield ev
-            self.segment_table[seg] = x
-            self._pin(seg)
-            yield from self._charge_load(task, entry, (x, 0), handle=seg)
-            self.replacement.on_insert(seg)
+    # -- demand-fault pipeline hooks (see VfpgaServiceBase.ensure_resident) --
+    def _resident_lookup(self, task, seg):
+        return self.segment_table.get(seg)
+
+    def _note_hit(self, task, seg, anchor) -> None:
+        self._pin(seg)
+        self.replacement.on_access(seg)
+
+    def _publish_fault(self, task, seg) -> None:
+        self._publish(SegmentFault, task, unit=seg)
+
+    def _place_unit(self, task, seg):
+        """A column span for the segment, evicting unpinned residents by
+        replacement-policy order until the strategy finds a fit."""
+        entry = self.registry.get(seg)
+        w = entry.bitstream.region.w
+        while True:
+            x = self.allocator.allocate(w, fit=self.placement)
+            if x is not None:
+                return x
+            unpinned = [
+                s for s in self.segment_table if s not in self._pins
+            ]
+            if not unpinned:
+                return None
+            victim = self.replacement.victim(unpinned)
+            vx = self.segment_table.pop(victim)
+            self.replacement.on_remove(victim)
+            ventry = self.registry.get(victim)
+            yield from self._charge_unload(task, victim)
+            self.allocator.release(vx, ventry.bitstream.region.w)
+
+    def _undo_place(self, task, seg, x) -> None:
+        entry = self.registry.get(seg)
+        self.allocator.release(x, entry.bitstream.region.w)
+
+    def _load_unit(self, task, seg, x):
+        self.segment_table[seg] = x
+        self._pin(seg)
+        entry = self.registry.get(seg)
+        proposal = self.allocator.last_proposal
+        self._publish(
+            Placement, task, strategy=self.placement.name, handle=seg,
+            anchor=(x, 0),
+            candidates=proposal.candidates if proposal is not None else 1,
+            fragmentation=self.allocator.fragmentation,
+        )
+        yield from self._charge_load(task, entry, (x, 0), handle=seg)
+        self.replacement.on_insert(seg)
+        return x
+
+    def _wait_for_space(self, task, seg):
+        ev = self.sim.event()
+        self._waiters.append(ev)
+        yield ev
 
     def execute(self, task: Task, op: FpgaOp):
         circ = self.circuits.get(op.config)
@@ -238,7 +257,7 @@ class SegmentedVfpgaService(VfpgaServiceBase):
         for index in trace:
             seg = circ.segment_names[index]
             self._publish(PageAccess, task, unit=seg)
-            yield from self._ensure_segment(task, seg)
+            yield from self.ensure_resident(task, seg)
             try:
                 entry = self.registry.get(seg)
                 if first_io:

@@ -63,11 +63,19 @@ def make_service(policy: str, registry: ConfigRegistry, **kw):
     """Instantiate a management policy by name.
 
     Names: ``merged``, ``software``, ``nonpreemptable``, ``dynamic`` (kw: ``preemption``, ``fpga_time_slice``),
-    ``fixed`` (kw: ``partition_widths`` or ``n_partitions``), ``variable``
-    (kw: ``fit``, ``gc``), ``overlay`` (kw: ``resident_names``), ``paged``
-    (kw: ``circuits``, ``frame_width``, ``replacement``), ``segmented``
-    (kw: ``circuits``, ``replacement``), ``multi`` (kw: ``n_devices``,
-    ``board_factory``).
+    ``fixed`` (kw: ``partition_widths`` or ``n_partitions``,
+    ``replacement``), ``variable`` (kw: ``fit``, ``gc``, ``layout``,
+    ``placement``, ``replacement``), ``overlay`` (kw: ``resident_names``,
+    ``replacement``, ``overlay_slots``), ``paged`` (kw: ``circuits``,
+    ``frame_width``, ``replacement``), ``segmented`` (kw: ``circuits``,
+    ``replacement``, ``placement``), ``multi`` (kw: ``n_devices``,
+    ``board_factory``, ``dispatch``).
+
+    The pluggable engines are shared across policies: ``placement``
+    accepts any :data:`~repro.core.placement.PLACEMENT_STRATEGIES` name,
+    ``replacement`` any :func:`~repro.core.policies.make_replacement`
+    name (plus ``replacement_seed`` for stochastic policies), and
+    ``dispatch`` any :data:`~repro.core.dispatch.DISPATCH_POLICIES` name.
     """
     kw = dict(kw)  # never mutate the caller's kwargs
     if policy == "merged":

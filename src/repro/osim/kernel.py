@@ -324,6 +324,8 @@ class Kernel:
         return run_stats(self.tasks, makespan=self._makespan())
 
     def _makespan(self) -> float:
+        if not self.tasks:
+            return 0.0
         return max(
             (t.accounting.completion or 0.0) for t in self.tasks
         ) - min(t.accounting.arrival for t in self.tasks)

@@ -142,7 +142,22 @@ def run_stats(tasks: Iterable[Task], makespan: Optional[float] = None) -> RunSta
     """Reduce finished tasks to a :class:`RunStats` row."""
     tasks = list(tasks)
     if not tasks:
-        raise ValueError("no tasks")
+        # An empty run is a valid (degenerate) run: zero work, zero span.
+        return RunStats(
+            makespan=makespan if makespan is not None else 0.0,
+            n_tasks=0,
+            mean_turnaround=0.0,
+            max_turnaround=0.0,
+            total_cpu_time=0.0,
+            total_fpga_exec=0.0,
+            total_fpga_reconfig=0.0,
+            total_fpga_state=0.0,
+            total_fpga_wait=0.0,
+            total_fpga_io=0.0,
+            n_reconfigs=0,
+            n_preemptions=0,
+            n_rollbacks=0,
+        )
     unfinished = [t.name for t in tasks if t.accounting.completion is None]
     if unfinished:
         raise ValueError(f"tasks not finished: {unfinished[:5]}")

@@ -61,6 +61,7 @@ from .events import (
     PageAccess,
     PageFault,
     PinWindow,
+    Placement,
     PortTransfer,
     Preempt,
     Prefetch,
@@ -145,6 +146,7 @@ __all__ = [
     "Prefetch",
     "Profiler",
     "QuantumExpired",
+    "Placement",
     "Relocate",
     "Repair",
     "Rollback",

@@ -391,6 +391,28 @@ class Relocate(TelemetryEvent):
 
 
 @dataclass(frozen=True)
+class Placement(TelemetryEvent):
+    """A placement engine chose an anchor for a demand-loaded unit.
+
+    Published right before the corresponding :class:`Load`, carrying the
+    *decision* the Load only implies: which strategy ran, how many
+    candidate positions it weighed, and how fragmented the free space
+    was at that instant.  Bus-only (``kind=None``): audit/report layers
+    subscribe, the legacy trace stays unchanged.
+    """
+
+    strategy: str = ""
+    handle: str = ""
+    anchor: Tuple[int, int] = (0, 0)
+    candidates: int = 1
+    fragmentation: float = 0.0
+
+    @property
+    def detail(self) -> str:
+        return f"{self.handle}@{self.anchor} via {self.strategy}"
+
+
+@dataclass(frozen=True)
 class BoardDispatch(TelemetryEvent):
     """Multi-device placement chose a board for an operation."""
 

@@ -1,0 +1,122 @@
+"""Board-dispatch engine tests (multi-device policy)."""
+
+import pytest
+
+from repro.core import (
+    DISPATCH_POLICIES,
+    AffinityDispatch,
+    LeastBusyDispatch,
+    LeastOccupancyDispatch,
+    MultiDeviceService,
+    RoundRobinDispatch,
+    make_dispatch,
+)
+from repro.osim import FpgaOp, Task
+
+
+class _FakeFpga:
+    def __init__(self, free):
+        self._free = free
+
+    def free_area(self):
+        return self._free
+
+
+class _FakeBoard:
+    def __init__(self, resident=(), free=100):
+        self._resident = set(resident)
+        self.fpga = _FakeFpga(free)
+
+    def is_resident(self, config):
+        return config in self._resident
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name", sorted(DISPATCH_POLICIES))
+    def test_known_names(self, name):
+        policy = make_dispatch(name)
+        assert policy.name == name
+
+    def test_instance_passthrough(self):
+        policy = RoundRobinDispatch()
+        assert make_dispatch(policy) is policy
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError, match="unknown board dispatch"):
+            make_dispatch("psychic")
+
+
+class TestChoices:
+    def test_affinity_prefers_resident(self):
+        boards = [_FakeBoard(), _FakeBoard(resident=["a3"]), _FakeBoard()]
+        assert AffinityDispatch().choose("a3", boards, [0, 9, 0]) == 1
+
+    def test_affinity_falls_back_to_least_busy(self):
+        boards = [_FakeBoard(), _FakeBoard(), _FakeBoard()]
+        assert AffinityDispatch().choose("a3", boards, [2, 1, 3]) == 1
+
+    def test_least_busy_ignores_residency(self):
+        boards = [_FakeBoard(resident=["a3"]), _FakeBoard()]
+        assert LeastBusyDispatch().choose("a3", boards, [5, 0]) == 1
+
+    def test_least_busy_ties_to_lowest_index(self):
+        boards = [_FakeBoard(), _FakeBoard()]
+        assert LeastBusyDispatch().choose("a3", boards, [1, 1]) == 0
+
+    def test_round_robin_cycles(self):
+        boards = [_FakeBoard(), _FakeBoard(), _FakeBoard()]
+        rr = RoundRobinDispatch()
+        picks = [rr.choose("a3", boards, [0, 0, 0]) for _ in range(6)]
+        assert picks == [0, 1, 2, 0, 1, 2]
+
+    def test_least_occupancy_takes_most_free(self):
+        boards = [_FakeBoard(free=10), _FakeBoard(free=80),
+                  _FakeBoard(free=40)]
+        assert LeastOccupancyDispatch().choose("a3", boards,
+                                               [0, 0, 0]) == 1
+
+    def test_least_occupancy_breaks_ties_by_load(self):
+        boards = [_FakeBoard(free=50), _FakeBoard(free=50)]
+        assert LeastOccupancyDispatch().choose("a3", boards, [3, 1]) == 1
+
+
+class TestServiceIntegration:
+    def test_default_is_affinity(self, registry):
+        svc = MultiDeviceService(registry, 2)
+        assert isinstance(svc.dispatch, AffinityDispatch)
+
+    def test_round_robin_reloads_on_both_boards(self, registry, harness):
+        """The oblivious control arm: two ops on the same config land on
+        different boards, so the second op is a miss, not a hit."""
+        svc = MultiDeviceService(registry, 2, dispatch="round-robin")
+        h = harness(svc)
+        h.run([Task("t", [FpgaOp("a3", 100), FpgaOp("a3", 100)])])
+        assert svc.metrics.n_loads == 2
+        assert svc.metrics.n_hits == 0
+
+    def test_affinity_reuses_resident_board(self, registry, harness):
+        svc = MultiDeviceService(registry, 2, dispatch="affinity")
+        h = harness(svc)
+        h.run([Task("t", [FpgaOp("a3", 100), FpgaOp("a3", 100)])])
+        assert svc.metrics.n_loads == 1
+        assert svc.metrics.n_hits == 1
+
+    def test_least_occupancy_completes(self, registry, harness):
+        svc = MultiDeviceService(registry, 2, dispatch="least-occupancy")
+        h = harness(svc)
+        tasks = [Task(f"t{i}", [FpgaOp("a3" if i % 2 else "b3", 1000)])
+                 for i in range(4)]
+        stats = h.run(tasks)
+        assert stats.n_tasks == 4
+
+    def test_bad_choice_rejected(self, registry, harness):
+        class OffBoard(LeastBusyDispatch):
+            name = "off-board"
+
+            def choose(self, config, boards, in_flight):
+                return len(boards)  # out of range
+
+        svc = MultiDeviceService(registry, 2, dispatch=OffBoard())
+        h = harness(svc)
+        with pytest.raises(ValueError, match="board"):
+            h.run([Task("t", [FpgaOp("a3", 100)])])

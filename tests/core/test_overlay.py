@@ -63,6 +63,42 @@ class TestExecution:
             for r2 in regions[i + 1:]:
                 assert not r1.overlaps(r2)
 
+    def test_second_slot_stops_thrashing(self, registry, harness):
+        """Two overlay slots cache two circuits at once: the b3/c4/b3
+        sequence that thrashes one slot keeps b3 resident with two."""
+        svc = OverlayService(registry, resident_names=["a3"],
+                             overlay_slots=2)
+        h = harness(svc)
+        t = Task("t", [FpgaOp("b3", 10), FpgaOp("c4", 10), FpgaOp("b3", 10)])
+        h.run([t])
+        assert svc.metrics.n_misses == 2
+        assert svc.metrics.n_hits == 1
+
+    def test_replacement_engine_picks_slot_victim(self, registry, harness):
+        """With both slots full, the pluggable replacement policy decides
+        which circuit the new arrival evicts: LRU kills the stale b3,
+        MRU kills the fresh c4 — so only MRU re-hits b3 afterwards."""
+        def run(policy):
+            svc = OverlayService(registry, resident_names=["a3"],
+                                 overlay_slots=2, replacement=policy)
+            h = harness(svc)
+            prog = [FpgaOp("b3", 10), FpgaOp("c4", 10),
+                    FpgaOp("seq4", 10), FpgaOp("b3", 10)]
+            h.run([Task("t", prog)])
+            return svc.metrics
+        lru, mru = run("lru"), run("mru")
+        assert lru.n_hits == 0 and lru.n_misses == 4
+        assert mru.n_hits == 1 and mru.n_misses == 3
+
+    def test_slots_too_narrow_rejected(self, registry, harness):
+        """Splitting the overlay area must leave slots wide enough for
+        the circuits that will run there."""
+        svc = OverlayService(registry, resident_names=["d6"],
+                             overlay_slots=2)  # 6 cols -> 3 per slot
+        h = harness(svc)
+        with pytest.raises(CapacityError, match="overlay area"):
+            h.run([Task("t", [FpgaOp("c4", 10)])])
+
     def test_hot_set_reduces_reconfig_vs_pure_dynamic(self, registry, harness):
         """The paper's point: keeping frequent functions resident cuts the
         download traffic of a skewed workload."""

@@ -91,6 +91,51 @@ class TestRandom:
             b.victim(keys) for _ in range(10)
         ]
 
+    def test_injected_rng_wins_over_seed(self):
+        import random
+
+        keys = list("abcdefg")
+        shared = random.Random(123)
+        injected = RandomReplacement(seed=999, rng=shared)
+        reference = RandomReplacement(seed=123)
+        assert injected._rng is shared
+        assert [injected.victim(keys) for _ in range(10)] == [
+            reference.victim(keys) for _ in range(10)
+        ]
+
+    def test_shared_rng_models_one_entropy_source(self):
+        """Two services sharing one rng draw from a single stream: their
+        interleaved picks equal one policy's consecutive picks."""
+        import random
+
+        keys = list("abcdefg")
+        shared = random.Random(5)
+        a = RandomReplacement(rng=shared)
+        b = RandomReplacement(rng=shared)
+        interleaved = [p.victim(keys) for p in (a, b, a, b)]
+        solo = RandomReplacement(seed=5)
+        assert interleaved == [solo.victim(keys) for _ in range(4)]
+
+    def test_factory_forwards_seed(self):
+        keys = list("abcdefg")
+        a = make_replacement("random", seed=11)
+        b = make_replacement("random", seed=11)
+        c = make_replacement("random", seed=12)
+        picks_a = [a.victim(keys) for _ in range(10)]
+        assert picks_a == [b.victim(keys) for _ in range(10)]
+        assert picks_a != [c.victim(keys) for _ in range(10)]
+
+    def test_factory_forwards_rng(self):
+        import random
+
+        keys = list("abcdefg")
+        shared = random.Random(31)
+        policy = make_replacement("random", rng=shared)
+        reference = RandomReplacement(seed=31)
+        assert [policy.victim(keys) for _ in range(6)] == [
+            reference.victim(keys) for _ in range(6)
+        ]
+
 
 class TestAccessTrace:
     def test_sequential_wraps(self):

@@ -146,6 +146,15 @@ class TestFpgaInteraction:
 
 
 class TestLifecycle:
+    def test_zero_tasks_run_cleanly(self):
+        """Regression: an empty kernel must report a zero makespan, not
+        crash on ``min()`` of no arrivals."""
+        sim, kernel = make_kernel()
+        stats = kernel.run()
+        assert stats.makespan == 0.0
+        assert stats.n_tasks == 0
+        assert kernel.stats().makespan == 0.0
+
     def test_double_spawn_rejected(self):
         sim, kernel = make_kernel()
         t = Task("t", [CpuBurst(1.0)])

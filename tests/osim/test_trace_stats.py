@@ -65,9 +65,14 @@ class TestRunStats:
         with pytest.raises(ValueError, match="not finished"):
             run_stats([t])
 
-    def test_empty_rejected(self):
-        with pytest.raises(ValueError):
-            run_stats([])
+    def test_empty_run_is_zero(self):
+        stats = run_stats([])
+        assert stats.n_tasks == 0
+        assert stats.makespan == 0.0
+        assert stats.mean_turnaround == 0.0
+        assert stats.useful_fraction == 1.0
+        assert stats.fpga_utilization == 0.0
+        assert run_stats([], makespan=3.0).makespan == 3.0
 
     def test_explicit_makespan_override(self):
         tasks = [finished_task("a", 0, 1)]
