@@ -71,6 +71,49 @@ def test_e4_partitioning(benchmark):
     assert result.rows[-1]["hit_rate"] > 0.8
 
 
+def test_e4_load_modes(benchmark):
+    """E4c: the delta engine on the contended two-partition point.  The
+    four configurations alternate inside each partition, so most loads
+    rewrite only the frames that actually differ between them."""
+    modes = ["full", "delta", "auto"]
+
+    def run_one(load_mode: str):
+        arch = get_family("VF16")
+        reg = ConfigRegistry(arch)
+        names = []
+        for i in range(N_CONFIGS):
+            reg.register_synthetic(f"f{i}", 4, arch.height,
+                                   n_state_bits=2 * (i + 1),
+                                   critical_path=CP)
+            names.append(f"f{i}")
+        tasks = uniform_workload(
+            names, n_tasks=8, ops_per_task=5, cpu_burst=0.5e-3,
+            cycles=150_000, seed=4,
+        )
+        stats, service = run_system(reg, tasks, "fixed", n_partitions=2,
+                                    load_mode=load_mode)
+        return {
+            "loads": service.metrics.n_loads,
+            "frames_written": service.metrics.frames_written,
+            "port_ms": round(service.fpga.port_busy_time * 1e3, 2),
+            "useful": round(stats.useful_fraction, 3),
+            "makespan_ms": round(stats.makespan * 1e3, 2),
+        }
+
+    result = benchmark.pedantic(
+        lambda: sweep("load_mode", modes, run_one), rounds=1, iterations=1,
+    )
+    emit("e4_load_modes", format_table(
+        result.rows,
+        title="E4c: reconfiguration engine on 2 fixed partitions "
+              f"({N_CONFIGS} configurations, 8 tasks)",
+    ))
+    by = {r["load_mode"]: r for r in result.rows}
+    assert by["delta"]["port_ms"] < by["full"]["port_ms"]
+    assert by["auto"]["port_ms"] <= by["full"]["port_ms"] + 1e-9
+    assert by["delta"]["frames_written"] < by["full"]["frames_written"]
+
+
 def test_e4_replacement_sweep(benchmark):
     """Victim-selection engine cross-product on the contended point
     (two partitions, four configurations)."""

@@ -14,6 +14,7 @@ of fixed size."  The classic virtual-memory trade-offs must appear:
   work and external fragmentation.
 """
 
+import numpy as np
 from _harness import emit, run_system
 
 from repro.analysis import format_table, sweep
@@ -136,6 +137,57 @@ def test_e8_replacement_policies(benchmark):
     # The classic result: LRU degenerates on the loop, MRU keeps it.
     assert by["mru"]["faults"] * 2 < by["lru"]["faults"]
     assert by["mru"]["makespan_ms"] < by["lru"]["makespan_ms"]
+
+
+def run_load_mode(load_mode: str):
+    """The paging workload under one reconfiguration engine.  Pages carry
+    real flip-flop columns so delta has honest (non-zero) frames to diff."""
+    arch = get_family("VF12")
+    reg = ConfigRegistry(arch)
+    circ = make_paged_circuit(
+        reg, "virt", n_pages=8, page_width=3, state_bits_per_page=4,
+        critical_path=CP, pattern="zipf", seed=21,
+    )
+    tasks = [Task("t", [FpgaOp("virt", ACCESSES)])]
+    stats, service = run_system(
+        reg, tasks, "paged", circuits=[circ], frame_width=3,
+        replacement="lru", cycles_per_access=40_000, load_mode=load_mode,
+    )
+    return {
+        "faults": service.metrics.n_page_faults,
+        "frames_written": service.metrics.frames_written,
+        "port_ms": round(service.fpga.port_busy_time * 1e3, 2),
+        "makespan_ms": round(stats.makespan * 1e3, 2),
+    }, service.fpga.ram.frames.copy()
+
+
+def test_e8_load_modes(benchmark):
+    """E8e: the delta engine on the paging arm.  Acceptance: ≥30% less
+    charged config-port time than full, identical resident bits, and
+    auto never worse than full."""
+    modes = ["full", "delta", "auto"]
+    results = benchmark.pedantic(
+        lambda: {m: run_load_mode(m) for m in modes}, rounds=1, iterations=1,
+    )
+    rows = [dict(load_mode=m, **results[m][0]) for m in modes]
+    emit("e8_load_modes", format_table(
+        rows,
+        title="E8e: reconfiguration engine on the paging workload "
+              "(8 pages x 3 columns on a 12-column device, Zipf, LRU)",
+    ))
+    by = {r["load_mode"]: r for r in rows}
+    # Same access stream, same faults — only the port charging differs.
+    assert by["delta"]["faults"] == by["full"]["faults"]
+    # The resident configuration is bit-for-bit identical across engines.
+    assert np.array_equal(results["full"][1], results["delta"][1])
+    assert np.array_equal(results["full"][1], results["auto"][1])
+    # Acceptance bar: delta cuts charged port time by at least 30%.
+    reduction = 1 - by["delta"]["port_ms"] / by["full"]["port_ms"]
+    assert reduction >= 0.30, f"delta saved only {reduction:.0%}"
+    # Auto is never worse than full on this arm.
+    assert by["auto"]["port_ms"] <= by["full"]["port_ms"] + 1e-9
+    # The saving is visible in the written-frame count, not just time.
+    assert by["delta"]["frames_written"] < by["full"]["frames_written"]
 
 
 def test_e8_segment_placement(benchmark):

@@ -134,7 +134,7 @@ def _build_workload(args):
     for spec in args.circuits.split(","):
         vf.add_circuit(build_circuit(spec), seed=args.seed,
                        effort=args.effort, state_accessible=True)
-    policy_kw = {}
+    policy_kw = {"load_mode": args.load_mode}
     task_circuits = vf.circuits
     if args.policy in ("fixed", "variable", "overlay", "paged"):
         # The pluggable victim-selection engine (seeded for "random").
@@ -462,6 +462,12 @@ def make_parser() -> argparse.ArgumentParser:
                         choices=["affinity", "least-busy", "round-robin",
                                  "least-occupancy"],
                         help="board-selection engine (multi policy)")
+        sp.add_argument("--load-mode", default="full",
+                        choices=["full", "delta", "auto"],
+                        help="reconfiguration engine: full rewrites every "
+                             "touched frame, delta writes only differing "
+                             "frames (+ per-frame address header), auto "
+                             "picks the cheaper per load")
         sp.add_argument("--effort", default="greedy", choices=["greedy", "sa"])
         sp.add_argument("--seed", type=int, default=0)
 

@@ -23,6 +23,7 @@ Use :class:`VirtualFpga` for the high-level API and
 """
 
 from .base import VfpgaServiceBase
+from .bitcache import BitstreamCache, bitstream_digest
 from .baselines import (
     MergedResidentService,
     NonPreemptableService,
@@ -103,6 +104,7 @@ __all__ = [
     "AdmissionError",
     "AffinityDispatch",
     "BestFitPlacement",
+    "BitstreamCache",
     "BoardDispatchPolicy",
     "BottomLeftPlacement",
     "CapacityError",
@@ -157,6 +159,7 @@ __all__ = [
     "VfpgaServiceBase",
     "VirtualFpga",
     "access_trace",
+    "bitstream_digest",
     "make_dispatch",
     "make_paged_circuit",
     "make_placement",

@@ -67,18 +67,32 @@ class VfpgaServiceBase(FpgaService):
         omitted).
     word_rate:
         Pin-multiplexer word rate (see :class:`repro.core.iomux`).
+    load_mode:
+        Reconfiguration engine for every download this service charges:
+        ``full`` (rewrite every touched frame — the seed behaviour),
+        ``delta`` (frame-diff against the resident bits, charging only
+        differing frames plus the per-frame address header) or ``auto``
+        (price both, pick the cheaper — never worse than ``full``).
     """
+
+    LOAD_MODES = ("full", "delta", "auto")
 
     def __init__(
         self,
         registry: ConfigRegistry,
         fpga: Optional[Fpga] = None,
         word_rate: float = 2.0e6,
+        load_mode: str = "full",
     ) -> None:
         self.registry = registry
         self.fpga = fpga if fpga is not None else Fpga(registry.arch)
         if self.fpga.arch.name != registry.arch.name:
             raise VfpgaError("registry and device architectures differ")
+        if load_mode not in self.LOAD_MODES:
+            raise VfpgaError(
+                f"load_mode must be one of {self.LOAD_MODES}, got {load_mode!r}"
+            )
+        self.load_mode = load_mode
         self.mux = PinMultiplexer(self.fpga.arch.n_pins, word_rate=word_rate)
         self.metrics = ServiceMetrics()
         #: Telemetry attribution of this service instance's events.
@@ -126,6 +140,7 @@ class VfpgaServiceBase(FpgaService):
             self.bus.publish(ConfigPortOp(
                 self.sim.now, source=self.source, op=op, handle=handle,
                 seconds=timing.seconds, frames=timing.n_frames,
+                mode=timing.mode, frames_written=timing.written,
             ))
 
     def register_task(self, task: Task) -> None:
@@ -281,7 +296,19 @@ class VfpgaServiceBase(FpgaService):
                 # the fabric is quiet, then everything else is gone.
                 yield from self._wait_fabric_idle()
                 self.fpga.wipe()
-            timing = self.fpga.load(handle, entry.bitstream.anchored_at(*anchor))
+            # The encode hot path: memoised translation + content-addressed
+            # frame image (re-placing identical content is a metadata hit).
+            if entry.name in self.registry \
+                    and self.registry.get(entry.name) is entry:
+                bitstream = self.registry.translated(
+                    entry.name, (anchor[0], anchor[1])
+                )
+            else:  # ad-hoc entry: translate directly, still image-cached
+                bitstream = entry.bitstream.anchored_at(*anchor)
+            image, cache = self.registry.bitcache.frames_for(bitstream)
+            timing = self.fpga.load(
+                handle, bitstream, mode=self.load_mode, image=image
+            )
             self._anchors[handle] = anchor
             if task is not None:
                 task.accounting.fpga_reconfig_time += timing.seconds
@@ -290,7 +317,8 @@ class VfpgaServiceBase(FpgaService):
             self._publish(Load, task, handle=handle, anchor=tuple(anchor),
                           seconds=timing.seconds, frames=timing.n_frames,
                           clbs=region.area, exclusive=exclusive,
-                          shape=(region.w, region.h))
+                          shape=(region.w, region.h), mode=timing.mode,
+                          frames_written=timing.written, cache=cache)
             yield self.sim.timeout(timing.seconds)
 
     def _charge_unload(self, task: Optional[Task], handle: str):
@@ -300,12 +328,13 @@ class VfpgaServiceBase(FpgaService):
             if handle not in self.fpga.resident:
                 return
             clbs = self.fpga.resident[handle].region.area
-            timing = self.fpga.unload(handle)
+            timing = self.fpga.unload(handle, mode=self.load_mode)
             self._anchors.pop(handle, None)
             if task is not None:
                 task.accounting.fpga_reconfig_time += timing.seconds
             self._publish(Evict, task, handle=handle, seconds=timing.seconds,
-                          clbs=clbs)
+                          clbs=clbs, mode=timing.mode,
+                          frames_written=timing.written)
             yield self.sim.timeout(timing.seconds)
 
     def _charge_state(self, task: Optional[Task], seconds: float, kind: str,

@@ -86,9 +86,12 @@ class MergedResidentService(VfpgaServiceBase):
         arch = self.fpga.arch
         anchors = shelf_pack(entries, arch.width, arch.height)
         for entry in entries:
-            timing = self.fpga.load(
-                entry.name, entry.bitstream.anchored_at(*anchors[entry.name])
+            bitstream = self.registry.translated(
+                entry.name, anchors[entry.name]
             )
+            image, cache = self.registry.bitcache.frames_for(bitstream)
+            timing = self.fpga.load(entry.name, bitstream,
+                                    mode=self.load_mode, image=image)
             self.boot_load_time += timing.seconds
             self._locks[entry.name] = Resource(self.sim, capacity=1)
             if arch.supports_partial:
@@ -96,7 +99,9 @@ class MergedResidentService(VfpgaServiceBase):
                 self._publish(Load, None, handle=entry.name,
                               anchor=anchors[entry.name],
                               seconds=timing.seconds, frames=timing.n_frames,
-                              clbs=region.area, shape=(region.w, region.h))
+                              clbs=region.area, shape=(region.w, region.h),
+                              mode=timing.mode,
+                              frames_written=timing.written, cache=cache)
         if not arch.supports_partial:
             # One full serial download configures everything at once —
             # published as a single Load carrying the circuit count.

@@ -1,0 +1,139 @@
+"""Content-addressed bitstream cache: encode once, place many times.
+
+Encoding a bitstream into configuration frames
+(:meth:`~repro.device.FrameCodec.build_frames`) is the host-side hot path
+of every demand fault: the VFPGA manager re-runs it on each load even when
+the identical circuit was resident moments ago.  This module removes that
+work:
+
+* :func:`bitstream_digest` — a structural content digest of a bitstream
+  *relative to its region origin*, so the same circuit anchored anywhere
+  hashes identically.  The digest is memoised on the (frozen) instance.
+* :class:`BitstreamCache` — maps ``(digest, anchor)`` to the encoded
+  ``(n_frames, frame_bits)`` frame image.  Re-placing an identical circuit
+  at the same anchor is a metadata-only **hit**; a *horizontal* relocation
+  of a relocatable circuit reuses the cached column contents at shifted
+  frame indices (column frames encode only within-frame *y* offsets, so
+  the bits are anchor-x independent); only a *vertical* move re-runs the
+  encoder, because the row offsets inside each frame change.
+
+The cache stores immutable (read-only) arrays; the charged configuration
+*port* time is unaffected — this is purely host wall-clock, the quantity
+the delta engine's frame-diff then reduces on the simulated port.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..device import Architecture, Bitstream, FrameCodec
+
+__all__ = ["BitstreamCache", "bitstream_digest"]
+
+_DIGEST_ATTR = "_content_digest"
+
+
+def bitstream_digest(bs: Bitstream) -> bytes:
+    """Structural content digest of ``bs``, anchor-independent.
+
+    Covers everything that determines the encoded frame bits relative to
+    the region origin: region shape, relocatability, tile configurations
+    and IOB bindings.  Memoised on the instance (frozen dataclasses still
+    carry a ``__dict__``), so repeated loads hash exactly once.
+    """
+    cached = getattr(bs, _DIGEST_ATTR, None)
+    if cached is not None:
+        return cached
+    x0, y0 = bs.region.x, bs.region.y
+    h = hashlib.blake2b(digest_size=16)
+
+    def feed(*parts: object) -> None:
+        h.update(repr(parts).encode())
+        h.update(b"\x00")
+
+    feed(bs.arch_name, bs.region.w, bs.region.h, bs.relocatable)
+    for coord in sorted(bs.clbs):
+        cfg = bs.clbs[coord]
+        feed(
+            "clb", coord.x - x0, coord.y - y0, cfg.lut_truth,
+            cfg.ff_enable, cfg.ff_init, cfg.out_registered,
+            cfg.input_sel, tuple(sorted(cfg.out_drives)),
+        )
+    for coord in sorted(bs.switches):
+        feed("sw", coord.x - x0, coord.y - y0,
+             tuple(sorted(bs.switches[coord])))
+    for site in sorted(bs.iobs):
+        cfg = bs.iobs[site]
+        feed("iob", tuple(site), cfg.enable, cfg.direction.name,
+             cfg.track_sel)
+    digest = h.digest()
+    object.__setattr__(bs, _DIGEST_ATTR, digest)
+    return digest
+
+
+class BitstreamCache:
+    """Content-addressed cache of encoded frame images.
+
+    Keyed by ``(content digest, anchor x, anchor y)``.  ``frames_for``
+    returns the image plus how it was obtained — ``"hit"`` (exact key),
+    ``"reloc"`` (rebuilt from a cached image at another x anchor of the
+    same row) or ``"miss"`` (full encode).  Returned arrays are read-only
+    and must not be mutated.
+    """
+
+    def __init__(self, arch: Architecture,
+                 codec: Optional[FrameCodec] = None) -> None:
+        self.arch = arch
+        self.codec = codec if codec is not None else FrameCodec(arch)
+        self._images: Dict[Tuple[bytes, int, int], np.ndarray] = {}
+        #: First image seen for (digest, anchor y) — the horizontal
+        #: relocation donor.
+        self._by_row: Dict[Tuple[bytes, int], Tuple[int, np.ndarray]] = {}
+        self.hits = 0
+        self.misses = 0
+        self.relocations = 0
+
+    def __len__(self) -> int:
+        return len(self._images)
+
+    def frames_for(self, bs: Bitstream) -> Tuple[np.ndarray, str]:
+        """The encoded ``(n_frames, frame_bits)`` image for ``bs``."""
+        digest = bitstream_digest(bs)
+        x, y = bs.region.x, bs.region.y
+        key = (digest, x, y)
+        image = self._images.get(key)
+        if image is not None:
+            self.hits += 1
+            return image, "hit"
+        donor = self._by_row.get((digest, y)) if bs.relocatable else None
+        if donor is not None:
+            donor_x, donor_image = donor
+            image = np.zeros_like(donor_image)
+            w = bs.region.w
+            image[x : x + w] = donor_image[donor_x : donor_x + w]
+            self.relocations += 1
+            outcome = "reloc"
+        else:
+            image = self.codec.build_frames(bs.clbs, bs.switches, bs.iobs)
+            self.misses += 1
+            outcome = "miss"
+        image.setflags(write=False)
+        self._images[key] = image
+        self._by_row.setdefault((digest, y), (x, image))
+        return image, outcome
+
+    def clear(self) -> None:
+        self._images.clear()
+        self._by_row.clear()
+        self.hits = self.misses = self.relocations = 0
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "entries": len(self._images),
+            "hits": self.hits,
+            "misses": self.misses,
+            "relocations": self.relocations,
+        }

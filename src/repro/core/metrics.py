@@ -33,6 +33,10 @@ class ServiceMetrics:
     n_relocations: int = 0
     n_compactions: int = 0
     n_ops: int = 0
+    #: Configuration frames physically written by loads + evictions (the
+    #: delta engine's primary savings axis; under full mode this equals
+    #: the frames addressed).
+    frames_written: int = 0
 
     # -- time sums (seconds) ---------------------------------------------------
     load_time: float = 0.0

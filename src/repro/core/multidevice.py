@@ -44,6 +44,10 @@ class MultiDeviceService(FpgaService):
         A :class:`~repro.core.dispatch.BoardDispatchPolicy` name or
         instance; the default ``"affinity"`` (configuration-resident
         board first, then least-busy) is the seed behavior.
+    load_mode:
+        Reconfiguration engine passed to the *default* board factory
+        (ignored when ``board_factory`` is given — build your boards with
+        whatever mode you want there).
     """
 
     def __init__(
@@ -54,12 +58,15 @@ class MultiDeviceService(FpgaService):
             Callable[[ConfigRegistry], VfpgaServiceBase]
         ] = None,
         dispatch: Union[str, BoardDispatchPolicy] = "affinity",
+        load_mode: str = "full",
     ) -> None:
         if n_devices < 1:
             raise ValueError("need at least one device")
         self.registry = registry
         self.dispatch = make_dispatch(dispatch)
-        factory = board_factory or (lambda reg: DynamicLoadingService(reg))
+        factory = board_factory or (
+            lambda reg: DynamicLoadingService(reg, load_mode=load_mode)
+        )
         self.boards: List[VfpgaServiceBase] = [
             factory(registry) for _ in range(n_devices)
         ]

@@ -97,10 +97,14 @@ class OverlayService(VfpgaServiceBase):
                     f"pinned set does not fit: {name!r} needs columns "
                     f"{x}..{x + r.w} of {arch.width}"
                 )
-            timing = self.fpga.load(name, entry.bitstream.anchored_at(x, 0))
+            bitstream = self.registry.translated(name, (x, 0))
+            image, cache = self.registry.bitcache.frames_for(bitstream)
+            timing = self.fpga.load(name, bitstream, mode=self.load_mode,
+                                    image=image)
             self._publish(Load, None, handle=name, anchor=(x, 0),
                           seconds=timing.seconds, frames=timing.n_frames,
-                          clbs=r.area, shape=(r.w, r.h))
+                          clbs=r.area, shape=(r.w, r.h), mode=timing.mode,
+                          frames_written=timing.written, cache=cache)
             self._locks[name] = Resource(self.sim, capacity=1)
             x += r.w
         self._overlay_x = x

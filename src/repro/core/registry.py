@@ -18,11 +18,12 @@ Entries come from three sources:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..cad import CompileResult, compile_netlist
 from ..device import Architecture, Bitstream, ClbConfig, Coord, Rect
 from ..netlist import Netlist
+from .bitcache import BitstreamCache
 from .errors import AdmissionError, UnknownConfigError
 
 __all__ = ["ConfigEntry", "ConfigRegistry", "synthetic_bitstream"]
@@ -121,6 +122,14 @@ class ConfigRegistry:
     def __init__(self, arch: Architecture) -> None:
         self.arch = arch
         self._entries: Dict[str, ConfigEntry] = {}
+        #: Anchored-bitstream memo: (name, x, y) → translated bitstream.
+        #: Repeated activations of a config at the same anchor reuse the
+        #: translation (and, via the instance-memoised content digest, the
+        #: bitcache hashes it exactly once).
+        self._translated: Dict[Tuple[str, int, int], Bitstream] = {}
+        #: Shared content-addressed cache of encoded frame images,
+        #: consulted by every service load through this registry.
+        self.bitcache = BitstreamCache(arch)
 
     # -- registration --------------------------------------------------------
     def register(self, entry: ConfigEntry) -> ConfigEntry:
@@ -133,7 +142,19 @@ class ConfigRegistry:
             )
         entry.bitstream.validate(self.arch)
         self._entries[entry.name] = entry
+        self._invalidate(entry.name)
         return entry
+
+    def unregister(self, name: str) -> ConfigEntry:
+        """Withdraw a configuration and drop its cached translations."""
+        entry = self.get(name)
+        del self._entries[name]
+        self._invalidate(name)
+        return entry
+
+    def _invalidate(self, name: str) -> None:
+        for key in [k for k in self._translated if k[0] == name]:
+            del self._translated[key]
 
     def register_compiled(
         self, result: CompileResult, name: Optional[str] = None,
@@ -202,6 +223,17 @@ class ConfigRegistry:
             return self._entries[name]
         except KeyError:
             raise UnknownConfigError(name) from None
+
+    def translated(self, name: str, anchor: Tuple[int, int]) -> Bitstream:
+        """The named configuration's bitstream anchored at ``anchor``,
+        memoised per (name, anchor) — the encode hot path consults this
+        instead of re-translating on every demand fault."""
+        key = (name, anchor[0], anchor[1])
+        bs = self._translated.get(key)
+        if bs is None:
+            bs = self.get(name).bitstream.anchored_at(*anchor)
+            self._translated[key] = bs
+        return bs
 
     def names(self) -> List[str]:
         return list(self._entries)

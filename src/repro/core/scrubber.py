@@ -78,7 +78,9 @@ class UpsetInjector:
             yield self.sim.timeout(delay)
             frame = self.rng.randrange(arch.n_frames)
             bit = self.rng.randrange(arch.frame_bits)
-            self.fpga.ram.frames[frame, bit] ^= 1
+            # flip_bit (not a raw frames[] poke) keeps the RAM's frame
+            # digests coherent so delta repairs diff against real content.
+            self.fpga.ram.flip_bit(frame, bit)
             handle = None
             for h, bs in self.fpga.resident.items():
                 if frame in bs.frames_touched(arch):
@@ -141,6 +143,7 @@ class Scrubber:
         self._publish(ConfigPortOp(
             self.sim.now, source=self.source, op=op, handle=handle,
             seconds=timing.seconds, frames=timing.n_frames,
+            mode=timing.mode, frames_written=timing.written,
         ))
 
     def _publish(self, event) -> None:

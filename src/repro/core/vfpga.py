@@ -74,8 +74,10 @@ def make_service(policy: str, registry: ConfigRegistry, **kw):
     The pluggable engines are shared across policies: ``placement``
     accepts any :data:`~repro.core.placement.PLACEMENT_STRATEGIES` name,
     ``replacement`` any :func:`~repro.core.policies.make_replacement`
-    name (plus ``replacement_seed`` for stochastic policies), and
-    ``dispatch`` any :data:`~repro.core.dispatch.DISPATCH_POLICIES` name.
+    name (plus ``replacement_seed`` for stochastic policies),
+    ``dispatch`` any :data:`~repro.core.dispatch.DISPATCH_POLICIES` name,
+    and ``load_mode`` (``full``/``delta``/``auto``) selects the
+    reconfiguration engine on every policy.
     """
     kw = dict(kw)  # never mutate the caller's kwargs
     if policy == "merged":
@@ -146,7 +148,7 @@ class VirtualFpga:
 
     # -- interactive (functional) use -----------------------------------------
     def _ensure_loaded(self, name: str) -> DeviceView:
-        entry = self.registry.get(name)
+        self.registry.get(name)  # raises UnknownConfigError if missing
         if name in self.fpga.resident:
             view = self._views.get(name)
             if view is not None:
@@ -158,7 +160,9 @@ class VirtualFpga:
             for other in list(self.fpga.resident):
                 self.fpga.unload(other)
                 self._views.pop(other, None)
-            timing = self.fpga.load(name, entry.bitstream.anchored_at(0, 0))
+            bitstream = self.registry.translated(name, (0, 0))
+            image, _cache = self.registry.bitcache.frames_for(bitstream)
+            timing = self.fpga.load(name, bitstream, image=image)
             self.interactive_loads += 1
             self.interactive_load_time += timing.seconds
         view = self.fpga.view(name)

@@ -14,7 +14,7 @@ from .bitstream_io import (
     save_bitstream,
 )
 from .clb import ClbConfig
-from .config_ram import ConfigRam, FrameCodec, SwitchKey
+from .config_ram import ConfigRam, FrameCodec, SwitchKey, digest_bits
 from .families import FAMILIES, Architecture, get_family
 from .fpga import DeviceView, Fpga
 from .funcsim import ConfigurationError, DeviceFunctionalSimulator
@@ -69,6 +69,7 @@ __all__ = [
     "bitstream_to_dict",
     "clb_input_candidates",
     "clb_output_candidates",
+    "digest_bits",
     "get_family",
     "hlong_wires",
     "hwires",

@@ -26,7 +26,8 @@ Field layouts (all little-endian within a field):
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Tuple
+import hashlib
+from typing import Dict, FrozenSet, List, Optional, Tuple
 
 import numpy as np
 
@@ -36,30 +37,48 @@ from .geometry import Coord
 from .interconnect import IobSite, iob_sites
 from .iob import IobConfig, IobDirection
 
-__all__ = ["ConfigRam", "FrameCodec", "SwitchKey"]
+__all__ = ["ConfigRam", "FrameCodec", "SwitchKey", "digest_bits"]
 
 #: An enabled switch: (track, pair-index into SWITCH_PAIRS).
 SwitchKey = Tuple[int, int]
 
 
 def _int_to_bits(value: int, n: int) -> np.ndarray:
+    """Little-endian bit expansion via ``np.unpackbits`` (no Python loop)."""
     if value < 0 or (n < value.bit_length()):
         raise ValueError(f"value {value} does not fit in {n} bits")
-    return np.array([(value >> i) & 1 for i in range(n)], dtype=np.uint8)
+    raw = value.to_bytes((n + 7) // 8, "little")
+    return np.unpackbits(
+        np.frombuffer(raw, dtype=np.uint8), bitorder="little"
+    )[:n]
 
 
 def _bits_to_int(bits: np.ndarray) -> int:
-    value = 0
-    for i, b in enumerate(bits):
-        value |= int(b) << i
-    return value
+    """Inverse of :func:`_int_to_bits` via ``np.packbits``."""
+    packed = np.packbits(np.asarray(bits, dtype=np.uint8), bitorder="little")
+    return int.from_bytes(packed.tobytes(), "little")
+
+
+def digest_bits(bits: np.ndarray) -> bytes:
+    """Content digest of one frame row (packed bits, blake2b-128).
+
+    The shared hashing primitive behind the delta-reconfiguration engine
+    (:meth:`ConfigRam.frame_digest`) and the content-addressed bitstream
+    cache (:mod:`repro.core.bitcache`).
+    """
+    packed = np.packbits(np.ascontiguousarray(bits, dtype=np.uint8))
+    return hashlib.blake2b(packed.tobytes(), digest_size=16).digest()
 
 
 class ConfigRam:
     """The device's static configuration memory.
 
     Tracks write statistics so the timing model can charge exactly what was
-    touched.
+    touched, and a lazy per-frame content digest
+    (:meth:`frame_digest`) so the delta-reconfiguration engine can diff an
+    incoming bitstream against the resident bits without scanning the
+    whole array.  All mutation must go through :meth:`write_frame`,
+    :meth:`flip_bit` or :meth:`clear` so the digests stay coherent.
     """
 
     def __init__(self, arch: Architecture) -> None:
@@ -67,11 +86,18 @@ class ConfigRam:
         self.frames = np.zeros((arch.n_frames, arch.frame_bits), dtype=np.uint8)
         self.frame_writes = 0
         self.bits_written = 0
+        #: Lazily computed per-frame content digests (``None`` = stale).
+        self._digests: List[Optional[bytes]] = [None] * arch.n_frames
         #: Optional hook ``fn(frame_index)`` invoked after every frame
         #: write (telemetry tap for write-traffic studies; ``None`` = off).
         self.on_write = None
 
-    def write_frame(self, index: int, bits: np.ndarray) -> None:
+    def write_frame(
+        self, index: int, bits: np.ndarray,
+        digest: Optional[bytes] = None,
+    ) -> None:
+        """Overwrite frame ``index``.  Callers that already hashed ``bits``
+        may pass ``digest`` to seed the digest cache."""
         if not 0 <= index < self.arch.n_frames:
             raise IndexError(f"frame {index} out of range")
         if bits.shape != (self.arch.frame_bits,):
@@ -79,6 +105,7 @@ class ConfigRam:
                 f"frame bits shape {bits.shape} != ({self.arch.frame_bits},)"
             )
         self.frames[index] = bits
+        self._digests[index] = digest
         self.frame_writes += 1
         self.bits_written += self.arch.frame_bits
         if self.on_write is not None:
@@ -89,8 +116,32 @@ class ConfigRam:
             raise IndexError(f"frame {index} out of range")
         return self.frames[index].copy()
 
+    def frame_digest(self, index: int) -> bytes:
+        """Content digest of frame ``index`` (computed lazily, cached
+        until the frame is next written)."""
+        if not 0 <= index < self.arch.n_frames:
+            raise IndexError(f"frame {index} out of range")
+        d = self._digests[index]
+        if d is None:
+            d = digest_bits(self.frames[index])
+            self._digests[index] = d
+        return d
+
+    def flip_bit(self, frame: int, bit: int) -> None:
+        """Invert one configuration bit in place (upset-injection hook).
+
+        Unlike poking ``frames`` directly, this keeps the digest cache
+        coherent — essential or a later delta load would diff against a
+        stale hash and skip a genuinely different frame.
+        """
+        if not 0 <= frame < self.arch.n_frames:
+            raise IndexError(f"frame {frame} out of range")
+        self.frames[frame, bit] ^= 1
+        self._digests[frame] = None
+
     def clear(self) -> None:
         self.frames[:] = 0
+        self._digests = [None] * self.arch.n_frames
 
 
 class FrameCodec:
@@ -105,21 +156,19 @@ class FrameCodec:
     def encode_clb(self, cfg: ClbConfig) -> np.ndarray:
         arch = self.arch
         cfg.validate(arch)
-        parts = [
-            _int_to_bits(cfg.lut_truth, 1 << arch.k),
-            np.array(
-                [int(cfg.ff_enable), cfg.ff_init, int(cfg.out_registered)],
-                dtype=np.uint8,
-            ),
-        ]
+        bits = np.zeros(arch.clb_config_bits, dtype=np.uint8)
+        pos = 1 << arch.k
+        bits[:pos] = _int_to_bits(cfg.lut_truth, pos)
+        bits[pos] = int(cfg.ff_enable)
+        bits[pos + 1] = cfg.ff_init
+        bits[pos + 2] = int(cfg.out_registered)
+        pos += 3
+        w = arch.input_sel_bits
         for sel in cfg.input_sel:
-            parts.append(_int_to_bits(sel, arch.input_sel_bits))
-        mask = np.zeros(4 * arch.channel_width, dtype=np.uint8)
-        for idx in cfg.out_drives:
-            mask[idx] = 1
-        parts.append(mask)
-        bits = np.concatenate(parts)
-        assert bits.size == arch.clb_config_bits
+            bits[pos : pos + w] = _int_to_bits(sel, w)
+            pos += w
+        if cfg.out_drives:
+            bits[pos + np.fromiter(cfg.out_drives, dtype=np.intp)] = 1
         return bits
 
     def decode_clb(self, bits: np.ndarray) -> ClbConfig:
@@ -177,11 +226,11 @@ class FrameCodec:
 
     def encode_iob(self, cfg: IobConfig) -> np.ndarray:
         cfg.validate(self.arch)
-        head = np.array(
-            [int(cfg.enable), int(cfg.direction is IobDirection.OUTPUT)],
-            dtype=np.uint8,
-        )
-        return np.concatenate([head, _int_to_bits(cfg.track_sel, self.arch.iob_sel_bits)])
+        bits = np.zeros(self.arch.iob_config_bits, dtype=np.uint8)
+        bits[0] = int(cfg.enable)
+        bits[1] = int(cfg.direction is IobDirection.OUTPUT)
+        bits[2:] = _int_to_bits(cfg.track_sel, self.arch.iob_sel_bits)
+        return bits
 
     def decode_iob(self, bits: np.ndarray) -> IobConfig:
         if bits.size != self.arch.iob_config_bits:

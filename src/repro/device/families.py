@@ -52,6 +52,12 @@ class Architecture:
         some families can; this is experiment E12's ablation knob).
     frame_overhead:
         Fixed addressing/setup cost per partial frame write, seconds.
+    delta_addr_bits:
+        Extra bits serialised per frame in a delta (frame-diff) write: the
+        explicit frame address + write-command header that a sequential
+        partial reload amortises away.  This is what makes delta loads
+        *lose* once nearly every frame changed — the fallback condition is
+        ``changed * (frame_bits + delta_addr_bits) >= touched * frame_bits``.
     readback_rate:
         State readback (observe) and state write (control) rate, bits/s.
     """
@@ -80,6 +86,7 @@ class Architecture:
     serial_rate: float = 1.0e6
     supports_partial: bool = True
     frame_overhead: float = 5.0e-6
+    delta_addr_bits: int = 32
     readback_rate: float = 1.0e6
 
     def __post_init__(self) -> None:
@@ -96,6 +103,8 @@ class Architecture:
                 "long_per_channel must be in [0, channel_width] (long line "
                 "l taps regular track l at every switch box)"
             )
+        if self.delta_addr_bits < 0:
+            raise ValueError("delta_addr_bits must be >= 0")
 
     # -- derived geometry ----------------------------------------------------
     @property

@@ -15,7 +15,7 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from .bitstream import Bitstream, BitstreamError
-from .config_ram import ConfigRam, FrameCodec
+from .config_ram import ConfigRam, FrameCodec, digest_bits
 from .families import Architecture
 from .funcsim import DeviceFunctionalSimulator, Node
 from .geometry import Coord, Rect
@@ -81,12 +81,67 @@ class Fpga:
         return mask
 
     # -- load / unload ----------------------------------------------------------
-    def load(self, handle: str, bitstream: Bitstream) -> ConfigTimingBreakdown:
+    @staticmethod
+    def _check_mode(mode: str) -> None:
+        if mode not in ("full", "delta", "auto"):
+            raise ValueError(
+                f"load mode must be 'full', 'delta' or 'auto', got {mode!r}"
+            )
+
+    def _apply_frames(
+        self, bitstream: Bitstream, new_bits: np.ndarray, mode: str,
+        full_timing: ConfigTimingBreakdown,
+    ) -> ConfigTimingBreakdown:
+        """Merge ``new_bits`` into the RAM over ``bitstream``'s owned bits.
+
+        ``full`` writes every touched frame and charges ``full_timing``.
+        ``delta`` diffs each merged frame against the resident content
+        digest and writes/charges only the differing frames (plus the
+        per-frame address header).  ``auto`` prices both and falls back to
+        the full reload when the delta would cost at least as much —
+        ``changed * (frame_bits + delta_addr_bits) >= touched * frame_bits``.
+        Either way the post-condition is identical RAM content.
+        """
+        mask = self._region_mask(bitstream)
+        touched = sorted(bitstream.frames_touched(self.arch))
+        use_delta = mode != "full" and self.arch.supports_partial
+        if not use_delta:
+            for fx in touched:
+                merged = (self.ram.frames[fx] & ~mask[fx]) | (new_bits[fx] & mask[fx])
+                self.ram.write_frame(fx, merged)
+            return full_timing
+        pending = []
+        for fx in touched:
+            merged = (self.ram.frames[fx] & ~mask[fx]) | (new_bits[fx] & mask[fx])
+            digest = digest_bits(merged)
+            if digest != self.ram.frame_digest(fx):
+                pending.append((fx, merged, digest))
+        timing = self.port.delta_load_time(bitstream, len(pending))
+        if mode == "auto" and timing.seconds >= full_timing.seconds:
+            for fx in touched:
+                merged = (self.ram.frames[fx] & ~mask[fx]) | (new_bits[fx] & mask[fx])
+                self.ram.write_frame(fx, merged)
+            return full_timing
+        for fx, merged, digest in pending:
+            self.ram.write_frame(fx, merged, digest=digest)
+        return timing
+
+    def load(
+        self, handle: str, bitstream: Bitstream, mode: str = "full",
+        image: Optional[np.ndarray] = None,
+    ) -> ConfigTimingBreakdown:
         """Make ``bitstream`` resident under ``handle``.
 
         Overlapping an already-resident region is a physical-sanity error:
         the manager must unload the previous occupant first.
+
+        ``mode`` selects the reconfiguration engine: ``full`` writes every
+        touched frame, ``delta`` writes only frames whose content differs
+        from the resident bits, ``auto`` prices both and picks the cheaper.
+        ``image`` optionally supplies the pre-encoded frame array (from the
+        content-addressed bitstream cache) so the encode path is skipped.
         """
+        self._check_mode(mode)
         bitstream.validate(self.arch)
         if handle in self.resident:
             raise BitstreamError(f"handle {handle!r} already resident")
@@ -96,32 +151,40 @@ class Fpga:
                     f"region {bitstream.region} overlaps resident "
                     f"{other_handle!r} at {other.region}"
                 )
-        new_bits = self.codec.build_frames(
-            bitstream.clbs, bitstream.switches, bitstream.iobs
+        if image is not None:
+            new_bits = image
+        else:
+            new_bits = self.codec.build_frames(
+                bitstream.clbs, bitstream.switches, bitstream.iobs
+            )
+        timing = self._apply_frames(
+            bitstream, new_bits, mode, self.port.load_time(bitstream)
         )
-        mask = self._region_mask(bitstream)
-        touched = sorted(bitstream.frames_touched(self.arch))
-        for fx in touched:
-            merged = (self.ram.frames[fx] & ~mask[fx]) | (new_bits[fx] & mask[fx])
-            self.ram.write_frame(fx, merged)
         self.resident[handle] = bitstream
-        timing = self.port.load_time(bitstream)
         self.port_busy_time += timing.seconds
         self.n_loads += 1
         if self.telemetry is not None:
             self.telemetry("load", handle, timing)
         return timing
 
-    def unload(self, handle: str) -> ConfigTimingBreakdown:
-        """Clear ``handle``'s owned bits and forget it."""
+    def unload(self, handle: str, mode: str = "full") -> ConfigTimingBreakdown:
+        """Clear ``handle``'s owned bits and forget it.
+
+        Under ``delta``/``auto`` only the frames whose owned bits are
+        actually non-zero need a write (clearing an already-clear frame is
+        a no-op the frame-diff detects for free).
+        """
+        self._check_mode(mode)
         try:
             bitstream = self.resident.pop(handle)
         except KeyError:
             raise BitstreamError(f"handle {handle!r} is not resident") from None
-        mask = self._region_mask(bitstream)
-        for fx in sorted(bitstream.frames_touched(self.arch)):
-            self.ram.write_frame(fx, self.ram.frames[fx] & ~mask[fx])
-        timing = self.port.unload_time(bitstream)
+        zeros = np.zeros(
+            (self.arch.n_frames, self.arch.frame_bits), dtype=np.uint8
+        )
+        timing = self._apply_frames(
+            bitstream, zeros, mode, self.port.unload_time(bitstream)
+        )
         self.port_busy_time += timing.seconds
         self.n_unloads += 1
         if self.telemetry is not None:
@@ -135,7 +198,7 @@ class Fpga:
         configuration anyway: the overwrite is charged once by the caller,
         and the previous residents simply cease to exist.
         """
-        self.ram.frames[:] = 0
+        self.ram.clear()
         self.resident.clear()
 
     def clear(self) -> ConfigTimingBreakdown:

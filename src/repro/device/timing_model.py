@@ -8,6 +8,8 @@ prices every configuration-port transaction:
 
 * full serial download of the entire RAM,
 * partial (frame-addressed) writes of only the frames a bitstream touches,
+* delta (frame-diff) writes of only the frames whose content *changed*,
+  each carrying an explicit address header (``Architecture.delta_addr_bits``),
 * state readback (observe all flip-flops, §3),
 * state restore (control all flip-flops, §3).
 
@@ -18,6 +20,7 @@ flip-flop costs its whole frame.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from .bitstream import Bitstream
 from .families import Architecture
@@ -31,7 +34,14 @@ class ConfigTimingBreakdown:
 
     n_frames: int
     seconds: float
-    mode: str  # "full-serial" | "partial" | "readback" | "state-restore"
+    mode: str  # "full-serial" | "partial" | "delta" | "readback" | "state-restore"
+    #: Frames physically written; ``None`` means "all addressed frames"
+    #: (every non-delta mode).  Use :attr:`written` for the resolved count.
+    frames_written: Optional[int] = None
+
+    @property
+    def written(self) -> int:
+        return self.n_frames if self.frames_written is None else self.frames_written
 
 
 class ConfigPort:
@@ -73,6 +83,34 @@ class ConfigPort:
     def unload_time(self, bitstream: Bitstream) -> ConfigTimingBreakdown:
         """Clearing a region costs the same frame writes as loading it."""
         return self.load_time(bitstream)
+
+    # -- delta (frame-diff) writes ------------------------------------------
+    def delta_frame_write_time(self, n_frames: int) -> float:
+        """Each delta frame pays the partial-write cost *plus* an explicit
+        per-frame address header — the price of random frame access."""
+        a = self.arch
+        return n_frames * (
+            a.frame_overhead + (a.frame_bits + a.delta_addr_bits) / a.serial_rate
+        )
+
+    def delta_load_time(
+        self, bitstream: Bitstream, n_changed: int
+    ) -> ConfigTimingBreakdown:
+        """Time to reconfigure when only ``n_changed`` of the touched
+        frames differ from the resident bits.
+
+        Devices without partial reconfiguration cannot address frames at
+        all, so the delta path degenerates to a full serial download.
+        """
+        if not self.arch.supports_partial:
+            return self.full_config()
+        n_touched = len(bitstream.frames_touched(self.arch))
+        return ConfigTimingBreakdown(
+            n_frames=n_touched,
+            seconds=self.delta_frame_write_time(n_changed),
+            mode="delta",
+            frames_written=n_changed,
+        )
 
     # -- state save/restore (paper §3) ------------------------------------------
     def _state_frames(self, bitstream: Bitstream) -> int:

@@ -61,6 +61,7 @@ def _metric(run: Dict[str, object], dotted: str) -> Optional[float]:
 METRICS: Tuple[Tuple[str, Optional[str]], ...] = (
     ("wall_seconds", "growth"),
     ("telemetry.n_events", "drift"),
+    ("metrics.frames_written", "drift"),
     ("makespan", None),
     ("mean_turnaround", None),
     ("useful_fraction", None),

@@ -190,6 +190,13 @@ class Load(TelemetryEvent):
     from the stream alone.  ``shape`` is the region's ``(w, h)`` in
     CLBs (``(0, 0)`` = unknown); with ``anchor`` it gives auditors the
     exact rectangle the download occupies.
+
+    ``mode`` names the reconfiguration engine that priced the download
+    (``full-serial``/``partial``/``delta``), ``frames_written`` the frames
+    physically written (under delta, only the differing ones), and
+    ``cache`` how the encoded image was obtained from the
+    content-addressed bitstream cache (``hit``/``reloc``/``miss``;
+    empty = path not cached).
     """
 
     handle: str = ""
@@ -200,6 +207,9 @@ class Load(TelemetryEvent):
     clbs: int = 0
     exclusive: bool = False
     shape: Tuple[int, int] = (0, 0)
+    mode: str = ""
+    frames_written: int = 0
+    cache: str = ""
     kind: ClassVar[Optional[str]] = "fpga-load"
 
     @property
@@ -215,6 +225,8 @@ class Evict(TelemetryEvent):
     handle: str = ""
     seconds: float = 0.0
     clbs: int = 0
+    mode: str = ""
+    frames_written: int = 0
     kind: ClassVar[Optional[str]] = "fpga-unload"
 
     @property
@@ -439,6 +451,8 @@ class ConfigPortOp(TelemetryEvent):
     handle: str = ""
     seconds: float = 0.0
     frames: int = 0
+    mode: str = ""            #: pricing mode ("partial"/"delta"/"full-serial")
+    frames_written: int = 0
 
     @property
     def detail(self) -> str:

@@ -157,11 +157,13 @@ class MetricsRecorder:
     def _on_load(self, e: Load) -> None:
         self.metrics.n_loads += e.count
         self.metrics.load_time += e.seconds
+        self.metrics.frames_written += e.frames_written
 
     def _on_evict(self, e: Evict) -> None:
         self.metrics.n_unloads += 1
         self.metrics.n_evictions += 1
         self.metrics.load_time += e.seconds
+        self.metrics.frames_written += e.frames_written
 
     def _on_state_save(self, e: StateSave) -> None:
         self.metrics.n_state_saves += 1

@@ -1,0 +1,183 @@
+"""Service-level delta/full equivalence under audit.
+
+The delta engine sits on the config-port hot path of every policy; these
+tests run whole managed workloads in both modes under a *strict* auditor
+and require the runs to be indistinguishable in everything but charged
+port time: identical decoded device state, identical task completions,
+zero contract violations — and ``auto`` never charges more port time
+than ``full`` on any arm.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import ConfigRegistry, make_paged_circuit, make_service
+from repro.device import FrameCodec, get_family
+from repro.osim import FpgaOp, Kernel, RoundRobin, Task, uniform_workload
+from repro.sim import Simulator
+from repro.telemetry import Auditor, EventBus, EventLog
+
+
+def run_policy(policy, build, load_mode):
+    """One audited run; returns (service, auditor, events)."""
+    registry, tasks, policy_kw = build()
+    sim = Simulator()
+    service = make_service(policy, registry, load_mode=load_mode,
+                           **policy_kw)
+    bus = EventBus()
+    log = EventLog(bus)
+    auditor = Auditor(bus, mode="strict",
+                      clb_capacity=registry.arch.n_clbs)
+    kernel = Kernel(sim, RoundRobin(time_slice=1e-3), service,
+                    context_switch=0.0, bus=bus)
+    kernel.spawn_all(tasks)
+    kernel.run()
+    auditor.finish()
+    return service, auditor, log.events
+
+
+def contended_build(**policy_kw):
+    def build():
+        arch = get_family("VF12")
+        reg = ConfigRegistry(arch)
+        names = []
+        for i, w in enumerate([3, 3, 4, 6]):
+            reg.register_synthetic(f"f{i}", w, arch.height,
+                                   n_state_bits=2 * w,
+                                   critical_path=20e-9)
+            names.append(f"f{i}")
+        tasks = uniform_workload(
+            names, n_tasks=6, ops_per_task=4, cpu_burst=0.2e-3,
+            cycles=50_000, seed=11,
+        )
+        return reg, tasks, policy_kw
+    return build
+
+
+def sequential_build(**policy_kw):
+    """One task touching four circuits that cannot all fit — every
+    activation faults and evicts, but the op order (hence the placement
+    decisions) cannot depend on how fast loads are charged."""
+    def build():
+        arch = get_family("VF12")
+        reg = ConfigRegistry(arch)
+        for i, w in enumerate([3, 3, 4, 6]):
+            reg.register_synthetic(f"f{i}", w, arch.height,
+                                   n_state_bits=2 * w,
+                                   critical_path=20e-9)
+        ops = [FpgaOp(f"f{i % 4}", 30) for i in range(10)]
+        return reg, [Task("t", ops)], policy_kw
+    return build
+
+
+def paged_build(**policy_kw):
+    def build():
+        arch = get_family("VF12")
+        reg = ConfigRegistry(arch)
+        circ = make_paged_circuit(reg, "virt", n_pages=6, page_width=3,
+                                  pattern="zipf", seed=5)
+        tasks = [Task("t", [FpgaOp("virt", 40)]),
+                 Task("u", [FpgaOp("virt", 40)], arrival=1e-4)]
+        kw = dict(circuits=[circ], frame_width=3, **policy_kw)
+        return reg, tasks, kw
+    return build
+
+
+def decoded_state(service):
+    """The device state as the codec sees it — config content only."""
+    codec = FrameCodec(service.fpga.arch)
+    return codec.decode_frames(service.fpga.ram.frames)
+
+
+EQUIV_CASES = [
+    ("dynamic", contended_build),
+    ("variable", lambda: sequential_build(hold_mode="op")),
+    ("paged", paged_build),
+]
+
+
+@pytest.mark.parametrize(
+    "policy,make_build", EQUIV_CASES, ids=[c[0] for c in EQUIV_CASES],
+)
+def test_delta_equals_full_under_strict_audit(policy, make_build):
+    full_svc, full_aud, full_ev = run_policy(policy, make_build(), "full")
+    delta_svc, delta_aud, delta_ev = run_policy(policy, make_build(), "delta")
+    # Strict mode would have raised already; belt and braces:
+    assert full_aud.violations == []
+    assert delta_aud.violations == []
+    # Identical post-run device state, decoded — not just the raw bits.
+    assert decoded_state(full_svc) == decoded_state(delta_svc)
+    assert np.array_equal(full_svc.fpga.ram.frames,
+                          delta_svc.fpga.ram.frames)
+    # Same tasks completed, in the same order.
+    full_done = [vars(e)["task"] for e in full_ev
+                 if type(e).__name__ == "TaskDone"]
+    delta_done = [vars(e)["task"] for e in delta_ev
+                  if type(e).__name__ == "TaskDone"]
+    assert full_done == delta_done and full_done
+    # The engine only removes port work, never adds it.
+    assert (delta_svc.fpga.port_busy_time
+            <= full_svc.fpga.port_busy_time + 1e-12)
+
+
+AUTO_CASES = EQUIV_CASES + [
+    ("variable-contended", lambda: contended_build(hold_mode="op")),
+    ("fixed", lambda: contended_build(n_partitions=2)),
+    ("overlay", lambda: _overlay_build()),
+]
+
+
+def _overlay_build():
+    def build():
+        arch = get_family("VF12")
+        reg = ConfigRegistry(arch)
+        names = []
+        for i, w in enumerate([3, 3, 4]):
+            reg.register_synthetic(f"f{i}", w, arch.height,
+                                   n_state_bits=w, critical_path=20e-9)
+            names.append(f"f{i}")
+        tasks = uniform_workload(
+            names, n_tasks=4, ops_per_task=3, cpu_burst=0.2e-3,
+            cycles=50_000, seed=11,
+        )
+        return reg, tasks, dict(resident_names=["f0"])
+    return build
+
+
+@pytest.mark.parametrize(
+    "policy,make_build", AUTO_CASES, ids=[c[0] for c in AUTO_CASES],
+)
+def test_auto_never_charges_more_than_full(policy, make_build):
+    """Acceptance: ``--load-mode auto`` is a free lunch on every arm.
+
+    (Device-state equality is pinned by the sequential equivalence test
+    above; under contention the cheaper loads may legitimately lead the
+    policies to different — equally valid — placements.)
+    """
+    policy = policy.split("-")[0]
+    full_svc, _, _ = run_policy(policy, make_build(), "full")
+    auto_svc, auto_aud, _ = run_policy(policy, make_build(), "auto")
+    assert auto_aud.violations == []
+    assert (auto_svc.fpga.port_busy_time
+            <= full_svc.fpga.port_busy_time + 1e-12)
+
+
+def test_delta_events_carry_mode_and_frames():
+    _, _, events = run_policy("paged", paged_build(), "delta")
+    loads = [e for e in events if type(e).__name__ == "Load"]
+    assert loads
+    assert all(e.mode in ("delta", "partial") for e in loads)
+    assert all(e.cache in ("hit", "miss", "reloc") for e in loads)
+    # frames_written is the engine's saving: never more than addressed.
+    assert all(e.frames_written <= e.frames for e in loads)
+    assert any(e.frames_written < e.frames for e in loads)
+
+
+def test_full_mode_stream_is_unchanged_shape():
+    """Default mode keeps the legacy stream: every load is charged as a
+    full partial write of the addressed frames."""
+    _, _, events = run_policy("paged", paged_build(), "full")
+    loads = [e for e in events if type(e).__name__ == "Load"]
+    assert loads
+    assert all(e.mode == "partial" for e in loads)
+    assert all(e.frames_written == e.frames for e in loads)

@@ -1,0 +1,262 @@
+"""Delta-reconfiguration engine and vectorized codec tests.
+
+The frame-delta engine must be *invisible* in configuration content —
+only the charged port time and the written-frame count may change — and
+the vectorized bit packing must reproduce the scalar reference encoding
+byte for byte.
+"""
+
+import numpy as np
+import pytest
+
+from repro.device import (
+    Architecture,
+    Bitstream,
+    ClbConfig,
+    ConfigRam,
+    Fpga,
+    FrameCodec,
+    Rect,
+    digest_bits,
+)
+from repro.device.config_ram import _bits_to_int, _int_to_bits
+
+
+@pytest.fixture
+def arch():
+    return Architecture("t", 4, 4, k=4, channel_width=4)
+
+
+def make_bitstream(arch, name, x, y, w, h, n_ffs, truth=0xBEEF):
+    """A relocatable bitstream with real (non-zero) CLB content."""
+    clbs, state = {}, {}
+    coords = list(Rect(x, y, w, h).coords())
+    for i in range(n_ffs):
+        c = coords[i]
+        clbs[c] = ClbConfig(
+            lut_truth=truth, ff_enable=True, out_registered=True,
+            input_sel=(0,) * arch.k,
+        )
+        state[f"{name}_ff{i}"] = c
+    return Bitstream(
+        name=name, arch_name=arch.name, region=Rect(x, y, w, h),
+        clbs=clbs, relocatable=True, state_bits=state,
+    )
+
+
+# -- satellite: vectorized bit packing vs the scalar reference ---------------
+def scalar_int_to_bits(value, n):
+    return np.array([(value >> i) & 1 for i in range(n)], dtype=np.uint8)
+
+
+def scalar_bits_to_int(bits):
+    value = 0
+    for i, b in enumerate(bits):
+        value |= int(b) << i
+    return value
+
+
+class TestVectorizedCodec:
+    @pytest.mark.parametrize("n", [1, 3, 7, 8, 9, 16, 31, 64])
+    def test_int_to_bits_matches_scalar_reference(self, n):
+        values = [0, 1, (1 << n) - 1, (1 << n) // 3, 1 << (n - 1)]
+        for v in values:
+            got = _int_to_bits(v, n)
+            want = scalar_int_to_bits(v, n)
+            assert got.dtype == np.uint8
+            assert got.tobytes() == want.tobytes()
+
+    @pytest.mark.parametrize("n", [1, 5, 12, 33])
+    def test_bits_to_int_roundtrip(self, n):
+        rng = np.random.default_rng(7)
+        bits = rng.integers(0, 2, size=n, dtype=np.uint8)
+        assert _bits_to_int(bits) == scalar_bits_to_int(bits)
+        assert _bits_to_int(_int_to_bits(12345 % (1 << n), n)) == 12345 % (1 << n)
+
+    def test_value_too_wide_rejected(self):
+        with pytest.raises(ValueError):
+            _int_to_bits(8, 3)
+        with pytest.raises(ValueError):
+            _int_to_bits(-1, 4)
+
+    def test_clb_field_matches_scalar_reference(self, arch):
+        """The preallocated encoder reproduces the concatenate-chain
+        layout byte for byte."""
+        codec = FrameCodec(arch)
+        cfg = ClbConfig(
+            lut_truth=0xBEEF, ff_enable=True, ff_init=1,
+            out_registered=True, input_sel=(1, 0, 7, 16),
+            out_drives=frozenset({0, 5, 15}),
+        )
+        parts = [
+            scalar_int_to_bits(cfg.lut_truth, 1 << arch.k),
+            np.array([1, 1, 1], dtype=np.uint8),
+        ]
+        for sel in cfg.input_sel:
+            parts.append(scalar_int_to_bits(sel, arch.input_sel_bits))
+        mask = np.zeros(4 * arch.channel_width, dtype=np.uint8)
+        for idx in cfg.out_drives:
+            mask[idx] = 1
+        parts.append(mask)
+        want = np.concatenate(parts)
+        assert codec.encode_clb(cfg).tobytes() == want.tobytes()
+
+    def test_whole_frame_image_matches_per_field_layout(self, arch):
+        codec = FrameCodec(arch)
+        bs = make_bitstream(arch, "c", 1, 1, 2, 2, 3)
+        frames = codec.build_frames(bs.clbs, bs.switches, bs.iobs)
+        clbs, switches, iobs = codec.decode_frames(frames)
+        assert clbs == bs.clbs
+        assert switches == dict(bs.switches)
+        assert iobs == dict(bs.iobs)
+
+
+# -- ConfigRam digests -------------------------------------------------------
+class TestFrameDigests:
+    def test_digest_tracks_content(self, arch):
+        ram = ConfigRam(arch)
+        d0 = ram.frame_digest(0)
+        assert d0 == digest_bits(np.zeros(arch.frame_bits, dtype=np.uint8))
+        bits = np.ones(arch.frame_bits, dtype=np.uint8)
+        ram.write_frame(0, bits)
+        assert ram.frame_digest(0) == digest_bits(bits)
+        assert ram.frame_digest(0) != d0
+
+    def test_flip_bit_invalidates(self, arch):
+        ram = ConfigRam(arch)
+        before = ram.frame_digest(2)
+        ram.flip_bit(2, 5)
+        assert ram.frames[2, 5] == 1
+        assert ram.frame_digest(2) != before
+        ram.flip_bit(2, 5)
+        assert ram.frame_digest(2) == before
+
+    def test_clear_resets_digests(self, arch):
+        ram = ConfigRam(arch)
+        ram.write_frame(1, np.ones(arch.frame_bits, dtype=np.uint8))
+        ram.clear()
+        assert ram.frame_digest(1) == digest_bits(
+            np.zeros(arch.frame_bits, dtype=np.uint8)
+        )
+
+    def test_precomputed_digest_trusted(self, arch):
+        ram = ConfigRam(arch)
+        bits = np.ones(arch.frame_bits, dtype=np.uint8)
+        d = digest_bits(bits)
+        ram.write_frame(0, bits, digest=d)
+        assert ram.frame_digest(0) == d
+
+
+# -- the delta engine --------------------------------------------------------
+class TestDeltaLoads:
+    def test_bit_exact_across_modes(self, arch):
+        """Every mode leaves the RAM in the identical state after an
+        arbitrary load/unload/reload sequence."""
+        a = make_bitstream(arch, "a", 0, 0, 2, 4, 5)
+        b = make_bitstream(arch, "b", 2, 0, 2, 4, 5)
+        rams = {}
+        for mode in ("full", "delta", "auto"):
+            f = Fpga(arch)
+            f.load("a", a, mode=mode)
+            f.load("b", b, mode=mode)
+            f.unload("a", mode=mode)
+            f.load("a2", a, mode=mode)
+            rams[mode] = f.ram.frames.copy()
+        assert np.array_equal(rams["full"], rams["delta"])
+        assert np.array_equal(rams["full"], rams["auto"])
+
+    def test_delta_charges_only_changed_frames(self, arch):
+        a = make_bitstream(arch, "a", 0, 0, 3, 4, 4)  # FFs fill column 0
+        f = Fpga(arch)
+        t = f.load("a", a, mode="delta")
+        assert t.mode == "delta"
+        assert t.n_frames == 3           # frames addressed (whole region)
+        assert t.frames_written == 1     # only the FF column has content
+        assert t.seconds == f.port.delta_frame_write_time(1)
+        # Unloading writes back only that same frame.
+        t = f.unload("a", mode="delta")
+        assert t.frames_written == 1
+
+    def test_identical_reload_into_cleared_region(self, arch):
+        """Unload zeroes the owned bits; reloading identical content must
+        rewrite them (delta is honest, not magical)."""
+        a = make_bitstream(arch, "a", 0, 0, 2, 4, 2)
+        f = Fpga(arch)
+        f.load("a", a, mode="delta")
+        f.unload("a", mode="delta")
+        t = f.load("a2", a, mode="delta")
+        assert t.frames_written == 1
+
+    def test_delta_can_lose_and_auto_falls_back(self, arch):
+        """When every touched frame changed, the per-frame address header
+        makes delta strictly worse; auto must fall back to full."""
+        a = make_bitstream(arch, "a", 0, 0, 2, 4, 8)  # both columns hold FFs
+        full = Fpga(arch).load("f", a, mode="full")
+        delta = Fpga(arch).load("d", a, mode="delta")
+        auto = Fpga(arch).load("x", a, mode="auto")
+        assert delta.frames_written == full.n_frames  # everything changed
+        assert delta.seconds > full.seconds
+        assert auto.mode == "partial"
+        assert auto.seconds == full.seconds
+
+    def test_auto_never_exceeds_full(self, arch):
+        a = make_bitstream(arch, "a", 0, 0, 2, 4, 3)
+        b = make_bitstream(arch, "b", 0, 0, 2, 4, 3, truth=0x1234)
+        for sequence in (("a", "b"), ("a", "a"), ("b", "a")):
+            f_full, f_auto = Fpga(arch), Fpga(arch)
+            total_full = total_auto = 0.0
+            streams = {"a": a, "b": b}
+            for i, name in enumerate(sequence):
+                bs = streams[name]
+                total_full += f_full.load(f"h{i}", bs, mode="full").seconds
+                total_full += f_full.unload(f"h{i}", mode="full").seconds
+                total_auto += f_auto.load(f"h{i}", bs, mode="auto").seconds
+                total_auto += f_auto.unload(f"h{i}", mode="auto").seconds
+            assert total_auto <= total_full + 1e-15
+            assert np.array_equal(f_full.ram.frames, f_auto.ram.frames)
+
+    def test_upset_invalidates_delta_diff(self, arch):
+        """A flipped bit must be seen by the next delta reload — the
+        scrub-repair path depends on it."""
+        a = make_bitstream(arch, "a", 0, 0, 2, 4, 2)
+        f = Fpga(arch)
+        f.load("a", a, mode="delta")
+        golden = f.ram.frames.copy()
+        f.ram.flip_bit(0, 3)
+        f.unload("a", mode="delta")
+        t = f.load("a2", a, mode="delta")
+        assert t.frames_written >= 1
+        assert np.array_equal(f.ram.frames, golden)
+
+    def test_non_partial_device_always_full_serial(self):
+        arch = Architecture("np", 4, 4, k=4, channel_width=4,
+                            supports_partial=False)
+        a = make_bitstream(arch, "a", 0, 0, 2, 4, 2)
+        for mode in ("full", "delta", "auto"):
+            f = Fpga(arch)
+            t = f.load("a", a, mode=mode)
+            assert t.mode == "full-serial"
+            assert t.seconds == arch.full_config_time
+
+    def test_bad_mode_rejected(self, arch):
+        a = make_bitstream(arch, "a", 0, 0, 2, 4, 2)
+        with pytest.raises(ValueError):
+            Fpga(arch).load("a", a, mode="incremental")
+
+    def test_wipe_resets_digests(self, arch):
+        a = make_bitstream(arch, "a", 0, 0, 2, 4, 4)
+        f = Fpga(arch)
+        f.load("a", a, mode="delta")
+        f.wipe()
+        assert not f.ram.frames.any()
+        # A delta load after the wipe must rewrite the content frame.
+        t = f.load("a2", a, mode="delta")
+        assert t.frames_written == 1
+
+    def test_image_load_matches_encode(self, arch):
+        a = make_bitstream(arch, "a", 1, 0, 2, 4, 3)
+        image = FrameCodec(arch).build_frames(a.clbs, a.switches, a.iobs)
+        f_img, f_enc = Fpga(arch), Fpga(arch)
+        f_img.load("a", a, mode="delta", image=image)
+        f_enc.load("a", a, mode="delta")
+        assert np.array_equal(f_img.ram.frames, f_enc.ram.frames)

@@ -42,6 +42,7 @@ class TestJsonl:
             "event": "Load", "time": 0.001, "task": "t0", "source": "Svc#1",
             "handle": "a3", "anchor": [2, 0], "seconds": 0.004, "frames": 3,
             "count": 1, "clbs": 0, "exclusive": False, "shape": [0, 0],
+            "mode": "", "frames_written": 0, "cache": "",
         }
 
     def test_roundtrip_through_jsonl(self):
