@@ -13,9 +13,9 @@ approaches the serial sum of service times; partitioning restores overlap.
 from _harness import emit, run_system
 
 from repro.analysis import format_table
-from repro.core import ConfigRegistry
+from repro.core import ConfigRegistry, make_cpu_scheduler
 from repro.device import get_family
-from repro.osim import FpgaOp, Task
+from repro.osim import CpuBurst, FpgaOp, Task
 
 CP = 25e-9
 CYCLES = 400_000
@@ -83,3 +83,69 @@ def test_e3_nonpreemptable(benchmark):
             < by_policy["nonpreemptable"]["makespan_ms"])
     assert (by_policy["fixed"]["makespan_ms"]
             < by_policy["dynamic"]["makespan_ms"])
+
+
+# -- E3b: the CPU scheduling engine against deadlines -----------------------
+
+SERVICE_T = 14e-3  # ≈ one task's full service time on this system
+
+
+def make_deadline_tasks():
+    """Arrival order is the *reverse* of urgency: the later a task
+    arrives, the tighter its deadline.  The set is feasible when served
+    in deadline order (each deadline sits one service time past the
+    task's slot in that order) but infeasible in arrival order."""
+    tasks = []
+    for i in range(N_TASKS):
+        if i == 0:
+            deadline = (N_TASKS + 1) * SERVICE_T
+        else:
+            deadline = (N_TASKS + 1 - i) * SERVICE_T + 4e-3
+        tasks.append(Task(
+            f"t{i}",
+            [CpuBurst(8e-3), FpgaOp(f"f{i % 3}", 4_000)],
+            arrival=i * 1e-4,
+            priority=N_TASKS - 1 - i,  # urgency mirrors the deadline
+            deadline=deadline,
+        ))
+    return tasks
+
+
+def test_e3_cpu_schedulers(benchmark):
+    """E3b: deadline- and starvation-aware CPU engines against the
+    seed policies on a deadline-reversed workload."""
+    names = ["fifo", "rr", "priority", "edf", "aged-priority"]
+
+    def run_all():
+        rows = []
+        for name in names:
+            reg = make_registry()
+            tasks = make_deadline_tasks()
+            stats, service = run_system(
+                reg, tasks, "dynamic",
+                scheduler=make_cpu_scheduler(name),
+            )
+            rows.append({
+                "cpu_sched": name,
+                "deadline_misses": service.metrics.n_deadline_misses,
+                "makespan_ms": round(stats.makespan * 1e3, 2),
+                "mean_turnaround_ms": round(stats.mean_turnaround * 1e3, 2),
+            })
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    emit("e3_cpu_schedulers", format_table(
+        rows, title="E3b: CPU scheduling engine vs deadline misses "
+        f"({N_TASKS} tasks, urgency reversed from arrival order)",
+    ))
+    by = {r["cpu_sched"]: r for r in rows}
+    # Deadline awareness pays: EDF serves the feasible set, FIFO's
+    # arrival order cannot.
+    assert by["edf"]["deadline_misses"] < by["fifo"]["deadline_misses"]
+    # Aging keeps priority's wins without starving anyone.
+    assert (by["aged-priority"]["deadline_misses"]
+            < by["fifo"]["deadline_misses"])
+    assert by["edf"]["deadline_misses"] == 0
+    # Every engine drives the same total work to completion.
+    makespans = {r["makespan_ms"] for r in rows}
+    assert max(makespans) <= min(makespans) * 1.25

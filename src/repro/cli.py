@@ -123,6 +123,13 @@ def cmd_compile(args) -> int:
     return 0
 
 
+def _make_scheduler(args):
+    """The CPU scheduling engine selected by ``--cpu-sched``."""
+    from .core import make_cpu_scheduler
+
+    return make_cpu_scheduler(args.cpu_sched)
+
+
 def _build_workload(args):
     """Shared setup of ``simulate``/``trace``: facade, tasks, policy kwargs."""
     from .core import VirtualFpga, make_paged_circuit
@@ -152,6 +159,12 @@ def _build_workload(args):
     if args.policy == "multi":
         policy_kw["n_devices"] = args.devices
         policy_kw["dispatch"] = args.board_dispatch
+    if args.policy == "dynamic":
+        # The fabric scheduling engine (priced preemption) only has
+        # decisions to make when the fabric is time-sliced.
+        policy_kw["fabric_sched"] = args.fabric_sched
+        if args.fpga_slice_ms is not None:
+            policy_kw["fpga_time_slice"] = args.fpga_slice_ms * 1e-3
     if args.policy == "paged":
         # Demand paging runs one synthetic virtual circuit wider than the
         # device; every task pages through it (see experiment E8).
@@ -171,7 +184,8 @@ def _build_workload(args):
 
 def cmd_simulate(args) -> int:
     vf, tasks, policy_kw = _build_workload(args)
-    stats = vf.simulate(tasks, policy=args.policy, **policy_kw)
+    stats = vf.simulate(tasks, policy=args.policy,
+                        scheduler=_make_scheduler(args), **policy_kw)
     m = vf.last_service.metrics
     print(format_table([{
         "policy": args.policy,
@@ -209,6 +223,7 @@ def cmd_trace(args) -> int:
     log = EventLog(bus, max_events=args.max_events)
     profiler = Profiler(bus)
     stats = vf.simulate(tasks, policy=args.policy, bus=bus,
+                        scheduler=_make_scheduler(args),
                         telemetry_steps=args.steps, **policy_kw)
     run_name = f"{args.policy}@{args.family}"
     if args.output == "-":
@@ -270,7 +285,8 @@ def cmd_report(args) -> int:
         vf, tasks, policy_kw = _build_workload(args)
         bus = EventBus()
         log = EventLog(bus, max_events=args.max_events)
-        vf.simulate(tasks, policy=args.policy, bus=bus, **policy_kw)
+        vf.simulate(tasks, policy=args.policy, bus=bus,
+                    scheduler=_make_scheduler(args), **policy_kw)
         _warn_dropped(log.dropped, "--max-events", args.max_events,
                       "the report")
         agg = aggregate_events(log.events, clb_capacity=vf.arch.n_clbs)
@@ -283,7 +299,8 @@ def cmd_report(args) -> int:
         bus = EventBus()
         agg = MetricsAggregator(bus, clb_capacity=vf.arch.n_clbs)
         spans = SpanBuilder(bus)
-        vf.simulate(tasks, policy=args.policy, bus=bus, **policy_kw)
+        vf.simulate(tasks, policy=args.policy, bus=bus,
+                    scheduler=_make_scheduler(args), **policy_kw)
         title = f"{args.policy}@{args.family}"
 
     if args.json:
@@ -320,6 +337,7 @@ def cmd_audit(args) -> int:
         mode = "strict" if args.strict else "lenient"
         try:
             vf.simulate(tasks, policy=args.policy, audit=mode,
+                        scheduler=_make_scheduler(args),
                         audit_deadline=args.deadline, **policy_kw)
         except AuditError as exc:
             aborted = exc
@@ -468,6 +486,21 @@ def make_parser() -> argparse.ArgumentParser:
                              "touched frame, delta writes only differing "
                              "frames (+ per-frame address header), auto "
                              "picks the cheaper per load")
+        sp.add_argument("--cpu-sched", default="rr",
+                        choices=["fifo", "rr", "priority", "edf",
+                                 "aged-priority"],
+                        help="CPU scheduling engine for the kernel's ready "
+                             "queue (edf needs task deadlines; "
+                             "aged-priority never starves)")
+        sp.add_argument("--fabric-sched", default="fixed-quantum",
+                        choices=["fixed-quantum", "cost-aware"],
+                        help="fabric scheduling engine (dynamic policy): "
+                             "cost-aware skips a preemption when the "
+                             "reconfiguration + state bill exceeds the "
+                             "slack it buys")
+        sp.add_argument("--fpga-slice-ms", type=float, default=None,
+                        help="fabric time slice in ms (dynamic policy; "
+                             "default: no fabric preemption)")
         sp.add_argument("--effort", default="greedy", choices=["greedy", "sa"])
         sp.add_argument("--seed", type=int, default=0)
 

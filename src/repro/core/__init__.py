@@ -89,6 +89,27 @@ from .preemption import (
     SaveRestore,
 )
 from .rect_alloc import RectAllocator
+from .scheduling import (
+    AgedPriority,
+    CPU_SCHEDULERS,
+    CostAwareFabric,
+    CpuDecision,
+    CpuSchedulerPolicy,
+    DeadlineEDF,
+    FABRIC_SCHEDULERS,
+    FabricDecision,
+    FabricSchedulerPolicy,
+    FifoCpu,
+    FixedQuantumFabric,
+    PriorityCpu,
+    ReadyEntry,
+    ReadyView,
+    RoundRobinCpu,
+    SwitchContext,
+    make_cpu_policy,
+    make_cpu_scheduler,
+    make_fabric_scheduler,
+)
 from .scrubber import Scrubber, UpsetInjector, UpsetRecord
 from .registry import ConfigEntry, ConfigRegistry, synthetic_bitstream
 from .segmentation import (
@@ -103,10 +124,12 @@ __all__ = [
     "Adaptive",
     "AdmissionError",
     "AffinityDispatch",
+    "AgedPriority",
     "BestFitPlacement",
     "BitstreamCache",
     "BoardDispatchPolicy",
     "BottomLeftPlacement",
+    "CPU_SCHEDULERS",
     "CapacityError",
     "ClockReplacement",
     "ColumnAllocator",
@@ -115,10 +138,19 @@ __all__ = [
     "ColumnWorstFit",
     "ConfigEntry",
     "ConfigRegistry",
+    "CostAwareFabric",
+    "CpuDecision",
+    "CpuSchedulerPolicy",
     "DISPATCH_POLICIES",
+    "DeadlineEDF",
     "DynamicLoadingService",
+    "FABRIC_SCHEDULERS",
+    "FabricDecision",
+    "FabricSchedulerPolicy",
+    "FifoCpu",
     "FifoReplacement",
     "FixedPartitionService",
+    "FixedQuantumFabric",
     "LeastBusyDispatch",
     "LeastOccupancyDispatch",
     "LruReplacement",
@@ -136,11 +168,15 @@ __all__ = [
     "PlacementStrategy",
     "PreemptDecision",
     "PreemptionPolicy",
+    "PriorityCpu",
     "Proposal",
     "RandomReplacement",
+    "ReadyEntry",
+    "ReadyView",
     "RectAllocator",
     "ReplacementPolicy",
     "Rollback",
+    "RoundRobinCpu",
     "RoundRobinDispatch",
     "RunToCompletion",
     "SaveRestore",
@@ -151,6 +187,7 @@ __all__ = [
     "SkylinePlacement",
     "SoftwareOnlyService",
     "StateAccessError",
+    "SwitchContext",
     "UnknownConfigError",
     "UpsetInjector",
     "UpsetRecord",
@@ -160,7 +197,10 @@ __all__ = [
     "VirtualFpga",
     "access_trace",
     "bitstream_digest",
+    "make_cpu_policy",
+    "make_cpu_scheduler",
     "make_dispatch",
+    "make_fabric_scheduler",
     "make_paged_circuit",
     "make_placement",
     "make_preemption_policy",

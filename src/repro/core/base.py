@@ -21,11 +21,14 @@ from __future__ import annotations
 import inspect
 from typing import Dict, Optional, Set, Type
 
-from ..device import Fpga
+import numpy as np
+
+from ..device import Fpga, digest_bits
 from ..osim import FpgaOp, FpgaService, Task
 from ..sim import Resource
 from ..telemetry import (
     ConfigPortOp,
+    DeadlineMiss,
     EventBus,
     Evict,
     Exec,
@@ -112,6 +115,9 @@ class VfpgaServiceBase(FpgaService):
         self._next_state_version = 0
         #: (task name, handle) -> version of the last saved snapshot.
         self._state_versions: Dict[tuple, int] = {}
+        #: Memoized digest of an all-zero frame (cleared-region content),
+        #: the reference the switch-cost pricer diffs against.
+        self._zero_digest: Optional[bytes] = None
 
     # -- kernel lifecycle -----------------------------------------------------
     def attach(self, kernel) -> None:
@@ -146,6 +152,23 @@ class VfpgaServiceBase(FpgaService):
     def register_task(self, task: Task) -> None:
         for name in task.configs:
             self.registry.get(name)  # raises UnknownConfigError if missing
+
+    def on_task_exit(self, task: Task) -> None:
+        """Release hook — also scores the task against its deadline.
+
+        Idempotent via the :attr:`~repro.osim.task.TaskAccounting.
+        deadline_missed` latch, so multi-board systems that forward the
+        exit to every board publish exactly one :class:`DeadlineMiss`.
+        Overrides must call ``super().on_task_exit(task)``.
+        """
+        deadline = getattr(task, "deadline", None)
+        if deadline is None or task.accounting.deadline_missed:
+            return
+        lateness = self.sim.now - deadline
+        if lateness > 1e-15:
+            task.accounting.deadline_missed = True
+            self._publish(DeadlineMiss, task, deadline=deadline,
+                          lateness=lateness)
 
     # -- residency ---------------------------------------------------------------
     def is_resident(self, handle: str) -> bool:
@@ -407,6 +430,42 @@ class VfpgaServiceBase(FpgaService):
     # -- shared helpers ----------------------------------------------------------------
     def op_seconds(self, entry: ConfigEntry, op: FpgaOp) -> float:
         return op.cycles * entry.critical_path
+
+    def switch_reload_cost(self, entry: ConfigEntry) -> float:
+        """Price the victim's eventual reload after a preemption.
+
+        The fabric scheduling engine's reconfiguration term: config-port
+        seconds to make ``entry`` resident again, under this service's
+        :attr:`load_mode`.  Under ``delta``/``auto`` the estimate diffs
+        the resident :class:`~repro.device.ConfigRam` digests of the
+        entry's touched frames against the all-zero frame the eviction
+        leaves behind — frames the circuit occupies non-trivially must
+        be rewritten on the way back, frames it leaves blank are free.
+        Pure pricing: reads the digest cache, never the port.
+        """
+        anchor = self._anchors.get(entry.name, (0, 0))
+        if entry.name in self.registry \
+                and self.registry.get(entry.name) is entry:
+            bitstream = self.registry.translated(
+                entry.name, (anchor[0], anchor[1])
+            )
+        else:
+            bitstream = entry.bitstream.anchored_at(*anchor)
+        port = self.fpga.port
+        full = port.load_time(bitstream).seconds
+        if self.load_mode == "full":
+            return full
+        if self._zero_digest is None:
+            self._zero_digest = digest_bits(
+                np.zeros(self.fpga.arch.frame_bits, dtype=np.uint8)
+            )
+        ram = self.fpga.ram
+        n_changed = sum(
+            1 for fx in bitstream.frames_touched(self.fpga.arch)
+            if ram.frame_digest(fx) != self._zero_digest
+        )
+        delta = port.delta_load_time(bitstream, n_changed).seconds
+        return min(delta, full) if self.load_mode == "auto" else delta
 
     def _check_fits_device(self, entry: ConfigEntry) -> None:
         arch = self.fpga.arch

@@ -22,14 +22,27 @@ policy they behave identically; the class exists so policies compose).
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, Optional, Union
 
 from ..osim import FpgaOp, Task
 from ..sim import Resource
-from ..telemetry import Hit, Miss, OpStart, Preempt, Prefetch, Rollback
+from ..telemetry import (
+    Hit,
+    Miss,
+    OpStart,
+    Preempt,
+    Prefetch,
+    Rollback,
+    SchedDecision,
+)
 from .base import VfpgaServiceBase
 from .preemption import PreemptionPolicy, RunToCompletion
 from .registry import ConfigRegistry
+from .scheduling import (
+    FabricSchedulerPolicy,
+    SwitchContext,
+    make_fabric_scheduler,
+)
 
 __all__ = ["DynamicLoadingService"]
 
@@ -46,6 +59,14 @@ class DynamicLoadingService(VfpgaServiceBase):
         waiters present.
     fpga_time_slice:
         Fabric quantum in seconds; ``None`` = no preemption.
+    fabric_sched:
+        Fabric scheduling engine (name or
+        :class:`~repro.core.scheduling.FabricSchedulerPolicy` instance)
+        deciding *whether* a quantum-boundary preemption is worth its
+        priced cost.  The default ``fixed-quantum`` reproduces the seed
+        behavior exactly — preempt whenever anyone waits;
+        ``cost-aware`` skips switches whose reconfiguration bill
+        exceeds the fabric time they buy.
     eager:
         Load the dispatched task's next configuration in the background
         while it is still in its CPU section — the paper's "implicitly
@@ -60,6 +81,7 @@ class DynamicLoadingService(VfpgaServiceBase):
         registry: ConfigRegistry,
         preemption: Optional[PreemptionPolicy] = None,
         fpga_time_slice: Optional[float] = None,
+        fabric_sched: Union[str, FabricSchedulerPolicy, None] = None,
         eager: bool = False,
         **kw,
     ) -> None:
@@ -68,11 +90,16 @@ class DynamicLoadingService(VfpgaServiceBase):
         if fpga_time_slice is not None and fpga_time_slice <= 0:
             raise ValueError("fpga_time_slice must be positive or None")
         self.fpga_time_slice = fpga_time_slice
+        self.fabric_sched = make_fabric_scheduler(
+            fabric_sched if fabric_sched is not None else "fixed-quantum"
+        )
         self.eager = eager
         self.n_prefetches = 0
         self._prefetching: Optional[str] = None
         self._fabric: Optional[Resource] = None
         self._resident_config: Optional[str] = None
+        #: tid -> task currently queued for the fabric (deadline slack).
+        self._fabric_waiters: Dict[int, Task] = {}
 
     def attach(self, kernel) -> None:
         super().attach(kernel)
@@ -126,6 +153,17 @@ class DynamicLoadingService(VfpgaServiceBase):
             self._prefetching = None
             self._fabric.release(req)
 
+    def _waiter_slack(self) -> float:
+        """Tightest deadline slack among tasks queued for the fabric
+        (inf when nobody waiting declared a deadline)."""
+        slack = float("inf")
+        now = self.sim.now
+        for waiter in self._fabric_waiters.values():
+            deadline = getattr(waiter, "deadline", None)
+            if deadline is not None:
+                slack = min(slack, deadline - now)
+        return slack
+
     def execute(self, task: Task, op: FpgaOp):
         entry = self.registry.get(op.config)
         self._check_fits_device(entry)
@@ -144,7 +182,13 @@ class DynamicLoadingService(VfpgaServiceBase):
 
         while remaining > 0 or not io_done:
             req = self._fabric.request()
-            yield req
+            # Visible to the fabric scheduling engine while queued, so
+            # the resident op's preemption points can price our slack.
+            self._fabric_waiters[task.tid] = task
+            try:
+                yield req
+            finally:
+                self._fabric_waiters.pop(task.tid, None)
             self._charge_wait(task, t_queued)
             try:
                 yield from self._ensure_resident(task, entry)
@@ -176,10 +220,39 @@ class DynamicLoadingService(VfpgaServiceBase):
                     if remaining <= 1e-15:
                         remaining = 0.0
                         break
+                    # The preemption mechanism decides first (its strict
+                    # modes must raise even at uncontended boundaries);
+                    # with waiters present the fabric scheduling engine
+                    # then prices the switch and may veto it.
                     decision = self.policy.decide(
                         entry, self.fpga.port, progress_done=total - remaining
                     )
-                    if not decision.allowed or self._fabric.queue_length == 0:
+                    waiting = self._fabric.queue_length
+                    if waiting == 0:
+                        continue  # keep the fabric
+                    ctx = SwitchContext(
+                        waiting=waiting,
+                        remaining=remaining,
+                        progress_done=total - remaining,
+                        decision=decision,
+                        waiter_slack=self._waiter_slack(),
+                        reload_cost=lambda: self.switch_reload_cost(entry),
+                    )
+                    verdict = self.fabric_sched.decide(ctx)
+                    self._publish(
+                        SchedDecision, task,
+                        strategy=self.fabric_sched.name,
+                        handle=entry.name,
+                        preempt=bool(decision.allowed and verdict.preempt),
+                        reason=verdict.reason,
+                        waiting=waiting,
+                        reconfig_cost=ctx.reconfig_cost,
+                        state_cost=ctx.state_cost,
+                        lost_cost=ctx.lost_progress,
+                        remaining=remaining,
+                        slack=ctx.waiter_slack,
+                    )
+                    if not decision.allowed or not verdict.preempt:
                         continue  # keep the fabric
                     # -- preempt ------------------------------------------
                     task.accounting.n_preemptions += 1

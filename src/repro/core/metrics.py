@@ -33,6 +33,9 @@ class ServiceMetrics:
     n_relocations: int = 0
     n_compactions: int = 0
     n_ops: int = 0
+    #: Tasks that completed after their declared deadline (deadline-free
+    #: workloads always read 0 — the bench-diff drift gate pins it).
+    n_deadline_misses: int = 0
     #: Configuration frames physically written by loads + evictions (the
     #: delta engine's primary savings axis; under full mode this equals
     #: the frames addressed).

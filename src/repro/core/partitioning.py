@@ -717,6 +717,7 @@ class VariablePartitionService(VfpgaServiceBase):
     def on_task_exit(self, task: Task) -> None:
         """Voluntary release: the task's partitions become cached entries
         that eviction may reclaim (paper §4)."""
+        super().on_task_exit(task)
         released = False
         for res in self.residents.values():
             if task.tid in res.holders:

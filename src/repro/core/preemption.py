@@ -46,6 +46,13 @@ class PreemptDecision:
     restore_cost: float = 0.0   #: charged when it resumes (reload is separate)
     used_state_access: bool = False
 
+    @property
+    def state_cost(self) -> float:
+        """Total state movement (save + restore) this decision would
+        charge — the term the fabric scheduling engine prices against
+        the reconfiguration bill (zero unless progress is kept)."""
+        return self.save_cost + self.restore_cost if self.keep_progress else 0.0
+
 
 class PreemptionPolicy(ABC):
     """Strategy deciding whether/how an executing circuit is preempted."""

@@ -1,0 +1,463 @@
+"""Pluggable scheduling engines — CPU ready-queue and fabric preemption.
+
+The fourth engine quadrant (after placement, replacement and dispatch):
+scheduling as strategy objects, priced by what a context switch actually
+costs on a reconfigurable device.
+
+Two protocols live here:
+
+* :class:`CpuSchedulerPolicy` — the ready-queue strategy behind
+  :class:`repro.osim.scheduler.PolicyScheduler`.  A strategy is *pure*:
+  ``pick(ReadyView) -> CpuDecision`` inspects an immutable snapshot of
+  the ready queue and names the entry to dispatch; the host owns the
+  mutable queue and keeps O(1)/O(log n) fast paths (deque / heap) for
+  strategies that declare a static :attr:`~CpuSchedulerPolicy.order`.
+  The seed ``Fifo``/``RoundRobin``/``PriorityScheduler`` behaviors are
+  reproduced event-for-event; :class:`DeadlineEDF` and
+  :class:`AgedPriority` add deadline- and starvation-aware strategies.
+
+* :class:`FabricSchedulerPolicy` — decides *whether* preempting the
+  resident circuit is worth it.  The paper's §3 preemption mechanics
+  (save/restore vs rollback) say *how* to preempt; this engine prices
+  the whole switch — the victim's eventual reload (delta-frame cost
+  from the resident :class:`~repro.device.ConfigRam` digests), the
+  state movement of the :class:`~repro.core.preemption.PreemptDecision`,
+  the progress a rollback discards — and weighs the bill against the
+  fabric time a switch buys the waiters.  ``fixed-quantum`` reproduces
+  the seed behavior (preempt whenever anyone waits);
+  :class:`CostAwareFabric` skips switches whose bill exceeds the
+  benefit, following the cost models of task-based preemptive
+  FPGA scheduling on partial reconfiguration (PAPERS.md).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    Optional,
+    Tuple,
+    Type,
+    Union,
+)
+
+from .preemption import PreemptDecision
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..osim.task import Task
+
+__all__ = [
+    "ReadyEntry",
+    "ReadyView",
+    "CpuDecision",
+    "CpuSchedulerPolicy",
+    "FifoCpu",
+    "RoundRobinCpu",
+    "PriorityCpu",
+    "DeadlineEDF",
+    "AgedPriority",
+    "CPU_SCHEDULERS",
+    "make_cpu_policy",
+    "make_cpu_scheduler",
+    "SwitchContext",
+    "FabricDecision",
+    "FabricSchedulerPolicy",
+    "FixedQuantumFabric",
+    "CostAwareFabric",
+    "FABRIC_SCHEDULERS",
+    "make_fabric_scheduler",
+]
+
+
+# ---------------------------------------------------------------------------
+# CPU side: ready-queue strategies
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ReadyEntry:
+    """One ready task as a strategy sees it.
+
+    ``seq`` is the host-minted monotone enqueue ticket — unique per
+    enqueue, so relative ``seq`` order *is* arrival order (the seed
+    list index).  ``enqueued_at`` is the simulation time the task
+    (re-)entered the ready queue, the input priority aging needs.
+    """
+
+    task: "Task"
+    seq: int
+    enqueued_at: float
+
+
+@dataclass(frozen=True)
+class ReadyView:
+    """Immutable snapshot of the ready queue at one decision instant."""
+
+    now: float
+    entries: Tuple[ReadyEntry, ...]
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+@dataclass(frozen=True)
+class CpuDecision:
+    """A strategy's answer: dispatch the entry with this ``seq``."""
+
+    seq: int
+
+
+class CpuSchedulerPolicy(ABC):
+    """Pure ready-queue strategy.
+
+    :attr:`order` declares the selection discipline so the host can keep
+    a matching fast path:
+
+    * ``"fifo"`` — always the oldest entry (host uses an O(1) deque);
+    * ``"keyed"`` — minimal ``(key(task), seq)`` under a key that is
+      fixed at enqueue time (host uses an O(log n) heap);
+    * ``"dynamic"`` — the key depends on the decision instant (aging);
+      the host materializes a :class:`ReadyView` and calls
+      :meth:`pick` for every dispatch.
+
+    :meth:`pick` is total for every order — property tests drive the
+    pure protocol directly and hold the fast paths to decision
+    equivalence with it.
+    """
+
+    name: str = "abstract"
+    #: Selection discipline: ``"fifo"`` | ``"keyed"`` | ``"dynamic"``.
+    order: str = "fifo"
+
+    def key(self, task: "Task") -> Tuple[float, ...]:
+        """Enqueue-time sort key (``order == "keyed"`` strategies)."""
+        raise NotImplementedError(
+            f"{type(self).__name__} declares order={self.order!r} "
+            "but does not implement key()"
+        )
+
+    def pick(self, view: ReadyView) -> Optional[CpuDecision]:
+        """Name the entry to dispatch (``None`` on an empty view)."""
+        if not view.entries:
+            return None
+        if self.order == "fifo":
+            best = min(view.entries, key=lambda e: e.seq)
+        else:
+            # Any keyed strategy driven through the pure protocol makes
+            # the same decisions as its heap fast path.
+            best = min(view.entries,
+                       key=lambda e: (self.key(e.task), e.seq))
+        return CpuDecision(best.seq)
+
+    @abstractmethod
+    def quantum(self, task: "Task") -> float:
+        """CPU time slice granted to ``task`` (inf = run burst to end)."""
+
+    def __repr__(self) -> str:
+        params = ", ".join(
+            f"{k}={v!r}" for k, v in sorted(vars(self).items())
+            if not k.startswith("_")
+        )
+        return f"{type(self).__name__}({params})"
+
+
+def _require_positive(value: float, what: str) -> float:
+    if value <= 0:
+        raise ValueError(f"{what} must be positive")
+    return value
+
+
+class FifoCpu(CpuSchedulerPolicy):
+    """Run-to-completion batch scheduling (the seed ``Fifo``)."""
+
+    name = "fifo"
+    order = "fifo"
+
+    def quantum(self, task: "Task") -> float:
+        return float("inf")
+
+
+class RoundRobinCpu(CpuSchedulerPolicy):
+    """Time-shared FIFO with a fixed quantum (the seed ``RoundRobin``)."""
+
+    name = "rr"
+    order = "fifo"
+
+    def __init__(self, time_slice: float = 10e-3) -> None:
+        self.time_slice = _require_positive(time_slice, "time_slice")
+
+    def quantum(self, task: "Task") -> float:
+        return self.time_slice
+
+
+class PriorityCpu(CpuSchedulerPolicy):
+    """Static priorities, stable within a level (the seed
+    ``PriorityScheduler``): minimal ``(priority, arrival)``."""
+
+    name = "priority"
+    order = "keyed"
+
+    def __init__(self, time_slice: float = 10e-3) -> None:
+        self.time_slice = _require_positive(time_slice, "time_slice")
+
+    def key(self, task: "Task") -> Tuple[float, ...]:
+        return (task.priority,)
+
+    def quantum(self, task: "Task") -> float:
+        return self.time_slice
+
+
+class DeadlineEDF(CpuSchedulerPolicy):
+    """Earliest deadline first.
+
+    Tasks without a :attr:`~repro.osim.task.Task.deadline` sort last
+    (infinite deadline) and fall back to arrival order among
+    themselves — a deadline-free workload behaves exactly like FIFO
+    with a quantum.
+    """
+
+    name = "edf"
+    order = "keyed"
+
+    def __init__(self, time_slice: float = 10e-3) -> None:
+        self.time_slice = _require_positive(time_slice, "time_slice")
+
+    def key(self, task: "Task") -> Tuple[float, ...]:
+        deadline = getattr(task, "deadline", None)
+        return (float("inf") if deadline is None else deadline,)
+
+    def quantum(self, task: "Task") -> float:
+        return self.time_slice
+
+
+class AgedPriority(CpuSchedulerPolicy):
+    """Static priorities with aging — no starvation.
+
+    A task's effective priority drops by one level for every ``aging``
+    seconds it has waited in the ready queue, so any task eventually
+    outranks a steady stream of higher-priority arrivals.  With
+    ``aging = inf`` this degenerates to :class:`PriorityCpu`.
+    """
+
+    name = "aged-priority"
+    order = "dynamic"
+
+    def __init__(self, time_slice: float = 10e-3,
+                 aging: float = 50e-3) -> None:
+        self.time_slice = _require_positive(time_slice, "time_slice")
+        self.aging = _require_positive(aging, "aging")
+
+    def effective_priority(self, entry: ReadyEntry, now: float) -> float:
+        waited = max(0.0, now - entry.enqueued_at)
+        return entry.task.priority - waited / self.aging
+
+    def pick(self, view: ReadyView) -> Optional[CpuDecision]:
+        if not view.entries:
+            return None
+        best = min(
+            view.entries,
+            key=lambda e: (self.effective_priority(e, view.now), e.seq),
+        )
+        return CpuDecision(best.seq)
+
+    def quantum(self, task: "Task") -> float:
+        return self.time_slice
+
+
+#: Registry of instantiable CPU strategies (CLI sweep space).
+CPU_SCHEDULERS: Dict[str, Type[CpuSchedulerPolicy]] = {
+    cls.name: cls
+    for cls in (FifoCpu, RoundRobinCpu, PriorityCpu, DeadlineEDF,
+                AgedPriority)
+}
+
+
+def make_cpu_policy(
+    name: Union[str, CpuSchedulerPolicy], **kw
+) -> CpuSchedulerPolicy:
+    """Instantiate a CPU strategy by name (instances pass through)."""
+    if isinstance(name, CpuSchedulerPolicy):
+        if kw:
+            raise ValueError(
+                "cannot pass constructor kwargs with a ready-made "
+                f"CpuSchedulerPolicy instance ({name!r})"
+            )
+        return name
+    try:
+        cls = CPU_SCHEDULERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown cpu scheduler {name!r}; have {sorted(CPU_SCHEDULERS)}"
+        ) from None
+    return cls(**kw)
+
+
+def make_cpu_scheduler(name: Union[str, CpuSchedulerPolicy], **kw):
+    """A ready-to-use kernel scheduler driving the named strategy."""
+    from ..osim.scheduler import PolicyScheduler
+
+    return PolicyScheduler(make_cpu_policy(name, **kw))
+
+
+# ---------------------------------------------------------------------------
+# Fabric side: preemption worth it?
+# ---------------------------------------------------------------------------
+
+class SwitchContext:
+    """Everything a fabric strategy may price at one preemption point.
+
+    The reload cost is computed lazily through ``reload_cost`` (a
+    callback into the service's delta-frame pricing against the
+    resident :class:`~repro.device.ConfigRam` digests) and memoized, so
+    strategies that never look at it — ``fixed-quantum`` — pay nothing.
+
+    ``decision`` is the mechanism the
+    :class:`~repro.core.preemption.PreemptionPolicy` already chose
+    (save/restore vs rollback); the fabric strategy prices that
+    mechanism, it never overrides it.
+    """
+
+    def __init__(
+        self,
+        waiting: int,
+        remaining: float,
+        progress_done: float,
+        decision: PreemptDecision,
+        waiter_slack: float,
+        reload_cost: Callable[[], float],
+    ) -> None:
+        #: Operations queued for the fabric right now.
+        self.waiting = waiting
+        #: Fabric seconds the resident op still needs.
+        self.remaining = remaining
+        #: Fabric seconds the resident op has already run.
+        self.progress_done = progress_done
+        #: The preemption mechanism's verdict for this point.
+        self.decision = decision
+        #: Tightest waiter deadline slack (inf = no deadlines waiting).
+        self.waiter_slack = waiter_slack
+        self._reload_cost = reload_cost
+        self._reconfig_cost: Optional[float] = None
+
+    @property
+    def reconfig_cost(self) -> float:
+        """Port seconds to make the victim resident again (memoized)."""
+        if self._reconfig_cost is None:
+            self._reconfig_cost = float(self._reload_cost())
+        return self._reconfig_cost
+
+    @property
+    def state_cost(self) -> float:
+        """Save + restore seconds if the mechanism keeps progress."""
+        d = self.decision
+        return d.state_cost if d.allowed else 0.0
+
+    @property
+    def lost_progress(self) -> float:
+        """Fabric seconds a rollback would discard (re-done later)."""
+        d = self.decision
+        if d.allowed and not d.keep_progress:
+            return self.progress_done
+        return 0.0
+
+    @property
+    def bill(self) -> float:
+        """Total cost of switching now: reload + state + lost work."""
+        return self.reconfig_cost + self.state_cost + self.lost_progress
+
+
+@dataclass(frozen=True)
+class FabricDecision:
+    """A fabric strategy's verdict at one preemption point."""
+
+    preempt: bool
+    reason: str = ""
+
+
+class FabricSchedulerPolicy(ABC):
+    """Strategy deciding whether a priced context switch happens."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def decide(self, ctx: SwitchContext) -> FabricDecision:
+        """Preempt the resident op at this quantum boundary?"""
+
+    def __repr__(self) -> str:
+        params = ", ".join(
+            f"{k}={v!r}" for k, v in sorted(vars(self).items())
+            if not k.startswith("_")
+        )
+        return f"{type(self).__name__}({params})"
+
+
+class FixedQuantumFabric(FabricSchedulerPolicy):
+    """The seed behavior, reproduced exactly: preempt whenever anyone
+    is waiting, blind to what the switch costs."""
+
+    name = "fixed-quantum"
+
+    def decide(self, ctx: SwitchContext) -> FabricDecision:
+        if ctx.waiting > 0:
+            return FabricDecision(True, "waiters")
+        return FabricDecision(False, "idle")
+
+
+class CostAwareFabric(FabricSchedulerPolicy):
+    """Skip preemptions whose bill exceeds the benefit.
+
+    Switching now buys the waiters up to ``remaining`` fabric seconds
+    of earlier access; it costs the switch bill (victim reload + state
+    movement or lost progress).  The strategy preempts only when
+
+    * a waiter's deadline slack is tighter than ``remaining`` (deadline
+      pressure overrides economics), or
+    * ``bill * margin <= remaining`` — the switch is cheap relative to
+      what it buys.
+
+    ``margin > 1`` demands a larger payoff before switching (more
+    conservative); ``margin < 1`` switches more eagerly.
+    """
+
+    name = "cost-aware"
+
+    def __init__(self, margin: float = 1.0) -> None:
+        self.margin = _require_positive(margin, "margin")
+
+    def decide(self, ctx: SwitchContext) -> FabricDecision:
+        if ctx.waiting == 0:
+            return FabricDecision(False, "idle")
+        if ctx.waiter_slack < ctx.remaining:
+            return FabricDecision(True, "deadline-pressure")
+        if ctx.bill * self.margin <= ctx.remaining:
+            return FabricDecision(True, "cheap-switch")
+        return FabricDecision(False, "bill-exceeds-benefit")
+
+
+#: Registry of instantiable fabric strategies (CLI sweep space).
+FABRIC_SCHEDULERS: Dict[str, Type[FabricSchedulerPolicy]] = {
+    cls.name: cls for cls in (FixedQuantumFabric, CostAwareFabric)
+}
+
+
+def make_fabric_scheduler(
+    name: Union[str, FabricSchedulerPolicy], **kw
+) -> FabricSchedulerPolicy:
+    """Instantiate a fabric strategy by name (instances pass through)."""
+    if isinstance(name, FabricSchedulerPolicy):
+        if kw:
+            raise ValueError(
+                "cannot pass constructor kwargs with a ready-made "
+                f"FabricSchedulerPolicy instance ({name!r})"
+            )
+        return name
+    try:
+        cls = FABRIC_SCHEDULERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown fabric scheduler {name!r}; "
+            f"have {sorted(FABRIC_SCHEDULERS)}"
+        ) from None
+    return cls(**kw)

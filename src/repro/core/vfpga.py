@@ -62,7 +62,8 @@ def make_preemption_policy(name: Union[str, PreemptionPolicy]) -> PreemptionPoli
 def make_service(policy: str, registry: ConfigRegistry, **kw):
     """Instantiate a management policy by name.
 
-    Names: ``merged``, ``software``, ``nonpreemptable``, ``dynamic`` (kw: ``preemption``, ``fpga_time_slice``),
+    Names: ``merged``, ``software``, ``nonpreemptable``, ``dynamic``
+    (kw: ``preemption``, ``fpga_time_slice``, ``fabric_sched``),
     ``fixed`` (kw: ``partition_widths`` or ``n_partitions``,
     ``replacement``), ``variable`` (kw: ``fit``, ``gc``, ``layout``,
     ``placement``, ``replacement``), ``overlay`` (kw: ``resident_names``,
@@ -76,8 +77,13 @@ def make_service(policy: str, registry: ConfigRegistry, **kw):
     ``replacement`` any :func:`~repro.core.policies.make_replacement`
     name (plus ``replacement_seed`` for stochastic policies),
     ``dispatch`` any :data:`~repro.core.dispatch.DISPATCH_POLICIES` name,
-    and ``load_mode`` (``full``/``delta``/``auto``) selects the
-    reconfiguration engine on every policy.
+    ``fabric_sched`` any :data:`~repro.core.scheduling.FABRIC_SCHEDULERS`
+    name (``dynamic`` only), and ``load_mode``
+    (``full``/``delta``/``auto``) selects the reconfiguration engine on
+    every policy.  The CPU-side siblings live in
+    :data:`~repro.core.scheduling.CPU_SCHEDULERS` and are instantiated
+    via :func:`~repro.core.scheduling.make_cpu_scheduler` (the kernel's
+    ``scheduler`` argument, not a service kwarg).
     """
     kw = dict(kw)  # never mutate the caller's kwargs
     if policy == "merged":

@@ -6,7 +6,13 @@ implements every VFPGA strategy of the paper.
 """
 
 from .kernel import DeadlockError, Kernel
-from .scheduler import Fifo, PriorityScheduler, RoundRobin, Scheduler
+from .scheduler import (
+    Fifo,
+    PolicyScheduler,
+    PriorityScheduler,
+    RoundRobin,
+    Scheduler,
+)
 from .syscalls import FpgaService, NullFpgaService, SyscallError
 from .task import CpuBurst, FpgaOp, Step, Task, TaskAccounting, TaskState
 from .trace import DEFAULT_MAX_TRACE_EVENTS, RunStats, Trace, TraceEvent, run_stats
@@ -27,6 +33,7 @@ __all__ = [
     "FpgaService",
     "Kernel",
     "NullFpgaService",
+    "PolicyScheduler",
     "PriorityScheduler",
     "RoundRobin",
     "RunStats",

@@ -106,6 +106,12 @@ class Kernel:
             raise ValueError("op_deadline must be positive (or None)")
         self.sim = sim
         self.scheduler = scheduler
+        # Time-aware scheduling strategies (aging, deadline slack) read
+        # the simulation clock; duck-typed schedulers without the hook
+        # keep working unchanged.
+        bind_clock = getattr(scheduler, "bind_clock", None)
+        if bind_clock is not None:
+            bind_clock(lambda: sim.now)
         self.service = fpga_service
         self.bus = bus if bus is not None else EventBus()
         self.trace = Trace(enabled=trace, max_events=max_trace_events)

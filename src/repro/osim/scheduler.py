@@ -1,27 +1,64 @@
-"""CPU scheduling policies for the simulated kernel.
+"""CPU scheduling for the simulated kernel.
 
 The kernel asks the scheduler two things: which ready task to dispatch
-next, and how long its quantum is.  Three classic policies are provided;
-the paper's observation that a non-preemptable FPGA "implicitly forces the
+next, and how long its quantum is.  Since the scheduling-engine refactor
+the *policy* lives in :mod:`repro.core.scheduling` as a pure
+:class:`~repro.core.scheduling.CpuSchedulerPolicy`; the host here,
+:class:`PolicyScheduler`, owns the mutable ready queue and keeps a fast
+path matched to the strategy's declared order — an O(1)
+:class:`collections.deque` for FIFO disciplines, an O(log n) heap keyed
+``(key(task), seq)`` for enqueue-time keys, and the pure
+``pick(ReadyView)`` protocol for time-varying keys (aging).
+
+The classic policy classes (:class:`Fifo`, :class:`RoundRobin`,
+:class:`PriorityScheduler`) remain as thin strategy bindings with their
+seed constructor signatures, reproduced decision-for-decision; the
+paper's observation that a non-preemptable FPGA "implicitly forces the
 scheduling to a strictly FIFO policy" (§4) is tested by comparing runs
 under :class:`RoundRobin` with different FPGA services.
 """
 
 from __future__ import annotations
 
+import heapq
 from abc import ABC, abstractmethod
-from typing import List, Optional
+from collections import deque
+from typing import TYPE_CHECKING, Callable, Deque, Dict, List, Optional, Tuple
 
 from .task import Task
 
-__all__ = ["Scheduler", "RoundRobin", "Fifo", "PriorityScheduler"]
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.scheduling import ReadyEntry
+
+__all__ = [
+    "Scheduler",
+    "PolicyScheduler",
+    "RoundRobin",
+    "Fifo",
+    "PriorityScheduler",
+]
+
+
+def _zero_clock() -> float:
+    return 0.0
 
 
 class Scheduler(ABC):
-    """Ready-queue policy."""
+    """Ready-queue policy host.
+
+    The kernel binds its simulation clock via :meth:`bind_clock` so
+    time-aware strategies (aging, deadline slack) see ``sim.now``; an
+    unbound scheduler reads time 0.0, which every time-blind strategy
+    ignores.
+    """
 
     def __init__(self) -> None:
         self._ready: List[Task] = []
+        self._clock: Callable[[], float] = _zero_clock
+
+    def bind_clock(self, clock: Callable[[], float]) -> None:
+        """Attach the simulation clock (called by the kernel)."""
+        self._clock = clock
 
     # -- queue ops ----------------------------------------------------------
     def enqueue(self, task: Task) -> None:
@@ -43,47 +80,113 @@ class Scheduler(ABC):
         """CPU time slice granted to ``task`` (inf = run burst to end)."""
 
 
-class RoundRobin(Scheduler):
+class PolicyScheduler(Scheduler):
+    """Drive a pure :class:`~repro.core.scheduling.CpuSchedulerPolicy`.
+
+    Parameters
+    ----------
+    policy:
+        A strategy instance or registry name (kwargs forwarded to the
+        strategy constructor, see
+        :data:`~repro.core.scheduling.CPU_SCHEDULERS`).
+
+    The host keeps the queue in an insertion-ordered map ``seq ->
+    ReadyEntry`` (so :attr:`ready_tasks` snapshots arrival order, like
+    the seed list) plus the order-matched fast structure.  Decision
+    equivalence between the fast paths and the strategy's pure
+    ``pick()`` is pinned by the scheduler property tests.
+    """
+
+    def __init__(self, policy, **kw) -> None:
+        from ..core.scheduling import make_cpu_policy
+
+        super().__init__()
+        self.policy = make_cpu_policy(policy, **kw)
+        self._seq = 0
+        #: seq -> ReadyEntry, insertion-ordered (arrival order).
+        self._queue: Dict[int, "ReadyEntry"] = {}
+        #: FIFO fast path: enqueue tickets, oldest left.
+        self._fifo: Deque[int] = deque()
+        #: Keyed fast path: (key(task), seq) min-heap.
+        self._heap: List[Tuple] = []
+
+    # -- queue ops ----------------------------------------------------------
+    def enqueue(self, task: Task) -> None:
+        from ..core.scheduling import ReadyEntry
+
+        seq = self._seq
+        self._seq += 1
+        self._queue[seq] = ReadyEntry(
+            task=task, seq=seq, enqueued_at=self._clock()
+        )
+        order = self.policy.order
+        if order == "fifo":
+            self._fifo.append(seq)
+        elif order == "keyed":
+            heapq.heappush(self._heap, (self.policy.key(task), seq))
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def ready_tasks(self) -> List[Task]:
+        return [entry.task for entry in self._queue.values()]
+
+    def pick(self) -> Optional[Task]:
+        if not self._queue:
+            return None
+        order = self.policy.order
+        if order == "fifo":
+            return self._queue.pop(self._fifo.popleft()).task
+        if order == "keyed":
+            # Tickets leave the heap only here, so the heap top is
+            # always live while the queue is non-empty.
+            _key, seq = heapq.heappop(self._heap)
+            return self._queue.pop(seq).task
+        from ..core.scheduling import ReadyView
+
+        view = ReadyView(now=self._clock(),
+                         entries=tuple(self._queue.values()))
+        decision = self.policy.pick(view)
+        if decision is None:
+            return None
+        entry = self._queue.pop(decision.seq, None)
+        if entry is None:
+            raise ValueError(
+                f"{self.policy!r} picked unknown ready entry "
+                f"seq={decision.seq}"
+            )
+        return entry.task
+
+    def quantum(self, task: Task) -> float:
+        return self.policy.quantum(task)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__} {self.policy!r} n={len(self)}>"
+
+
+class RoundRobin(PolicyScheduler):
     """Time-shared FIFO with a fixed quantum — the paper's time-shared
     multitasking baseline."""
 
     def __init__(self, time_slice: float = 10e-3) -> None:
-        super().__init__()
-        if time_slice <= 0:
-            raise ValueError("time_slice must be positive")
+        super().__init__("rr", time_slice=time_slice)
         self.time_slice = time_slice
 
-    def pick(self) -> Optional[Task]:
-        return self._ready.pop(0) if self._ready else None
-
-    def quantum(self, task: Task) -> float:
-        return self.time_slice
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<RoundRobin time_slice={self.time_slice!r} n={len(self)}>"
 
 
-class Fifo(Scheduler):
+class Fifo(PolicyScheduler):
     """Run-to-completion batch scheduling (each CPU burst runs whole)."""
 
-    def pick(self) -> Optional[Task]:
-        return self._ready.pop(0) if self._ready else None
-
-    def quantum(self, task: Task) -> float:
-        return float("inf")
+    def __init__(self) -> None:
+        super().__init__("fifo")
 
 
-class PriorityScheduler(Scheduler):
+class PriorityScheduler(PolicyScheduler):
     """Preemptionless static priorities with round-robin inside a level."""
 
     def __init__(self, time_slice: float = 10e-3) -> None:
-        super().__init__()
-        if time_slice <= 0:
-            raise ValueError("time_slice must be positive")
+        super().__init__("priority", time_slice=time_slice)
         self.time_slice = time_slice
-
-    def pick(self) -> Optional[Task]:
-        if not self._ready:
-            return None
-        best = min(range(len(self._ready)), key=lambda i: (self._ready[i].priority, i))
-        return self._ready.pop(best)
-
-    def quantum(self, task: Task) -> float:
-        return self.time_slice

@@ -87,6 +87,10 @@ class TaskAccounting:
     n_reconfigs: int = 0
     n_preemptions: int = 0
     n_rollbacks: int = 0
+    #: Set (once) by the FPGA service when the task completes after its
+    #: declared deadline — the idempotency latch behind the
+    #: ``DeadlineMiss`` telemetry event.
+    deadline_missed: bool = False
 
     @property
     def turnaround(self) -> Optional[float]:
@@ -120,9 +124,22 @@ class Task:
         undeclared one is a kernel error — mirroring the paper's rule that
         configurations must be registered in the OS tables up front.
     priority:
-        Lower = more important (only priority schedulers look at it).
+        Lower = more important (only priority schedulers look at it —
+        :class:`~repro.osim.scheduler.PriorityScheduler` and the
+        ``aged-priority`` strategy, which decays it with waiting time).
     arrival:
-        Simulation time at which the task enters the system.
+        Simulation time at which the task enters the system.  Absolute
+        (not relative to spawn); the kernel admits the task at exactly
+        this instant and deadline slack is measured from it.
+    deadline:
+        Optional absolute completion deadline in simulation seconds.
+        Purely advisory metadata: the kernel never aborts a late task.
+        Deadline-aware engines read it — ``edf`` CPU scheduling orders
+        the ready queue by it, the ``cost-aware`` fabric strategy
+        preempts under waiter deadline pressure — and the FPGA service
+        publishes a ``DeadlineMiss`` event (counted in
+        ``ServiceMetrics.n_deadline_misses``) when the task finishes
+        past it.  ``None`` (the default) = no deadline.
     """
 
     def __init__(
@@ -132,6 +149,7 @@ class Task:
         configs: Optional[Sequence[str]] = None,
         priority: int = 0,
         arrival: float = 0.0,
+        deadline: Optional[float] = None,
     ) -> None:
         self.tid = next(_tid_counter)
         self.name = name
@@ -147,6 +165,12 @@ class Task:
             )
         self.priority = priority
         self.arrival = arrival
+        if deadline is not None and deadline < arrival:
+            raise ValueError(
+                f"task {name!r} deadline {deadline} precedes its "
+                f"arrival {arrival}"
+            )
+        self.deadline = deadline
         self.state = TaskState.NEW
         self.accounting = TaskAccounting(arrival=arrival)
         #: Set by the FPGA service: most recently used configuration.

@@ -49,6 +49,7 @@ from .events import (
     BoardDispatch,
     Compact,
     ConfigPortOp,
+    DeadlineMiss,
     Dispatch,
     Evict,
     Exec,
@@ -69,6 +70,7 @@ from .events import (
     Relocate,
     Repair,
     Rollback,
+    SchedDecision,
     ScrubPass,
     SegmentFault,
     SimStep,
@@ -122,6 +124,7 @@ __all__ = [
     "BoardDispatch",
     "Compact",
     "ConfigPortOp",
+    "DeadlineMiss",
     "DiffRow",
     "Dispatch",
     "EventBus",
@@ -150,6 +153,7 @@ __all__ = [
     "Relocate",
     "Repair",
     "Rollback",
+    "SchedDecision",
     "ScrubPass",
     "SegmentFault",
     "SimStep",

@@ -62,6 +62,7 @@ METRICS: Tuple[Tuple[str, Optional[str]], ...] = (
     ("wall_seconds", "growth"),
     ("telemetry.n_events", "drift"),
     ("metrics.frames_written", "drift"),
+    ("metrics.n_deadline_misses", "drift"),
     ("makespan", None),
     ("mean_turnaround", None),
     ("useful_fraction", None),

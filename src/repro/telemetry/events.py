@@ -38,9 +38,9 @@ __all__ = [
     "PortTransfer", "PinWindow",
     # virtual-memory policies
     "PageAccess", "PageFault", "SegmentFault",
-    # preemption / placement
+    # preemption / placement / scheduling
     "Preempt", "Rollback", "Prefetch", "Suspend", "Compact", "Relocate",
-    "BoardDispatch",
+    "BoardDispatch", "SchedDecision", "DeadlineMiss",
     # device / integrity
     "ConfigPortOp", "ScrubPass", "Repair", "Upset",
     "EVENT_TYPES", "event_type", "register_event_type",
@@ -422,6 +422,53 @@ class Placement(TelemetryEvent):
     @property
     def detail(self) -> str:
         return f"{self.handle}@{self.anchor} via {self.strategy}"
+
+
+@dataclass(frozen=True)
+class SchedDecision(TelemetryEvent):
+    """A fabric scheduling engine priced one preemption point.
+
+    Published by services with a
+    :class:`~repro.core.scheduling.FabricSchedulerPolicy` at every
+    contended quantum boundary (nobody waiting = no decision to price),
+    carrying the priced cost terms the verdict weighed: the victim's
+    reload bill (``reconfig_cost``, delta-frame pricing against the
+    resident ConfigRam digests), the state save+restore movement
+    (``state_cost``), the progress a rollback discards (``lost_cost``),
+    the fabric seconds the resident op still needs (``remaining``) and
+    the tightest waiter deadline slack (``slack``; ``inf`` = none).
+    Bus-only (``kind=None``): the legacy trace stays unchanged.
+    """
+
+    strategy: str = ""
+    handle: str = ""
+    preempt: bool = False
+    reason: str = ""
+    waiting: int = 0
+    reconfig_cost: float = 0.0
+    state_cost: float = 0.0
+    lost_cost: float = 0.0
+    remaining: float = 0.0
+    slack: float = float("inf")
+
+    @property
+    def detail(self) -> str:
+        verdict = "preempt" if self.preempt else "keep"
+        return f"{self.handle}: {verdict} ({self.reason}) via {self.strategy}"
+
+
+@dataclass(frozen=True)
+class DeadlineMiss(TelemetryEvent):
+    """A task finished after its declared deadline (counts
+    ``n_deadline_misses``).  ``lateness`` is how far past the deadline
+    the completion landed.  Bus-only (``kind=None``)."""
+
+    deadline: float = 0.0
+    lateness: float = 0.0
+
+    @property
+    def detail(self) -> str:
+        return f"deadline {self.deadline:g} missed by {self.lateness:g}"
 
 
 @dataclass(frozen=True)

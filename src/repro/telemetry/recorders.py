@@ -14,6 +14,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Type
 from .bus import EventBus
 from .events import (
     Compact,
+    DeadlineMiss,
     Evict,
     Exec,
     Hit,
@@ -140,6 +141,7 @@ class MetricsRecorder:
             Rollback: lambda e: self._inc("n_rollbacks"),
             Relocate: lambda e: self._inc("n_relocations"),
             Compact: lambda e: self._inc("n_compactions"),
+            DeadlineMiss: lambda e: self._inc("n_deadline_misses"),
         }
 
     #: The event types this recorder folds (for targeted subscription).

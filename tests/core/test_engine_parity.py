@@ -17,12 +17,21 @@ import pytest
 from repro.core import (
     ConfigRegistry,
     LruReplacement,
+    make_cpu_scheduler,
     make_paged_circuit,
     make_segmented_circuit,
     make_service,
 )
 from repro.device import get_family
-from repro.osim import FpgaOp, Kernel, RoundRobin, Task, uniform_workload
+from repro.osim import (
+    Fifo,
+    FpgaOp,
+    Kernel,
+    PriorityScheduler,
+    RoundRobin,
+    Task,
+    uniform_workload,
+)
 from repro.sim import Simulator
 from repro.telemetry import EventBus, EventLog
 
@@ -37,18 +46,22 @@ def canon(events):
     return out
 
 
-def run_events(policy, build):
+def run_events(policy, build, scheduler_factory=None):
     """One full simulated run; returns the canonical event stream.
 
     ``build`` makes a fresh (registry, tasks, policy_kw) triple so the
-    two compared runs share nothing mutable.
+    two compared runs share nothing mutable.  ``scheduler_factory``
+    overrides the CPU scheduler (default: the seed RoundRobin).
     """
     registry, tasks, policy_kw = build()
     sim = Simulator()
     service = make_service(policy, registry, **policy_kw)
     bus = EventBus()
     log = EventLog(bus)
-    kernel = Kernel(sim, RoundRobin(time_slice=1e-3), service,
+    if scheduler_factory is None:
+        def scheduler_factory():
+            return RoundRobin(time_slice=1e-3)
+    kernel = Kernel(sim, scheduler_factory(), service,
                     context_switch=0.0, bus=bus)
     kernel.spawn_all(tasks)
     kernel.run()
@@ -201,3 +214,57 @@ def test_seeded_random_replacement_reproducible():
     build_a = paged_build(replacement="random", replacement_seed=9)
     build_b = paged_build(replacement="random", replacement_seed=9)
     assert run_events("paged", build_a) == run_events("paged", build_b)
+
+
+# -- CPU scheduling engines (PR 6) ----------------------------------------
+#
+# The seed schedulers became thin strategies over PolicyScheduler; these
+# comparisons pin that every policy's event stream is untouched when the
+# seed class is swapped for the equivalent engine built by name.
+
+@pytest.mark.parametrize(
+    "policy,default_build,explicit_build", CASES,
+    ids=[f"{c[0]}-{i}" for i, c in enumerate(CASES)],
+)
+def test_seed_rr_equals_engine_rr(policy, default_build, explicit_build):
+    seed_run = run_events(policy, default_build)
+    engine_run = run_events(
+        policy, default_build,
+        scheduler_factory=lambda: make_cpu_scheduler("rr",
+                                                     time_slice=1e-3))
+    assert seed_run == engine_run
+    assert seed_run
+
+
+@pytest.mark.parametrize("name,seed_factory", [
+    ("fifo", Fifo),
+    ("priority", lambda: PriorityScheduler(time_slice=1e-3)),
+])
+def test_seed_class_equals_engine(name, seed_factory):
+    build = contended_build(hold_mode="op")
+    kw = {} if name == "fifo" else {"time_slice": 1e-3}
+    seed_run = run_events("variable", build, scheduler_factory=seed_factory)
+    engine_run = run_events(
+        "variable", build,
+        scheduler_factory=lambda: make_cpu_scheduler(name, **kw))
+    assert seed_run == engine_run
+    assert seed_run
+
+
+def test_fabric_sched_default_equals_explicit():
+    """``dynamic`` with no fabric engine named is the seed fixed-quantum
+    behavior, event for event (including with a fabric time slice)."""
+    kw = dict(preemption="save-restore", fpga_time_slice=1e-3)
+    default_run = run_events("dynamic", contended_build(**kw))
+    explicit_run = run_events(
+        "dynamic", contended_build(fabric_sched="fixed-quantum", **kw))
+    assert default_run == explicit_run
+    assert default_run
+
+
+def test_cost_aware_fabric_completes():
+    events = run_events(
+        "dynamic",
+        contended_build(preemption="save-restore", fpga_time_slice=1e-3,
+                        fabric_sched="cost-aware"))
+    assert any(name == "TaskDone" for name, _fields in events)

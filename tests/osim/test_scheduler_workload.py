@@ -56,6 +56,74 @@ class TestSchedulerObjects:
         assert len(s) == 1
 
 
+class _SeedQueue:
+    """The pre-refactor ready queue, verbatim: a plain list popped from
+    the front (FIFO) or by linear stable min-scan (priority).  The
+    deque/heap fast paths in :class:`PolicyScheduler` must reproduce
+    these orders exactly."""
+
+    def __init__(self, keyed: bool = False) -> None:
+        self._ready = []
+        self.keyed = keyed
+
+    def enqueue(self, task):
+        self._ready.append(task)
+
+    def pick(self):
+        if not self._ready:
+            return None
+        if not self.keyed:
+            return self._ready.pop(0)
+        best = min(range(len(self._ready)),
+                   key=lambda i: (self._ready[i].priority, i))
+        return self._ready.pop(best)
+
+
+class TestSeedOrderEquality:
+    """Order-equality pin: deque/heap hosts vs the seed list queues over
+    interleaved enqueue/pick sequences."""
+
+    def _trace(self, scheduler, seed_queue, rng_seed):
+        import random
+
+        rng = random.Random(rng_seed)
+        tasks = [Task(f"t{i}", [], priority=rng.randrange(4))
+                 for i in range(60)]
+        picks = []
+        pending = list(tasks)
+        for _ in range(300):
+            if pending and rng.random() < 0.6:
+                t = pending.pop(0)
+                scheduler.enqueue(t)
+                seed_queue.enqueue(t)
+            else:
+                a = scheduler.pick()
+                b = seed_queue.pick()
+                assert a is b
+                picks.append(a)
+        # Drain both completely; the tails must match too.
+        while True:
+            a = scheduler.pick()
+            b = seed_queue.pick()
+            assert a is b
+            if a is None:
+                break
+        return picks
+
+    @pytest.mark.parametrize("rng_seed", [0, 1, 2, 3])
+    def test_fifo_matches_seed_list(self, rng_seed):
+        self._trace(Fifo(), _SeedQueue(), rng_seed)
+
+    @pytest.mark.parametrize("rng_seed", [0, 1, 2, 3])
+    def test_round_robin_matches_seed_list(self, rng_seed):
+        self._trace(RoundRobin(time_slice=1e-3), _SeedQueue(), rng_seed)
+
+    @pytest.mark.parametrize("rng_seed", [0, 1, 2, 3])
+    def test_priority_matches_seed_scan(self, rng_seed):
+        self._trace(PriorityScheduler(time_slice=1e-3),
+                    _SeedQueue(keyed=True), rng_seed)
+
+
 class TestWorkloadBuilders:
     def test_alternating_task_structure(self):
         t = alternating_task("t", "cfg", n_ops=3, cpu_burst=1e-3, cycles=10)
