@@ -141,6 +141,23 @@ def run_system(
     return stats, service
 
 
+def record_compile(circuit: str, profile, **recipe) -> None:
+    """Append one *compile* run record (the CAD-flow analogue of
+    :func:`run_system`): the reproduction recipe plus the
+    :class:`repro.cad.CompileProfile` block — per-phase wall-clock
+    breakdown, SA cost curve, router convergence curve, peak RRG size.
+    ``repro bench-diff`` gates the place/route phase wall-clock (growth)
+    and the convergence statistics (drift) of these records — the
+    committed baselines are what the CAD vectorization work must beat.
+    """
+    _RUNS.append({
+        "policy": f"compile:{circuit}",
+        "policy_kw": {k: _jsonable(v) for k, v in sorted(recipe.items())},
+        "wall_seconds": profile.total_seconds,
+        "compile": profile.as_dict(),
+    })
+
+
 def emit(name: str, text: str) -> None:
     """Print the experiment output; archive the table (``.txt``) and the
     machine-readable run records (``BENCH_<name>.json``) under results/."""

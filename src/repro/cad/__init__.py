@@ -13,6 +13,15 @@ from .flow import (
     minimal_region,
     virtual_pin_capacity,
 )
+from .instrument import (
+    PHASES,
+    CadAnnealStep,
+    CadInstrumentation,
+    CadPhaseEnd,
+    CadPhaseStart,
+    CadRouteIteration,
+    CompileProfile,
+)
 from .pack import Ble, PackedDesign, PackError, nets_of, pack
 from .place import Placement, PlacementError, hpwl, place
 from .route import NetSpec, RoutedNet, Router, RoutingError
@@ -22,8 +31,15 @@ from .timing import TimingError, TimingReport, analyze_timing
 from .verify import VerificationError, verify_bitstream
 
 __all__ = [
+    "PHASES",
     "Ble",
+    "CadAnnealStep",
+    "CadInstrumentation",
+    "CadPhaseEnd",
+    "CadPhaseStart",
+    "CadRouteIteration",
     "CompileError",
+    "CompileProfile",
     "CompileResult",
     "NetSpec",
     "PackError",

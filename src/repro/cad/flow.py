@@ -35,6 +35,7 @@ from ..device import (
     iob_sites,
 )
 from ..netlist import Netlist
+from .instrument import CadInstrumentation, CompileProfile
 from .pack import PackedDesign, nets_of, pack
 from .place import Placement, place
 from .route import NetSpec, Router, RoutingError
@@ -49,6 +50,29 @@ __all__ = [
     "PinCapacityError",
     "minimal_region",
 ]
+
+
+class _NullPhase:
+    """``with`` target used when instrumentation is disabled: zero work,
+    zero timestamps (the disabled flow must not even read a clock)."""
+
+    __slots__ = ("size",)
+
+    def __init__(self) -> None:
+        self.size = 0
+
+    def __enter__(self) -> "_NullPhase":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        return None
+
+
+def _phase(instrument: Optional[CadInstrumentation], name: str,
+           size: int = 0):
+    if instrument is None:
+        return _NullPhase()
+    return instrument.phase(name, size=size)
 
 
 class CompileError(Exception):
@@ -72,6 +96,9 @@ class CompileResult:
     wirelength: int
     #: Net count actually routed.
     n_nets: int
+    #: Compile telemetry aggregation (``None`` unless the flow ran with a
+    #: :class:`~repro.cad.instrument.CadInstrumentation` hook).
+    profile: Optional[CompileProfile] = None
 
     @property
     def critical_path(self) -> float:
@@ -153,8 +180,17 @@ def compile_netlist(
     effort: str = "sa",
     max_route_iterations: int = 24,
     shape: str = "square",
+    instrument: Optional[CadInstrumentation] = None,
 ) -> CompileResult:
     """Compile ``netlist`` for ``arch``.
+
+    ``instrument`` (a :class:`~repro.cad.instrument.CadInstrumentation`)
+    opts the run into compile telemetry: phase brackets, SA cost curve
+    and router convergence events, aggregated into
+    :attr:`CompileResult.profile`.  The hook only observes — placements
+    and bitstreams are bit-identical with instrumentation on or off.
+    Auto-region retries accumulate into the same instrument, so the
+    profile records the *whole* compile including discarded attempts.
 
     Raises
     ------
@@ -181,15 +217,19 @@ def compile_netlist(
                 return compile_netlist(
                     netlist, arch, region=auto, mode=mode, seed=seed,
                     effort=effort, max_route_iterations=max_route_iterations,
-                    shape=shape,
+                    shape=shape, instrument=instrument,
                 )
             except RoutingError as exc:
                 last_exc = exc
                 if auto == arch.full_rect:
                     break
         raise last_exc  # even the roomiest region failed
-    mapped = technology_map(netlist, arch.k)
-    design = pack(mapped, arch.k)
+    with _phase(instrument, "techmap", size=len(netlist.cells)) as ph:
+        mapped = technology_map(netlist, arch.k)
+        ph.size = len(mapped.cells)
+    with _phase(instrument, "pack", size=len(mapped.cells)) as ph:
+        design = pack(mapped, arch.k)
+        ph.size = design.n_clbs
     io_count = len(design.inputs) + len(design.outputs)
 
     if mode == "dedicated":
@@ -210,7 +250,10 @@ def compile_netlist(
                 f"{region} offers {capacity}"
             )
 
-    placement = place(design, region, seed=seed, effort=effort)
+    with _phase(instrument, "place", size=design.n_clbs) as ph:
+        placement = place(design, region, seed=seed, effort=effort,
+                          instrument=instrument)
+        ph.size = design.n_clbs
 
     # -- I/O binding ---------------------------------------------------------
     virtual_inputs: Dict[str, Wire] = {}
@@ -259,11 +302,13 @@ def compile_netlist(
         else:
             specs[src].sinks.append(("pad", pad_outputs[port]))
 
-    graph = RoutingGraph(
-        arch,
-        region=None if mode == "dedicated" else region,
-        include_pads=(mode == "dedicated"),
-    )
+    with _phase(instrument, "rrg") as ph:
+        graph = RoutingGraph(
+            arch,
+            region=None if mode == "dedicated" else region,
+            include_pads=(mode == "dedicated"),
+        )
+        ph.size = len(graph)
     # Virtual-pin wires are interface terminals: reserve each for the net
     # that owns it so no other net can route through (an *unused* input's
     # wire would otherwise be free routing stock and its external driver
@@ -276,9 +321,54 @@ def compile_netlist(
     router = Router(graph, max_iterations=max_route_iterations,
                     reserved=reserved)
     net_list = [specs[name] for name in sorted(specs)]
-    routed = router.route(net_list)
+    with _phase(instrument, "route", size=len(net_list)) as ph:
+        routed = router.route(net_list, instrument=instrument)
+        ph.size = len(routed)
+
+    with _phase(instrument, "timing", size=len(routed)) as ph:
+        timing = analyze_timing(arch, placement, routed)
+        ph.size = timing.n_timing_paths
+    wirelength = sum(
+        sum(1 for nid in rn.nodes if graph.is_wire(nid)) for rn in routed.values()
+    )
 
     # -- configuration generation ------------------------------------------------
+    with _phase(instrument, "bitgen", size=len(routed)) as ph:
+        bitstream = _generate_bitstream(
+            netlist, arch, region, mode, design, placement, routed, graph,
+            timing, virtual_inputs, virtual_outputs, pad_inputs, pad_outputs,
+        )
+        if instrument is not None:
+            ph.size = len(bitstream.frames_touched(arch))
+    return CompileResult(
+        bitstream=bitstream,
+        design=design,
+        placement=placement,
+        timing=timing,
+        wirelength=wirelength,
+        n_nets=len(routed),
+        profile=instrument.profile() if instrument is not None else None,
+    )
+
+
+def _generate_bitstream(
+    netlist: Netlist,
+    arch: Architecture,
+    region: Rect,
+    mode: str,
+    design: PackedDesign,
+    placement: Placement,
+    routed: Dict[str, "RoutedNet"],
+    graph: RoutingGraph,
+    timing: TimingReport,
+    virtual_inputs: Dict[str, Wire],
+    virtual_outputs: Dict[str, Wire],
+    pad_inputs: Dict[str, object],
+    pad_outputs: Dict[str, object],
+) -> Bitstream:
+    """Configuration generation: routed design -> validated bitstream
+    (the flow's final phase, split out so instrumentation can bracket
+    it)."""
     clbs: Dict[Coord, ClbConfig] = {}
     for ble in design.bles:
         coord = placement.coords[ble.name]
@@ -324,10 +414,6 @@ def compile_netlist(
                 enable=True, direction=direction, track_sel=track + 1
             )
 
-    timing = analyze_timing(arch, placement, routed)
-    wirelength = sum(
-        sum(1 for nid in rn.nodes if graph.is_wire(nid)) for rn in routed.values()
-    )
     bitstream = Bitstream(
         name=netlist.name,
         arch_name=arch.name,
@@ -348,11 +434,4 @@ def compile_netlist(
         critical_path=timing.critical_path,
     )
     bitstream.validate(arch)
-    return CompileResult(
-        bitstream=bitstream,
-        design=design,
-        placement=placement,
-        timing=timing,
-        wirelength=wirelength,
-        n_nets=len(routed),
-    )
+    return bitstream

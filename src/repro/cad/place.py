@@ -14,12 +14,16 @@ region, so the result translates with the region (relocatable bitstreams).
 
 from __future__ import annotations
 
+import math
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from ..device import Coord, Rect
 from .pack import PackedDesign, nets_of
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cost
+    from .instrument import CadInstrumentation
 
 __all__ = ["Placement", "place", "PlacementError", "hpwl"]
 
@@ -82,8 +86,14 @@ def place(
     region: Rect,
     seed: int = 0,
     effort: str = "sa",
+    instrument: Optional["CadInstrumentation"] = None,
 ) -> Placement:
     """Place ``design`` into ``region``.
+
+    ``instrument`` (a :class:`~repro.cad.instrument.CadInstrumentation`)
+    receives one :class:`~repro.cad.instrument.CadAnnealStep` per SA
+    temperature step; it is never consulted for decisions, so results
+    are bit-identical with or without it.
 
     Raises :class:`PlacementError` when the design needs more CLBs than
     the region offers — the paper's "circuit too large" admission failure.
@@ -103,7 +113,7 @@ def place(
     placement = Placement(design=design, region=region, coords=coords)
     placement.validate()
     if effort == "sa" and n >= 2:
-        _anneal(placement, sites, seed)
+        _anneal(placement, sites, seed, instrument)
         placement.validate()
     return placement
 
@@ -134,8 +144,19 @@ def _connectivity_order(design: PackedDesign) -> List[str]:
     return order
 
 
-def _anneal(placement: Placement, sites: List[Coord], seed: int) -> None:
-    """In-place simulated-annealing refinement of ``placement.coords``."""
+def _anneal(
+    placement: Placement,
+    sites: List[Coord],
+    seed: int,
+    instrument: Optional["CadInstrumentation"] = None,
+) -> None:
+    """In-place simulated-annealing refinement of ``placement.coords``.
+
+    The ``instrument`` hook observes each temperature step after its
+    moves are decided (the RNG draw sequence is a function of the seed
+    and the move outcomes alone), keeping instrumented and plain runs
+    bit-identical.
+    """
     rng = random.Random(seed)
     design = placement.design
     coords = placement.coords
@@ -157,14 +178,18 @@ def _anneal(placement: Placement, sites: List[Coord], seed: int) -> None:
     cost = sum(net_cost(i) for i in range(len(nets)))
     temp = max(1.0, cost * 0.2)
     moves_per_temp = max(16, 8 * len(names))
+    step = 0
     while temp > 0.05:
+        step_t0 = instrument.now() if instrument is not None else 0.0
         accepted = 0
+        evaluated = 0
         for _ in range(moves_per_temp):
             a = rng.choice(names)
             target = rng.choice(sites)
             ca = coords[a]
             if target == ca:
                 continue
+            evaluated += 1
             b = site_to_ble[target]
             affected = set(nets_of_ble[a])
             if b is not None:
@@ -179,7 +204,7 @@ def _anneal(placement: Placement, sites: List[Coord], seed: int) -> None:
                 site_to_ble[ca] = None
             after = sum(net_cost(i) for i in affected)
             delta = after - before
-            if delta <= 0 or rng.random() < pow(2.718281828, -delta / temp):
+            if delta <= 0 or rng.random() < math.exp(-delta / temp):
                 cost += delta
                 accepted += 1
             else:  # revert
@@ -190,6 +215,13 @@ def _anneal(placement: Placement, sites: List[Coord], seed: int) -> None:
                     site_to_ble[target] = b
                 else:
                     site_to_ble[target] = None
+        if instrument is not None:
+            instrument.anneal_step(
+                step=step, temperature=temp, moves=evaluated,
+                accepted=accepted, cost=cost,
+                wall_seconds=instrument.now() - step_t0,
+            )
+        step += 1
         temp *= 0.8
         if accepted == 0:
             break

@@ -12,10 +12,22 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Hashable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from ..device import Coord, IobSite, clb_input_candidates, clb_output_candidates
 from .rrg import RoutingGraph
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cost
+    from .instrument import CadInstrumentation
 
 __all__ = ["NetSpec", "RoutedNet", "Router", "RoutingError"]
 
@@ -94,6 +106,10 @@ class Router:
         self.occupancy = [0] * n
         self.history = [0.0] * n
         self._pressure = 0.5
+        #: Overused-wire count after each PathFinder iteration of the
+        #: last :meth:`route` call (the convergence curve; also embedded
+        #: in the :class:`RoutingError` message on failure).
+        self.overuse_history: List[int] = []
 
     # -- cost model --------------------------------------------------------
     #: Base cost of entering a long line: they are scarce, device-global
@@ -260,14 +276,27 @@ class Router:
         return routed
 
     # -- full PathFinder loop ----------------------------------------------------------
-    def route(self, nets: Sequence[NetSpec]) -> Dict[str, RoutedNet]:
+    def route(
+        self,
+        nets: Sequence[NetSpec],
+        instrument: Optional["CadInstrumentation"] = None,
+    ) -> Dict[str, RoutedNet]:
         """Route all nets to legality; raises :class:`RoutingError` if the
-        congestion never resolves within ``max_iterations``."""
+        congestion never resolves within ``max_iterations``.
+
+        ``instrument`` (a :class:`~repro.cad.instrument.CadInstrumentation`)
+        receives one :class:`~repro.cad.instrument.CadRouteIteration` per
+        rip-up round; it never influences net order or cost, so routes
+        are identical with or without it.
+        """
         names = [n.name for n in nets]
         if len(set(names)) != len(names):
             raise ValueError("duplicate net names")
         results: Dict[str, RoutedNet] = {}
+        self.overuse_history = []
         for iteration in range(self.max_iterations):
+            iter_t0 = instrument.now() if instrument is not None else 0.0
+            ripped = 0
             for net in nets:
                 old = results.get(net.name)
                 if old is not None:
@@ -275,10 +304,18 @@ class Router:
                         continue  # keep legal routes; rip up only offenders
                     for nid in old.nodes:
                         self.occupancy[nid] -= 1
+                    ripped += 1
                 results[net.name] = self._route_net(net)
             overused = [
                 nid for nid, occ in enumerate(self.occupancy) if occ > 1
             ]
+            self.overuse_history.append(len(overused))
+            if instrument is not None:
+                instrument.route_iteration(
+                    iteration=iteration, overused=len(overused),
+                    ripped_up=ripped, pressure=self._pressure,
+                    wall_seconds=instrument.now() - iter_t0,
+                )
             if not overused:
                 return results
             for nid in overused:
@@ -286,7 +323,9 @@ class Router:
             self._pressure *= 1.8
         raise RoutingError(
             f"congestion unresolved after {self.max_iterations} iterations "
-            f"({sum(1 for o in self.occupancy if o > 1)} overused wires)"
+            f"({sum(1 for o in self.occupancy if o > 1)} overused wires; "
+            f"final pressure {self._pressure:.4g}; overused per iteration "
+            f"{self.overuse_history})"
         )
 
     def _net_is_congested(self, routed: RoutedNet) -> bool:

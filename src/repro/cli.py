@@ -123,6 +123,78 @@ def cmd_compile(args) -> int:
     return 0
 
 
+def cmd_compile_report(args) -> int:
+    """Per-phase wall-clock, SA cost curve and PathFinder convergence of
+    one compile — live (instrumented flow) or from a recorded JSONL
+    stream of CAD events."""
+    import json
+
+    from .cad import (
+        CadInstrumentation,
+        CompileError,
+        CompileProfile,
+        PlacementError,
+        RoutingError,
+        compile_netlist,
+    )
+    from .telemetry import read_jsonl, to_chrome_trace, to_jsonl
+
+    failure: Optional[Exception] = None
+    if args.input is not None:
+        # Reduce a recorded stream exactly as if it were live: the
+        # profile is a pure function of the events.
+        events = read_jsonl(args.input)
+        profile = CompileProfile.from_events(events)
+        title = f"compile profile of {args.input}"
+    else:
+        if args.circuit is None:
+            raise SystemExit(
+                "compile-report: give a circuit spec or -i EVENTS.jsonl"
+            )
+        from .device import get_family
+
+        arch = get_family(args.family)
+        nl = build_circuit(args.circuit)
+        instr = CadInstrumentation()
+        try:
+            res = compile_netlist(
+                nl, arch,
+                mode="dedicated" if args.dedicated else "relocatable",
+                seed=args.seed, effort=args.effort, shape=args.shape,
+                instrument=instr,
+            )
+        except (CompileError, PlacementError, RoutingError) as exc:
+            # The phases that did run are exactly what one wants to see
+            # when a compile fails — report them, then exit nonzero.
+            failure = exc
+            res = None
+        events = instr.events
+        profile = instr.profile()
+        title = f"{args.circuit}@{args.family} " \
+                f"(effort={args.effort}, seed={args.seed})"
+        if res is not None:
+            bs = res.bitstream
+            print(f"compiled {args.circuit} for {arch.name}: region "
+                  f"{bs.region}, clock {fmt_time(res.critical_path)}, "
+                  f"wirelength {res.wirelength}")
+    if args.jsonl:
+        to_jsonl(events, args.jsonl)
+        print(f"wrote {len(events)} CAD events to {args.jsonl}",
+              file=sys.stderr)
+    if args.trace:
+        to_chrome_trace(events, args.trace, run_name=title)
+        print(f"wrote Chrome trace to {args.trace} "
+              f"(open in https://ui.perfetto.dev)", file=sys.stderr)
+    if args.json:
+        print(json.dumps(profile.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(profile.render(title))
+    if failure is not None:
+        print(f"compile failed: {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _make_scheduler(args):
     """The CPU scheduling engine selected by ``--cpu-sched``."""
     from .core import make_cpu_scheduler
@@ -443,6 +515,34 @@ def make_parser() -> argparse.ArgumentParser:
     c.add_argument("--verify", action="store_true",
                    help="functionally verify the bitstream on the device")
 
+    cr = sub.add_parser(
+        "compile-report",
+        help="per-phase wall-clock, SA cost curve and PathFinder "
+             "convergence of one compile (live, or from a recorded "
+             "JSONL stream of CAD events)",
+    )
+    cr.add_argument("circuit", nargs="?", default=None,
+                    help="generator spec, e.g. ripple_adder:4 "
+                         "(omit when using -i)")
+    cr.add_argument("--family", default="VF12")
+    cr.add_argument("--effort", default="sa", choices=["greedy", "sa"])
+    cr.add_argument("--shape", default="square", choices=["square", "columns"])
+    cr.add_argument("--seed", type=int, default=0)
+    cr.add_argument("--dedicated", action="store_true",
+                    help="bind primary I/O to physical pads")
+    cr.add_argument("-i", "--input", default=None, metavar="EVENTS.jsonl",
+                    help="reduce this recorded CAD event stream instead "
+                         "of compiling")
+    cr.add_argument("--jsonl", default=None, metavar="OUT.jsonl",
+                    help="also record the CAD event stream as JSONL "
+                         "(re-readable with -i)")
+    cr.add_argument("--trace", default=None, metavar="OUT.json",
+                    help="also write the Chrome trace_event timeline "
+                         "(Perfetto/chrome://tracing)")
+    cr.add_argument("--json", action="store_true",
+                    help="print the machine-readable profile (the "
+                         "'compile' block BENCH_*.json embeds)")
+
     def add_workload_args(sp) -> None:
         sp.add_argument("--family", default="VF12")
         sp.add_argument("--circuits", default="ripple_adder:4,counter:4",
@@ -583,6 +683,7 @@ _COMMANDS = {
     "families": cmd_families,
     "circuits": cmd_circuits,
     "compile": cmd_compile,
+    "compile-report": cmd_compile_report,
     "simulate": cmd_simulate,
     "trace": cmd_trace,
     "report": cmd_report,

@@ -17,6 +17,10 @@ from .events import TelemetryEvent
 __all__ = ["Profiler"]
 
 #: Event-type name -> subsystem bucket for the time-per-subsystem view.
+#: The Cad* names are the compile-path events
+#: (:mod:`repro.cad.instrument`): only :class:`CadPhaseEnd` carries the
+#: duration attribute (phase wall seconds), so the ``cad`` bucket is the
+#: per-phase total without double-counting the per-step events.
 _SUBSYSTEM: Dict[str, str] = {
     "Load": "config-port",
     "Evict": "config-port",
@@ -27,7 +31,16 @@ _SUBSYSTEM: Dict[str, str] = {
     "Exec": "fabric",
     "Wait": "queueing",
     "ScrubPass": "integrity",
+    "CadPhaseStart": "cad",
+    "CadPhaseEnd": "cad",
+    "CadAnnealStep": "cad",
+    "CadRouteIteration": "cad",
 }
+
+#: The compile-path event names (the ``cad`` summary row aggregates them).
+_CAD_EVENTS = (
+    "CadPhaseStart", "CadPhaseEnd", "CadAnnealStep", "CadRouteIteration",
+)
 
 
 class Profiler:
@@ -84,8 +97,13 @@ class Profiler:
         return out
 
     def summary(self) -> Dict[str, object]:
-        """JSON-ready snapshot (embedded in ``BENCH_*.json``)."""
-        return {
+        """JSON-ready snapshot (embedded in ``BENCH_*.json``).
+
+        Streams carrying compile-path events gain a ``cad`` row: the
+        per-event counts plus the summed phase wall seconds (for CAD
+        events the time dimension *is* wall clock — the compile path has
+        no simulator)."""
+        out: Dict[str, object] = {
             "n_events": self.n_events,
             "wall_seconds": self.wall_seconds,
             "events_per_second": self.events_per_second,
@@ -93,3 +111,13 @@ class Profiler:
             "sim_seconds_by_event": dict(sorted(self.sim_seconds.items())),
             "sim_seconds_by_subsystem": dict(sorted(self.by_subsystem().items())),
         }
+        cad_counts = {
+            name: self.counts[name] for name in _CAD_EVENTS
+            if name in self.counts
+        }
+        if cad_counts:
+            out["cad"] = {
+                "counts": cad_counts,
+                "phase_wall_seconds": self.sim_seconds.get("CadPhaseEnd", 0.0),
+            }
+        return out

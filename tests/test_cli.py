@@ -286,3 +286,98 @@ class TestBenchDiff:
         a = self.make_bench(tmp_path, "a.json", wall=1.0)
         with pytest.raises(SystemExit):
             main(["bench-diff", a, str(tmp_path / "nope.json")])
+
+    def make_compile_bench(self, tmp_path, name, place, sa_steps=20):
+        import json
+        doc = {
+            "experiment": "demo",
+            "runs": [{
+                "policy": "compile:adder4", "policy_kw": {},
+                "wall_seconds": 0.05,
+                "compile": {
+                    "total_seconds": 0.05,
+                    "phase_seconds": {"place": place, "route": 0.01},
+                    "peak_rrg_nodes": 400, "sa_steps": sa_steps,
+                    "final_cost": 60.0, "route_iterations": 2,
+                    "final_overuse": 0,
+                },
+            }],
+        }
+        path = tmp_path / name
+        path.write_text(json.dumps(doc))
+        return str(path)
+
+    def test_compile_phase_growth_fails(self, capsys, tmp_path):
+        a = self.make_compile_bench(tmp_path, "a.json", place=0.020)
+        b = self.make_compile_bench(tmp_path, "b.json", place=0.030)
+        assert main(["bench-diff", a, b]) == 1
+        assert "compile.phase_seconds.place" in capsys.readouterr().out
+
+    def test_compile_wall_floor_never_gates_tiny_phases(self, capsys,
+                                                        tmp_path):
+        """A 70 µs phase tripling is timer noise, not a regression —
+        growth gates on compile wall clocks only fire above the floor."""
+        a = self.make_compile_bench(tmp_path, "a.json", place=70e-6)
+        b = self.make_compile_bench(tmp_path, "b.json", place=210e-6)
+        assert main(["bench-diff", a, b]) == 0
+        assert "below gate floor" in capsys.readouterr().out
+
+    def test_compile_convergence_drift_fails(self, capsys, tmp_path):
+        """SA step counts are deterministic: drifting means the flow
+        changed, whichever direction."""
+        a = self.make_compile_bench(tmp_path, "a.json", place=0.02,
+                                    sa_steps=20)
+        b = self.make_compile_bench(tmp_path, "b.json", place=0.02,
+                                    sa_steps=10)
+        assert main(["bench-diff", a, b]) == 1
+        assert "compile.sa_steps" in capsys.readouterr().out
+
+
+class TestCompileReport:
+    def test_live_report(self, capsys):
+        rc = main(["compile-report", "ripple_adder:4", "--family", "VF10",
+                   "--effort", "sa", "--seed", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "compiled ripple_adder:4" in out
+        assert "per-phase wall clock" in out
+        assert "SA cost curve" in out
+        assert "PathFinder convergence" in out
+
+    def test_requires_circuit_or_input(self):
+        with pytest.raises(SystemExit):
+            main(["compile-report"])
+
+    def test_live_vs_recorded_parity(self, capsys, tmp_path):
+        """The profile is a pure function of the event stream: reducing
+        a recorded JSONL must print byte-identical --json output."""
+        jsonl = str(tmp_path / "cad.jsonl")
+        assert main(["compile-report", "alu:3", "--family", "VF10",
+                     "--effort", "sa", "--seed", "3",
+                     "--jsonl", jsonl, "--json"]) == 0
+        live = capsys.readouterr().out
+        live_profile = live[live.index("{"):]
+        assert main(["compile-report", "-i", jsonl, "--json"]) == 0
+        recorded = capsys.readouterr().out
+        assert recorded[recorded.index("{"):] == live_profile
+
+    def test_trace_export_is_valid_json(self, tmp_path):
+        import json
+        trace = str(tmp_path / "cad-trace.json")
+        assert main(["compile-report", "counter:3", "--family", "VF10",
+                     "--effort", "greedy", "--trace", trace]) == 0
+        doc = json.load(open(trace))
+        names = {ev.get("name") for ev in doc["traceEvents"]}
+        assert any(n and n.startswith("CadPhaseEnd") for n in names)
+
+    def test_failed_compile_reports_partial_profile(self, capsys):
+        """A compile that cannot fit exits 1 but still shows the phases
+        that ran — the whole point of instrumenting failures."""
+        rc = main(["compile-report", "alu:6", "--family", "VF4",
+                   "--effort", "greedy", "--seed", "3"])
+        captured = capsys.readouterr()
+        assert rc == 1
+        assert "per-phase wall clock" in captured.out
+        assert "compile failed" in captured.err
+        # techmap and pack ran; placement is where it died.
+        assert "techmap" in captured.out
