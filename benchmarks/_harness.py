@@ -98,12 +98,21 @@ def run_system(
     policy: str,
     scheduler: Optional[Scheduler] = None,
     context_switch: float = 20e-6,
+    subscribe=None,
     **policy_kw,
 ) -> Tuple[RunStats, object]:
-    """One complete simulation; returns (run stats, the service)."""
+    """One complete simulation; returns (run stats, the service).
+
+    ``subscribe``, when given, is called with the fresh :class:`EventBus`
+    before the kernel is built, so experiment-specific observers (e.g.
+    the SLO engine and queueing decomposition of the saturation sweep)
+    see the whole stream from the first boot event.
+    """
     sim = Simulator()
     service = make_service(policy, registry, **policy_kw)
     bus = EventBus()
+    if subscribe is not None:
+        subscribe(bus)
     profiler = Profiler(bus)
     aggregator = MetricsAggregator(bus, clb_capacity=registry.arch.n_clbs)
     spans = SpanBuilder(bus)
@@ -139,6 +148,14 @@ def run_system(
         **run_summary(aggregator, spans, auditor=auditor),
     })
     return stats, service
+
+
+def record_run(record: dict) -> None:
+    """Append one hand-built run record to the current experiment's
+    artifact — experiment-level summary rows (e.g. the per-policy
+    ``saturation`` block of E20) ride ``BENCH_*.json`` exactly like the
+    :func:`run_system` records, so ``repro bench-diff`` gates them too."""
+    _RUNS.append(record)
 
 
 def record_compile(circuit: str, profile, **recipe) -> None:

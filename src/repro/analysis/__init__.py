@@ -1,10 +1,12 @@
 """Experiment harness: sweeps, run statistics, table/series rendering."""
 
+from .knee import KneePoint, knee_point, max_goodput_under_slo
 from .stats import Summary, crossover_x, geometric_mean, summarize
 from .sweep import SweepResult, sweep
 from .tables import fmt_pct, fmt_ratio, fmt_time, format_series, format_table
 
 __all__ = [
+    "KneePoint",
     "Summary",
     "SweepResult",
     "crossover_x",
@@ -14,6 +16,8 @@ __all__ = [
     "format_series",
     "format_table",
     "geometric_mean",
+    "knee_point",
+    "max_goodput_under_slo",
     "summarize",
     "sweep",
 ]

@@ -1,0 +1,107 @@
+"""Saturation analysis: knee points and goodput under an SLO.
+
+A load sweep produces a latency-vs-offered-rate curve that is flat
+until the system approaches saturation, then turns sharply upward (the
+classic open-loop queueing hockey stick).  The *knee* is the operating
+point past which each additional unit of offered load buys
+disproportionate latency — the capacity number an operator actually
+provisions to, as opposed to the asymptotic throughput ceiling.
+
+:func:`knee_point` finds it with the maximum-distance-to-chord method
+(the geometric core of the Kneedle algorithm): normalize both axes to
+``[0, 1]``, draw the chord from the first to the last point, and take
+the point farthest from it.  No smoothing, no derivatives, no
+dependencies — deterministic on any monotone sweep, which is what lets
+``BENCH_e20`` gate the knee in CI.
+
+:func:`max_goodput_under_slo` reads the same sweep the other way: of
+the operating points whose tail latency still honors the objective,
+which achieved the highest *goodput* (useful completed work per
+second)?  Together the two numbers summarize a saturation sweep in a
+form a bench-diff can gate: where the curve bends, and how much work
+the system does before it bends.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import hypot
+from typing import Optional, Sequence
+
+__all__ = ["KneePoint", "knee_point", "max_goodput_under_slo"]
+
+
+@dataclass(frozen=True)
+class KneePoint:
+    """The detected knee of a curve.
+
+    ``strength`` is the normalized perpendicular distance from the
+    knee to the first→last chord (0 = the curve is a straight line,
+    larger = sharper bend); useful as a "was there actually a knee?"
+    confidence signal.
+    """
+
+    x: float
+    y: float
+    index: int
+    strength: float
+
+
+def knee_point(xs: Sequence[float], ys: Sequence[float]) -> Optional[KneePoint]:
+    """Find the knee of ``ys`` vs ``xs`` by maximum distance to chord.
+
+    Returns ``None`` when no knee is decidable: fewer than three
+    points, a degenerate axis (all ``x`` or all ``y`` equal), or a
+    chord of zero length.  Ties break toward the *earliest* point (the
+    conservative capacity estimate).
+    """
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have equal length")
+    n = len(xs)
+    if n < 3:
+        return None
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if x_hi == x_lo or y_hi == y_lo:
+        return None
+    # Normalize both axes to [0, 1] so "distance" is scale-free.
+    nx = [(x - x_lo) / (x_hi - x_lo) for x in xs]
+    ny = [(y - y_lo) / (y_hi - y_lo) for y in ys]
+    x0, y0 = nx[0], ny[0]
+    dx, dy = nx[-1] - x0, ny[-1] - y0
+    chord = hypot(dx, dy)
+    if chord == 0:
+        return None
+    best_i = -1
+    best_d = 0.0
+    for i in range(1, n - 1):
+        # Perpendicular distance from point i to the chord.
+        d = abs(dx * (ny[i] - y0) - dy * (nx[i] - x0)) / chord
+        if d > best_d:
+            best_d, best_i = d, i
+    if best_i < 0 or best_d <= 0.0:
+        return None
+    return KneePoint(x=xs[best_i], y=ys[best_i], index=best_i,
+                     strength=best_d)
+
+
+def max_goodput_under_slo(
+    rates: Sequence[float],
+    goodputs: Sequence[float],
+    p99s: Sequence[Optional[float]],
+    slo: float,
+) -> float:
+    """Highest goodput among operating points whose p99 honors ``slo``.
+
+    Points with an unknown tail latency (``None``) are treated as
+    violating — an unmeasured point cannot certify an objective.
+    Returns 0.0 when no point qualifies (the system violates the SLO
+    even at the lightest offered load).
+    """
+    if not (len(rates) == len(goodputs) == len(p99s)):
+        raise ValueError("rates, goodputs and p99s must have equal length")
+    best = 0.0
+    for goodput, p99 in zip(goodputs, p99s):
+        if p99 is not None and p99 <= slo and goodput > best:
+            best = goodput
+    return best

@@ -39,7 +39,13 @@ watchdog:
   rolling-window detectors (latency spikes, occupancy leaks,
   starvation) as warning-severity violations;
 * :mod:`repro.telemetry.benchdiff` diffs two ``BENCH_*.json``
-  artifacts and gates CI on wall-clock / event-count regressions.
+  artifacts and gates CI on wall-clock / event-count regressions;
+* the SLO layer (:mod:`repro.telemetry.slo`) evaluates declarative
+  per-source objectives (:class:`SloObjective`) with error budgets and
+  burn-rate alerts — breaches come back as typed :class:`SloBreach`
+  events — and decomposes every span into queue / reconfig / service
+  stages per source (:class:`QueueingDecomposition`), so a p99
+  regression is attributable instead of opaque.
 """
 
 from .bus import EventBus, Subscription, make_source
@@ -89,10 +95,12 @@ from .audit import INVARIANTS, AuditError, Auditor, AuditViolation, audit_events
 from .anomaly import AnomalyDetector
 from .benchdiff import BenchDiff, DiffRow, diff_benches, load_bench
 from .exporters import (
+    STAGE_FIELDS,
     JsonlExporter,
     from_record,
     read_jsonl,
     spans_to_csv,
+    stages_to_csv,
     to_chrome_trace,
     to_jsonl,
     to_prometheus,
@@ -108,6 +116,16 @@ from .metrics import (
 from .profiling import Profiler
 from .recorders import EventLog, MetricsRecorder, derive_metrics
 from .report import render_report, run_summary
+from .slo import (
+    STAGES,
+    QueueingDecomposition,
+    SloBreach,
+    SloEngine,
+    SloObjective,
+    decompose_events,
+    evaluate_slo,
+    parse_slo_spec,
+)
 from .spans import SPAN_FIELDS, Span, SpanBuilder, build_spans
 
 __all__ = [
@@ -115,6 +133,8 @@ __all__ = [
     "INVARIANTS",
     "LATENCY_BUCKETS",
     "SPAN_FIELDS",
+    "STAGE_FIELDS",
+    "STAGES",
     "Admit",
     "AnomalyDetector",
     "AuditError",
@@ -150,6 +170,7 @@ __all__ = [
     "Profiler",
     "QuantumExpired",
     "Placement",
+    "QueueingDecomposition",
     "Relocate",
     "Repair",
     "Rollback",
@@ -157,6 +178,9 @@ __all__ = [
     "ScrubPass",
     "SegmentFault",
     "SimStep",
+    "SloBreach",
+    "SloEngine",
+    "SloObjective",
     "Span",
     "SpanBuilder",
     "StateRestore",
@@ -171,19 +195,23 @@ __all__ = [
     "aggregate_events",
     "audit_events",
     "build_spans",
+    "decompose_events",
     "derive_metrics",
     "diff_benches",
+    "evaluate_slo",
     "event_type",
     "from_record",
     "load_bench",
     "log_buckets",
     "make_source",
+    "parse_slo_spec",
     "read_jsonl",
     "register_event_type",
     "registered_event_types",
     "render_report",
     "run_summary",
     "spans_to_csv",
+    "stages_to_csv",
     "to_chrome_trace",
     "to_jsonl",
     "to_prometheus",

@@ -90,6 +90,18 @@ METRICS: Tuple[Tuple[str, Optional[str]], ...] = (
     ("compile.final_cost", "drift"),
     ("compile.route_iterations", "drift"),
     ("compile.final_overuse", "drift"),
+    # Saturation-sweep summary records (benchmarks/test_e20_saturation.py):
+    # knee position, goodput ceiling and stage attribution are pure
+    # simulation results — deterministic, so any drift means the system
+    # under load changed.
+    ("saturation.knee_rate", "drift"),
+    ("saturation.knee_p99", "drift"),
+    ("saturation.saturated_throughput", "drift"),
+    ("saturation.max_goodput_under_slo", "drift"),
+    ("saturation.stage_share.queue", "drift"),
+    ("saturation.stage_share.reconfig", "drift"),
+    ("saturation.stage_share.service", "drift"),
+    ("saturation.n_breaches", "drift"),
 )
 
 #: Growth-gated ``compile.*`` wall clocks with a baseline below this
@@ -120,6 +132,8 @@ class BenchDiff:
     fail_on: float
     rows: List[DiffRow] = field(default_factory=list)
     notes: List[str] = field(default_factory=list)
+    #: metric path -> threshold overriding :attr:`fail_on` for that row.
+    fail_on_overrides: Dict[str, float] = field(default_factory=dict)
 
     @property
     def regressions(self) -> List[DiffRow]:
@@ -135,6 +149,7 @@ class BenchDiff:
             "base": self.base_name,
             "new": self.new_name,
             "fail_on_pct": self.fail_on,
+            "fail_on_overrides": dict(sorted(self.fail_on_overrides.items())),
             "ok": self.ok,
             "n_regressions": len(self.regressions),
             "notes": list(self.notes),
@@ -181,16 +196,31 @@ def diff_benches(
     base: Union[str, Dict[str, object]],
     new: Union[str, Dict[str, object]],
     fail_on: float = 20.0,
+    fail_on_overrides: Optional[Dict[str, float]] = None,
 ) -> BenchDiff:
-    """Compare two BENCH artifacts (paths or loaded docs) run by run."""
+    """Compare two BENCH artifacts (paths or loaded docs) run by run.
+
+    ``fail_on`` is the global regression threshold (percent);
+    ``fail_on_overrides`` maps individual metric paths to their own
+    thresholds (e.g. ``{"wall_seconds": 300.0}`` tolerates CI-runner
+    wall-clock noise while keeping the deterministic metrics tight).
+    """
     base_doc = load_bench(base) if isinstance(base, str) else base
     new_doc = load_bench(new) if isinstance(new, str) else new
     base_runs = list(base_doc.get("runs") or [])
     new_runs = list(new_doc.get("runs") or [])
+    overrides = dict(fail_on_overrides or {})
+    unknown = [m for m in overrides if m not in {d for d, _g in METRICS}]
+    if unknown:
+        raise ValueError(
+            f"--fail-on override for unknown metric(s) {unknown}; "
+            f"known: {sorted(d for d, _g in METRICS)}"
+        )
     diff = BenchDiff(
         base_name=str(base_doc.get("experiment", "base")),
         new_name=str(new_doc.get("experiment", "new")),
         fail_on=fail_on,
+        fail_on_overrides=overrides,
     )
     if len(base_runs) != len(new_runs):
         diff.notes.append(
@@ -207,9 +237,10 @@ def diff_benches(
             bv, nv = _metric(b, dotted), _metric(n, dotted)
             if bv is None and nv is None:
                 continue
+            threshold = overrides.get(dotted, fail_on)
             delta = None
             regressed = False
-            note = ""
+            note = f"gate >{threshold:g}%" if dotted in overrides else ""
             if bv is not None and nv is not None:
                 delta = 0.0 if bv == nv else (
                     float("inf") if bv == 0 else (nv - bv) / bv * 100.0
@@ -219,9 +250,9 @@ def diff_benches(
                             bv < COMPILE_WALL_FLOOR:
                         note = "below gate floor"
                     else:
-                        regressed = delta > fail_on
+                        regressed = delta > threshold
                 elif gate == "drift":
-                    regressed = abs(delta) > fail_on
+                    regressed = abs(delta) > threshold
                 elif gate is None:
                     note = "informational"
             else:

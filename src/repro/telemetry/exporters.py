@@ -32,6 +32,7 @@ from .events import TelemetryEvent, event_type
 __all__ = [
     "to_jsonl", "JsonlExporter", "to_chrome_trace", "DURATION_ATTR",
     "from_record", "read_jsonl", "to_prometheus", "spans_to_csv",
+    "stages_to_csv", "STAGE_FIELDS",
 ]
 
 #: Events carrying this attribute with a positive value are rendered as
@@ -206,11 +207,14 @@ def _prom_num(v: float) -> str:
 
 
 def to_prometheus(agg, out: Union[str, TextIO, None] = None,
-                  prefix: str = "repro") -> str:
+                  prefix: str = "repro", slo=None) -> str:
     """Render a :class:`~repro.telemetry.metrics.MetricsAggregator` in
     the Prometheus text exposition format (histograms as cumulative
     ``le`` buckets with ``_sum``/``_count``, gauges, event counters).
-    Returns the text; also writes it to ``out`` when given."""
+    When an :class:`~repro.telemetry.slo.SloEngine` is passed as
+    ``slo``, its per-objective error-budget gauges and breach counters
+    are appended.  Returns the text; also writes it to ``out`` when
+    given."""
     lines: List[str] = []
 
     def histogram(name: str, help_: str, hist) -> None:
@@ -258,6 +262,35 @@ def to_prometheus(agg, out: Union[str, TextIO, None] = None,
     gauge("inflight_ops_mean",
           "Time-weighted mean number of in-flight FPGA operations.",
           util["inflight_mean"])
+    gauge("queue_depth_mean",
+          "Mean waiting-operation queue depth over the observed window.",
+          util["queue_depth_mean"])
+    gauge("queue_depth_max", "Peak waiting-operation queue depth.",
+          util["queue_depth_max"])
+    gauge("queue_wait_seconds_total", "Total fabric queueing seconds.",
+          util["queue_wait_seconds"])
+
+    if slo is not None:
+        budget = f"{prefix}_slo_error_budget_remaining"
+        lines.append(f"# HELP {budget} Error-budget fraction remaining "
+                     f"per objective metric (negative = overspent).")
+        lines.append(f"# TYPE {budget} gauge")
+        breach_counts: Dict[str, int] = {}
+        for row in slo.status():
+            lines.append(
+                f'{budget}{{objective="{row["objective"]}",'
+                f'metric="{row["metric"]}"}} '
+                f'{_prom_num(float(row["budget_remaining"]))}'
+            )
+        for b in slo.breaches:
+            key = f'objective="{b.objective}",metric="{b.metric}"'
+            breach_counts[key] = breach_counts.get(key, 0) + 1
+        total_b = f"{prefix}_slo_breaches_total"
+        lines.append(f"# HELP {total_b} SLO breach events published, "
+                     f"by objective and metric.")
+        lines.append(f"# TYPE {total_b} counter")
+        for key, n in sorted(breach_counts.items()):
+            lines.append(f"{total_b}{{{key}}} {n}")
 
     total = f"{prefix}_events_total"
     lines.append(f"# HELP {total} Telemetry events folded, by type.")
@@ -285,4 +318,31 @@ def spans_to_csv(spans, out: Union[str, TextIO, None] = None) -> str:
     writer.writeheader()
     for span in rows:
         writer.writerow(span.to_record())
+    return _write_text(buf.getvalue(), out)
+
+
+#: CSV column order of the per-source stage decomposition export.
+STAGE_FIELDS = (
+    "source", "ops", "duration",
+    "queue", "queue_share", "queue_p99",
+    "reconfig", "reconfig_share", "reconfig_p99",
+    "service", "service_share", "service_p99",
+    "unaccounted", "port_seconds", "port_ops",
+    "sched_decisions", "preempts",
+)
+
+
+def stages_to_csv(decomp, out: Union[str, TextIO, None] = None) -> str:
+    """Serialize a :class:`~repro.telemetry.slo.QueueingDecomposition`
+    as CSV, one row per source, columns in :data:`STAGE_FIELDS` order.
+    Returns the text; also writes it to ``out`` when given."""
+    import csv
+    import io
+
+    buf = io.StringIO()
+    writer = csv.DictWriter(buf, fieldnames=list(STAGE_FIELDS),
+                            extrasaction="ignore", lineterminator="\n")
+    writer.writeheader()
+    for row in decomp.rows():
+        writer.writerow(row)
     return _write_text(buf.getvalue(), out)

@@ -285,6 +285,16 @@ class MetricsAggregator:
         self.residency = TimeWeightedGauge()
         self.inflight = TimeWeightedGauge()
         self.port_busy_seconds = 0.0
+        #: total fabric queueing seconds (sum of Wait charges).
+        self.queue_wait_seconds = 0.0
+        #: endpoint deltas of every wait interval: ``Wait`` is published
+        #: at the *end* of the wait (``time``,  with ``seconds`` behind
+        #: it), so each event contributes (+1 @ time-seconds, -1 @ time).
+        #: Kept raw and swept lazily (:meth:`queue_depth_summary`) —
+        #: starts arrive out of order relative to already-folded events,
+        #: so an online gauge would clamp overlap away; the lazy sweep
+        #: is exact and still a pure function of the stream.
+        self._queue_deltas: List[Tuple[float, int]] = []
         self.counts: Dict[str, int] = {}
         self.first_time: Optional[float] = None
         self.last_time: Optional[float] = None
@@ -350,6 +360,9 @@ class MetricsAggregator:
 
     def _on_wait(self, e: Wait) -> None:
         self.wait_latency.observe(e.seconds)
+        self.queue_wait_seconds += e.seconds
+        self._queue_deltas.append((e.time - e.seconds, 1))
+        self._queue_deltas.append((e.time, -1))
 
     def _on_exec(self, e: Exec) -> None:
         self.exec_latency.observe(e.seconds)
@@ -377,6 +390,27 @@ class MetricsAggregator:
         elapsed = self.elapsed
         return 0.0 if elapsed <= 0 else self.port_busy_seconds / elapsed
 
+    def queue_depth_summary(self) -> Dict[str, object]:
+        """Waiting-operation queue depth, derived from the wait
+        intervals: the mean is exact (∑ wait seconds over the observed
+        window) and the max is an exact sweep over interval endpoints
+        (a wait ending exactly when another starts does not overlap
+        it)."""
+        depth = 0
+        max_depth = 0
+        for _t, delta in sorted(self._queue_deltas):
+            depth += delta
+            if depth > max_depth:
+                max_depth = depth
+        elapsed = self.elapsed
+        return {
+            "queue_wait_seconds": self.queue_wait_seconds,
+            "queue_depth_max": max_depth,
+            "queue_depth_mean": (
+                0.0 if elapsed <= 0 else self.queue_wait_seconds / elapsed
+            ),
+        }
+
     def latency_summary(self) -> Dict[str, Dict[str, object]]:
         return {
             "reconfig": self.reconfig_latency.as_dict(),
@@ -398,6 +432,7 @@ class MetricsAggregator:
             "inflight_max": self.inflight.max_value,
             "port_busy_seconds": self.port_busy_seconds,
             "port_busy_fraction": self.port_busy_fraction,
+            **self.queue_depth_summary(),
         }
         if self.clb_capacity:
             out["clb_capacity"] = self.clb_capacity
@@ -426,6 +461,10 @@ class MetricsAggregator:
                 "inflight": self.inflight.snapshot(),
             },
             "port_busy_seconds": self.port_busy_seconds,
+            "queue": {
+                "deltas": list(self._queue_deltas),
+                **self.queue_depth_summary(),
+            },
             "counts": dict(sorted(self.counts.items())),
             "first_time": self.first_time,
             "last_time": self.last_time,

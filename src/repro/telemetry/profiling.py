@@ -35,12 +35,21 @@ _SUBSYSTEM: Dict[str, str] = {
     "CadPhaseEnd": "cad",
     "CadAnnealStep": "cad",
     "CadRouteIteration": "cad",
+    "SchedDecision": "sched",
+    "DeadlineMiss": "sched",
+    "SloBreach": "slo",
 }
 
 #: The compile-path event names (the ``cad`` summary row aggregates them).
 _CAD_EVENTS = (
     "CadPhaseStart", "CadPhaseEnd", "CadAnnealStep", "CadRouteIteration",
 )
+
+#: Fabric-scheduling event names (the ``sched`` summary row).
+_SCHED_EVENTS = ("SchedDecision", "DeadlineMiss")
+
+#: SLO-engine event names (the ``slo`` summary row).
+_SLO_EVENTS = ("SloBreach",)
 
 
 class Profiler:
@@ -102,7 +111,10 @@ class Profiler:
         Streams carrying compile-path events gain a ``cad`` row: the
         per-event counts plus the summed phase wall seconds (for CAD
         events the time dimension *is* wall clock — the compile path has
-        no simulator)."""
+        no simulator).  Streams carrying fabric-scheduling or SLO-engine
+        events gain ``sched``/``slo`` rows the same way (counts only —
+        decisions, misses and breaches are instants without a duration
+        dimension)."""
         out: Dict[str, object] = {
             "n_events": self.n_events,
             "wall_seconds": self.wall_seconds,
@@ -120,4 +132,16 @@ class Profiler:
                 "counts": cad_counts,
                 "phase_wall_seconds": self.sim_seconds.get("CadPhaseEnd", 0.0),
             }
+        sched_counts = {
+            name: self.counts[name] for name in _SCHED_EVENTS
+            if name in self.counts
+        }
+        if sched_counts:
+            out["sched"] = {"counts": sched_counts}
+        slo_counts = {
+            name: self.counts[name] for name in _SLO_EVENTS
+            if name in self.counts
+        }
+        if slo_counts:
+            out["slo"] = {"counts": slo_counts}
         return out

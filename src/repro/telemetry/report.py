@@ -118,6 +118,9 @@ def _utilization_rows(agg: MetricsAggregator) -> List[Dict[str, object]]:
         {"gauge": "in-flight FPGA ops",
          "time-weighted mean": f"{util['inflight_mean']:.2f}",
          "max": f"{util['inflight_max']:.0f}"},
+        {"gauge": "waiting ops (queue depth)",
+         "time-weighted mean": f"{util['queue_depth_mean']:.2f}",
+         "max": f"{util['queue_depth_max']:.0f}"},
     ]
 
 

@@ -1,0 +1,73 @@
+"""Knee-point detection and goodput-under-SLO (:mod:`repro.analysis.knee`)."""
+
+import pytest
+
+from repro.analysis import KneePoint, knee_point, max_goodput_under_slo
+
+
+class TestKneePoint:
+    def test_hockey_stick_knee_is_last_flat_point(self):
+        """The classic open-loop curve: flat, flat, flat, explode.  The
+        knee is the last point before the blowup — the conservative
+        capacity estimate an operator provisions to."""
+        xs = [50.0, 100.0, 200.0, 400.0]
+        ys = [1.0, 1.0, 1.0, 100.0]
+        knee = knee_point(xs, ys)
+        assert isinstance(knee, KneePoint)
+        assert knee.x == 200.0 and knee.y == 1.0 and knee.index == 2
+        assert knee.strength > 0.0
+
+    def test_sharper_bend_is_stronger(self):
+        gentle = knee_point([1, 2, 3, 4], [1.0, 2.0, 4.0, 8.0])
+        sharp = knee_point([1, 2, 3, 4], [1.0, 1.0, 1.0, 100.0])
+        assert sharp.strength > gentle.strength
+
+    def test_too_few_points(self):
+        assert knee_point([1.0, 2.0], [1.0, 5.0]) is None
+
+    def test_degenerate_axes(self):
+        assert knee_point([1, 2, 3], [5.0, 5.0, 5.0]) is None
+        assert knee_point([2, 2, 2], [1.0, 5.0, 9.0]) is None
+
+    def test_straight_line_has_no_knee(self):
+        assert knee_point([1, 2, 3, 4], [10.0, 20.0, 30.0, 40.0]) is None
+
+    def test_ties_break_earliest(self):
+        """Two interior points equidistant from the chord: the earlier
+        one wins (conservative capacity)."""
+        knee = knee_point([0.0, 1.0, 2.0, 3.0], [0.0, 0.5, 0.5, 1.0])
+        assert knee.index == 1
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            knee_point([1, 2, 3], [1, 2])
+
+
+class TestMaxGoodputUnderSlo:
+    def test_best_compliant_point_wins(self):
+        assert max_goodput_under_slo(
+            rates=[50, 100, 200], goodputs=[10.0, 20.0, 30.0],
+            p99s=[0.1, 0.2, 5.0], slo=1.0,
+        ) == 20.0
+
+    def test_no_point_qualifies(self):
+        assert max_goodput_under_slo(
+            rates=[50, 100], goodputs=[10.0, 20.0],
+            p99s=[9.0, 9.0], slo=1.0,
+        ) == 0.0
+
+    def test_unknown_tail_latency_violates(self):
+        """A point without a measured p99 cannot certify the SLO."""
+        assert max_goodput_under_slo(
+            rates=[50, 100], goodputs=[99.0, 20.0],
+            p99s=[None, 0.1], slo=1.0,
+        ) == 20.0
+
+    def test_boundary_is_compliant(self):
+        assert max_goodput_under_slo(
+            rates=[50], goodputs=[10.0], p99s=[1.0], slo=1.0,
+        ) == 10.0
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            max_goodput_under_slo([1], [1.0, 2.0], [0.1], slo=1.0)

@@ -91,6 +91,57 @@ class TestStarvation:
         assert det.anomalies == []
 
 
+class TestDegenerateStreams:
+    """The detectors must be quiet and crash-free on streams that never
+    reach steady state: empty, single-event, and truncated mid-op."""
+
+    def test_empty_stream(self):
+        det = AnomalyDetector()
+        assert det.anomalies == []
+
+    def test_single_request_only(self):
+        det = AnomalyDetector(min_samples=2)
+        det(FpgaRequest(0.0, "t", config="c", op_id=1))
+        assert det.anomalies == []
+
+    def test_complete_without_request(self):
+        """A stream cut after the request was recorded elsewhere: the
+        orphan completion is dropped, not paired with garbage."""
+        det = AnomalyDetector(min_samples=2)
+        det(FpgaComplete(1.0, "t", config="c", op_id=9))
+        det(FpgaComplete(2.0, "u", config="c", op_id=10))
+        assert det.anomalies == []
+
+    def test_truncated_mid_operation(self):
+        """A healthy stream cut with an op in flight: no alarm fires for
+        the op the truncation orphaned."""
+        det = AnomalyDetector(min_samples=4, spike_factor=3.0,
+                              starvation_factor=10.0)
+        for i in range(6):
+            complete_op(det, i + 1, start=i * 10.0, latency=1.0)
+        det(FpgaRequest(60.0, "cut", config="c", op_id=99))
+        assert det.anomalies == []
+
+    def test_replay_with_own_warnings_converges(self):
+        """Feeding a recording that already contains the detector's
+        warnings back through a fresh detector yields the same verdicts
+        (the warnings don't feed back in)."""
+        def stream(det):
+            for i in range(4):
+                complete_op(det, i + 1, start=i * 10.0, latency=1.0)
+            complete_op(det, 99, start=100.0, latency=10.0)
+
+        first = AnomalyDetector(min_samples=4, spike_factor=3.0)
+        stream(first)
+        assert len(first.anomalies) == 1
+        second = AnomalyDetector(min_samples=4, spike_factor=3.0)
+        stream(second)
+        for warning in first.anomalies:
+            second(warning)
+        assert [a.invariant for a in second.anomalies] == \
+            [a.invariant for a in first.anomalies]
+
+
 class TestBusIntegration:
     def test_publishes_warnings_back_to_the_bus(self):
         bus = EventBus()

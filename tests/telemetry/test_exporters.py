@@ -105,6 +105,85 @@ class TestChromeTrace:
         assert len(doc["traceEvents"]) >= 3
 
 
+class TestSloAndStageExports:
+    """The PR 8 observability surface: queue gauges, per-objective
+    error-budget gauges, and the per-source stage CSV."""
+
+    def evaluated_run(self):
+        from repro.telemetry import (
+            FpgaComplete,
+            FpgaRequest,
+            MetricsAggregator,
+            QueueingDecomposition,
+            SloEngine,
+            SloObjective,
+            Wait,
+        )
+
+        agg = MetricsAggregator()
+        decomp = QueueingDecomposition()
+        engine = SloEngine([
+            SloObjective(name="gold", latency=1e-3),
+            SloObjective(name="avail", availability=0.999),
+        ])
+        stream = [
+            FpgaRequest(0.0, "t0", config="c", op_id=1),
+            Load(0.001, "t0", source="Svc#1", handle="c", seconds=0.004),
+            Wait(0.005, "t0", seconds=0.005),
+            FpgaComplete(0.01, "t0", config="c", op_id=1),
+        ]
+        for ev in stream:
+            agg(ev)
+            decomp(ev)
+            engine(ev)
+        engine.finish()
+        return agg, decomp, engine
+
+    def test_prometheus_queue_gauges(self):
+        from repro.telemetry import to_prometheus
+
+        agg, _decomp, _engine = self.evaluated_run()
+        text = to_prometheus(agg)
+        assert "# TYPE repro_queue_depth_mean gauge" in text
+        assert "repro_queue_depth_max 1" in text
+        assert "repro_queue_wait_seconds_total 0.005" in text
+
+    def test_prometheus_slo_gauges(self):
+        from repro.telemetry import to_prometheus
+
+        agg, _decomp, engine = self.evaluated_run()
+        text = to_prometheus(agg, slo=engine)
+        assert "# TYPE repro_slo_error_budget_remaining gauge" in text
+        assert 'objective="gold"' in text and 'metric="p99"' in text
+        assert "# TYPE repro_slo_breaches_total counter" in text
+        # The 10 ms op blew the 1 ms objective: one error breach.
+        assert 'repro_slo_breaches_total{objective="gold"' in text
+
+    def test_stages_csv(self, tmp_path):
+        import csv
+
+        from repro.telemetry import STAGE_FIELDS, stages_to_csv
+
+        _agg, decomp, _engine = self.evaluated_run()
+        path = tmp_path / "stages.csv"
+        stages_to_csv(decomp, str(path))
+        rows = list(csv.DictReader(path.open()))
+        assert len(rows) == 1
+        assert set(rows[0]) == set(STAGE_FIELDS)
+        assert float(rows[0]["queue"]) == pytest.approx(0.005)
+        assert int(rows[0]["ops"]) == 1
+
+    def test_slo_breach_survives_jsonl(self):
+        """Breach events round-trip the recording format like any other
+        registered event."""
+        from repro.telemetry import SloBreach, read_jsonl
+
+        breach = SloBreach(0.5, source="slo", objective="gold",
+                           metric="p99", threshold=1e-3, observed=9e-3,
+                           budget_remaining=-0.8, severity="error")
+        assert read_jsonl(io.StringIO(to_jsonl([breach]))) == [breach]
+
+
 class TestProfiler:
     def test_counts_and_rates(self):
         ticks = iter(range(100))
@@ -122,6 +201,28 @@ class TestProfiler:
             prof.record(ev)
         assert prof.sim_seconds == {"Load": pytest.approx(0.004)}
         assert prof.by_subsystem() == {"config-port": pytest.approx(0.004)}
+
+    def test_sched_and_slo_subsystem_rows(self):
+        from repro.telemetry import SloBreach
+        from repro.telemetry.events import DeadlineMiss, SchedDecision
+
+        prof = Profiler()
+        prof.record(SchedDecision(0.1, "t", source="svc",
+                                  strategy="cost-aware", preempt=True))
+        prof.record(DeadlineMiss(0.2, "t", deadline=0.1, lateness=0.1))
+        prof.record(SloBreach(0.3, source="slo", objective="gold",
+                              metric="p99"))
+        summary = prof.summary()
+        assert summary["sched"] == {
+            "counts": {"SchedDecision": 1, "DeadlineMiss": 1}}
+        assert summary["slo"] == {"counts": {"SloBreach": 1}}
+
+    def test_no_sched_rows_without_sched_events(self):
+        prof = Profiler()
+        for ev in SAMPLE:
+            prof.record(ev)
+        summary = prof.summary()
+        assert "sched" not in summary and "slo" not in summary
 
     def test_summary_is_json_ready(self):
         bus = EventBus()
