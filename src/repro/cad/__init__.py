@@ -5,6 +5,7 @@ The entry point is :func:`repro.cad.compile_netlist`; everything else is
 exposed for tests, ablation benchmarks (E13) and curious users.
 """
 
+from .cache import CompileCache, netlist_digest
 from .flow import (
     CompileError,
     CompileResult,
@@ -16,6 +17,7 @@ from .flow import (
 from .instrument import (
     PHASES,
     CadAnnealStep,
+    CadCacheLookup,
     CadInstrumentation,
     CadPhaseEnd,
     CadPhaseStart,
@@ -23,7 +25,7 @@ from .instrument import (
     CompileProfile,
 )
 from .pack import Ble, PackedDesign, PackError, nets_of, pack
-from .place import Placement, PlacementError, hpwl, place
+from .place import VECTOR_MIN_BLES, Placement, PlacementError, hpwl, place
 from .route import NetSpec, RoutedNet, Router, RoutingError
 from .rrg import RoutingGraph
 from .techmap import TechmapError, absorb_fanin, check_mapped, gate_truth, technology_map
@@ -32,12 +34,15 @@ from .verify import VerificationError, verify_bitstream
 
 __all__ = [
     "PHASES",
+    "VECTOR_MIN_BLES",
     "Ble",
     "CadAnnealStep",
+    "CadCacheLookup",
     "CadInstrumentation",
     "CadPhaseEnd",
     "CadPhaseStart",
     "CadRouteIteration",
+    "CompileCache",
     "CompileError",
     "CompileProfile",
     "CompileResult",
@@ -62,6 +67,7 @@ __all__ = [
     "gate_truth",
     "hpwl",
     "minimal_region",
+    "netlist_digest",
     "nets_of",
     "pack",
     "place",

@@ -18,7 +18,7 @@ Two modes:
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Set, Tuple
 
 from ..device import (
@@ -35,6 +35,7 @@ from ..device import (
     iob_sites,
 )
 from ..netlist import Netlist
+from .cache import CompileCache, netlist_digest
 from .instrument import CadInstrumentation, CompileProfile
 from .pack import PackedDesign, nets_of, pack
 from .place import Placement, place
@@ -181,6 +182,8 @@ def compile_netlist(
     max_route_iterations: int = 24,
     shape: str = "square",
     instrument: Optional[CadInstrumentation] = None,
+    engine: str = "auto",
+    cache: Optional[CompileCache] = None,
 ) -> CompileResult:
     """Compile ``netlist`` for ``arch``.
 
@@ -191,6 +194,18 @@ def compile_netlist(
     and bitstreams are bit-identical with instrumentation on or off.
     Auto-region retries accumulate into the same instrument, so the
     profile records the *whole* compile including discarded attempts.
+
+    ``engine`` selects the placement/routing kernels (``"auto"``,
+    ``"scalar"``, ``"vector"``); the kernels are bit-identical, so the
+    result does not depend on it.  ``cache`` (a
+    :class:`~repro.cad.cache.CompileCache`) memoises the flow end-to-end
+    by netlist content digest plus per-stage (pack on digest alone,
+    place/route keyed downstream); hits return without re-running the
+    skipped phases, and every lookup is published as a
+    :class:`~repro.cad.instrument.CadCacheLookup` event when
+    instrumented.  Cached results are shared — callers must treat them
+    as read-only, exactly like the frame images the
+    :class:`~repro.core.bitcache.BitstreamCache` serves.
 
     Raises
     ------
@@ -204,6 +219,20 @@ def compile_netlist(
     if mode not in ("relocatable", "dedicated"):
         raise ValueError(f"unknown mode {mode!r}")
     if mode == "relocatable" and region is None:
+        flow_key = None
+        if cache is not None:
+            flow_key = cache.flow_key(
+                netlist_digest(netlist), arch, mode=mode,
+                region_token=("auto", shape), seed=seed, effort=effort,
+                max_route_iterations=max_route_iterations,
+            )
+            hit = cache.lookup_result(flow_key, instrument=instrument)
+            if hit is not None:
+                return replace(
+                    hit,
+                    profile=instrument.profile() if instrument is not None
+                    else None,
+                )
         # Auto-sized regions: retry with progressively roomier regions when
         # routing congestion does not resolve (standard relax-and-retry).
         last_exc: Optional[RoutingError] = None
@@ -214,27 +243,59 @@ def compile_netlist(
             auto = minimal_region(design.n_clbs, io_count, arch,
                                   utilization=utilization, shape=shape)
             try:
-                return compile_netlist(
+                result = compile_netlist(
                     netlist, arch, region=auto, mode=mode, seed=seed,
                     effort=effort, max_route_iterations=max_route_iterations,
-                    shape=shape, instrument=instrument,
+                    shape=shape, instrument=instrument, engine=engine,
+                    cache=cache,
                 )
+                if cache is not None and flow_key is not None:
+                    cache.store_result(flow_key, result, arch)
+                return result
             except RoutingError as exc:
                 last_exc = exc
                 if auto == arch.full_rect:
                     break
         raise last_exc  # even the roomiest region failed
-    with _phase(instrument, "techmap", size=len(netlist.cells)) as ph:
-        mapped = technology_map(netlist, arch.k)
-        ph.size = len(mapped.cells)
-    with _phase(instrument, "pack", size=len(mapped.cells)) as ph:
-        design = pack(mapped, arch.k)
-        ph.size = design.n_clbs
+    if mode == "dedicated" and region is not None and region != arch.full_rect:
+        raise ValueError("dedicated mode always targets the full device")
+
+    digest = ""
+    flow_key = None
+    if cache is not None:
+        digest = netlist_digest(netlist)
+        region_token: Tuple = (
+            _rect_token(arch.full_rect) if mode == "dedicated"
+            else _rect_token(region) if region is not None
+            else ("auto", shape)
+        )
+        flow_key = cache.flow_key(
+            digest, arch, mode=mode, region_token=region_token, seed=seed,
+            effort=effort, max_route_iterations=max_route_iterations,
+        )
+        hit = cache.lookup_result(flow_key, instrument=instrument)
+        if hit is not None:
+            return replace(
+                hit,
+                profile=instrument.profile() if instrument is not None
+                else None,
+            )
+
+    pack_key = (digest, arch.k)
+    design = (cache.lookup_stage("pack", pack_key, instrument=instrument)
+              if cache is not None else None)
+    if design is None:
+        with _phase(instrument, "techmap", size=len(netlist.cells)) as ph:
+            mapped = technology_map(netlist, arch.k)
+            ph.size = len(mapped.cells)
+        with _phase(instrument, "pack", size=len(mapped.cells)) as ph:
+            design = pack(mapped, arch.k)
+            ph.size = design.n_clbs
+        if cache is not None:
+            cache.store_stage("pack", pack_key, design)
     io_count = len(design.inputs) + len(design.outputs)
 
     if mode == "dedicated":
-        if region is not None and region != arch.full_rect:
-            raise ValueError("dedicated mode always targets the full device")
         region = arch.full_rect
         if io_count > arch.n_pins:
             raise PinCapacityError(
@@ -250,10 +311,16 @@ def compile_netlist(
                 f"{region} offers {capacity}"
             )
 
-    with _phase(instrument, "place", size=design.n_clbs) as ph:
-        placement = place(design, region, seed=seed, effort=effort,
-                          instrument=instrument)
-        ph.size = design.n_clbs
+    place_key = pack_key + (_rect_token(region), seed, effort)
+    placement = (cache.lookup_stage("place", place_key, instrument=instrument)
+                 if cache is not None else None)
+    if placement is None:
+        with _phase(instrument, "place", size=design.n_clbs) as ph:
+            placement = place(design, region, seed=seed, effort=effort,
+                              instrument=instrument, engine=engine)
+            ph.size = design.n_clbs
+        if cache is not None:
+            cache.store_stage("place", place_key, placement)
 
     # -- I/O binding ---------------------------------------------------------
     virtual_inputs: Dict[str, Wire] = {}
@@ -302,28 +369,40 @@ def compile_netlist(
         else:
             specs[src].sinks.append(("pad", pad_outputs[port]))
 
-    with _phase(instrument, "rrg") as ph:
-        graph = RoutingGraph(
-            arch,
-            region=None if mode == "dedicated" else region,
-            include_pads=(mode == "dedicated"),
-        )
-        ph.size = len(graph)
-    # Virtual-pin wires are interface terminals: reserve each for the net
-    # that owns it so no other net can route through (an *unused* input's
-    # wire would otherwise be free routing stock and its external driver
-    # would short into whatever used it).
-    reserved: Dict[int, str] = {}
-    for port, wire in virtual_inputs.items():
-        reserved[graph.wire_id(wire)] = port
-    for port, wire in virtual_outputs.items():
-        reserved[graph.wire_id(wire)] = design.outputs[port]
-    router = Router(graph, max_iterations=max_route_iterations,
-                    reserved=reserved)
-    net_list = [specs[name] for name in sorted(specs)]
-    with _phase(instrument, "route", size=len(net_list)) as ph:
-        routed = router.route(net_list, instrument=instrument)
-        ph.size = len(routed)
+    route_key = place_key + (arch.name, mode, max_route_iterations)
+    cached_route = (
+        cache.lookup_stage("route", route_key, instrument=instrument)
+        if cache is not None else None
+    )
+    if cached_route is not None:
+        # Graph and routes are deterministic for this key; reusing them
+        # skips the rrg + route phases entirely.
+        graph, routed = cached_route
+    else:
+        with _phase(instrument, "rrg") as ph:
+            graph = RoutingGraph(
+                arch,
+                region=None if mode == "dedicated" else region,
+                include_pads=(mode == "dedicated"),
+            )
+            ph.size = len(graph)
+        # Virtual-pin wires are interface terminals: reserve each for the
+        # net that owns it so no other net can route through (an *unused*
+        # input's wire would otherwise be free routing stock and its
+        # external driver would short into whatever used it).
+        reserved: Dict[int, str] = {}
+        for port, wire in virtual_inputs.items():
+            reserved[graph.wire_id(wire)] = port
+        for port, wire in virtual_outputs.items():
+            reserved[graph.wire_id(wire)] = design.outputs[port]
+        router = Router(graph, max_iterations=max_route_iterations,
+                        reserved=reserved, engine=engine)
+        net_list = [specs[name] for name in sorted(specs)]
+        with _phase(instrument, "route", size=len(net_list)) as ph:
+            routed = router.route(net_list, instrument=instrument)
+            ph.size = len(routed)
+        if cache is not None:
+            cache.store_stage("route", route_key, (graph, routed))
 
     with _phase(instrument, "timing", size=len(routed)) as ph:
         timing = analyze_timing(arch, placement, routed)
@@ -340,7 +419,7 @@ def compile_netlist(
         )
         if instrument is not None:
             ph.size = len(bitstream.frames_touched(arch))
-    return CompileResult(
+    result = CompileResult(
         bitstream=bitstream,
         design=design,
         placement=placement,
@@ -349,6 +428,14 @@ def compile_netlist(
         n_nets=len(routed),
         profile=instrument.profile() if instrument is not None else None,
     )
+    if cache is not None and flow_key is not None:
+        cache.store_result(flow_key, result, arch)
+    return result
+
+
+def _rect_token(region: Rect) -> Tuple[int, int, int, int]:
+    """Hashable cache-key view of a region rectangle."""
+    return (region.x, region.y, region.w, region.h)
 
 
 def _generate_bitstream(

@@ -52,6 +52,7 @@ __all__ = [
     "CadPhaseEnd",
     "CadAnnealStep",
     "CadRouteIteration",
+    "CadCacheLookup",
     "CadInstrumentation",
     "CompileProfile",
     "PHASES",
@@ -151,6 +152,30 @@ class CadRouteIteration(TelemetryEvent):
     def detail(self) -> str:
         return (f"iter {self.iteration}: {self.overused} overused, "
                 f"{self.ripped_up} ripped")
+
+
+@register_event_type
+@dataclass(frozen=True)
+class CadCacheLookup(TelemetryEvent):
+    """One compile-cache consultation.
+
+    ``stage`` is ``"flow"`` for the end-to-end result lookup or a stage
+    cache name (``"pack"``, ``"place"``, ``"route"``); ``outcome`` is
+    ``"hit"`` or ``"miss"``.  ``digest`` carries the netlist content
+    digest the key was built from; ``bytes_served`` the configuration
+    bytes a flow hit avoided regenerating (0 for stage lookups, whose
+    value is the skipped phase wall-clock, visible in the phase table).
+    """
+
+    stage: str = ""
+    outcome: str = ""
+    digest: str = ""
+    bytes_served: int = 0
+    kind: ClassVar[Optional[str]] = None
+
+    @property
+    def detail(self) -> str:
+        return f"{self.stage}: {self.outcome}"
 
 
 class _PhaseHandle:
@@ -259,6 +284,13 @@ class CadInstrumentation:
             wall_seconds=wall_seconds,
         ))
 
+    def cache_lookup(self, stage: str, outcome: str, digest: str,
+                     bytes_served: int = 0) -> None:
+        self._emit(CadCacheLookup(
+            time=self._now(), source=self.source, stage=stage,
+            outcome=outcome, digest=digest, bytes_served=bytes_served,
+        ))
+
     def profile(self) -> "CompileProfile":
         """Reduce the collected events to a :class:`CompileProfile`."""
         return CompileProfile.from_events(self.events)
@@ -280,6 +312,8 @@ class CompileProfile:
     sa_curve: List[Dict[str, object]] = field(default_factory=list)
     #: Router curve: {"iteration", "overused", "ripped_up", "pressure"}.
     route_curve: List[Dict[str, object]] = field(default_factory=list)
+    #: Compile-cache consultations: {"stage", "outcome", "bytes_served"}.
+    cache_lookups: List[Dict[str, object]] = field(default_factory=list)
 
     @classmethod
     def from_events(cls, events: Sequence[TelemetryEvent]) -> "CompileProfile":
@@ -306,6 +340,12 @@ class CompileProfile:
                     "overused": ev.overused,
                     "ripped_up": ev.ripped_up,
                     "pressure": ev.pressure,
+                })
+            elif isinstance(ev, CadCacheLookup):
+                prof.cache_lookups.append({
+                    "stage": ev.stage,
+                    "outcome": ev.outcome,
+                    "bytes_served": ev.bytes_served,
                 })
         return prof
 
@@ -348,6 +388,31 @@ class CompileProfile:
     def final_overuse(self) -> int:
         return int(self.route_curve[-1]["overused"]) if self.route_curve else 0  # type: ignore[arg-type]
 
+    # -- cache views -------------------------------------------------------
+    def _cache_count(self, outcome: str, flow: bool) -> int:
+        return sum(
+            1 for rec in self.cache_lookups
+            if rec["outcome"] == outcome and (rec["stage"] == "flow") is flow
+        )
+
+    @property
+    def cache_hits(self) -> int:
+        """End-to-end compile-cache hits (whole flow served)."""
+        return self._cache_count("hit", flow=True)
+
+    @property
+    def cache_misses(self) -> int:
+        return self._cache_count("miss", flow=True)
+
+    @property
+    def cache_stage_hits(self) -> int:
+        """Stage-partial hits (pack/place/route served, rest recompiled)."""
+        return self._cache_count("hit", flow=False)
+
+    @property
+    def cache_bytes_served(self) -> int:
+        return sum(int(rec["bytes_served"]) for rec in self.cache_lookups)  # type: ignore[arg-type]
+
     def as_dict(self) -> Dict[str, object]:
         """JSON-ready view: the ``compile`` block of ``BENCH_*.json``."""
         return {
@@ -361,6 +426,13 @@ class CompileProfile:
             "route_iterations": self.route_iterations,
             "route_curve": [dict(rec) for rec in self.route_curve],
             "final_overuse": self.final_overuse,
+            "cache": {
+                "lookups": [dict(rec) for rec in self.cache_lookups],
+                "hits": self.cache_hits,
+                "misses": self.cache_misses,
+                "stage_partial_hits": self.cache_stage_hits,
+                "bytes_served": self.cache_bytes_served,
+            },
         }
 
     def render(self, title: str = "compile profile") -> str:
@@ -417,6 +489,34 @@ class CompileProfile:
                 title=f"{title} — PathFinder convergence "
                       f"({self.route_iterations} iterations, "
                       f"peak RRG {self.peak_rrg_nodes} nodes)",
+            ))
+        if self.cache_lookups:
+            stages = []
+            for rec in self.cache_lookups:
+                if rec["stage"] not in stages:
+                    stages.append(rec["stage"])
+            cache_rows = [
+                {
+                    "stage": stage,
+                    "hits": sum(1 for r in self.cache_lookups
+                                if r["stage"] == stage
+                                and r["outcome"] == "hit"),
+                    "misses": sum(1 for r in self.cache_lookups
+                                  if r["stage"] == stage
+                                  and r["outcome"] == "miss"),
+                    "bytes_served": sum(
+                        int(r["bytes_served"]) for r in self.cache_lookups  # type: ignore[arg-type]
+                        if r["stage"] == stage
+                    ),
+                }
+                for stage in stages
+            ]
+            parts.append(format_table(
+                cache_rows,
+                title=f"{title} — compile cache "
+                      f"({self.cache_hits} flow hits, "
+                      f"{self.cache_stage_hits} stage-partial hits, "
+                      f"{self.cache_bytes_served} bytes served)",
             ))
         return "\n\n".join(parts)
 

@@ -6,6 +6,23 @@ accumulating history term force them apart until every wire carries at
 most one net.  Each routed net records enough structure (source taps, sink
 taps, enabled switches, pad taps, per-sink path lengths) to be turned
 directly into configuration bits and timing numbers.
+
+Router state (occupancy, history, the long-line base-cost mask) lives in
+numpy arrays.  Two cost engines share it:
+
+* ``scalar`` — the reference: :meth:`Router._node_cost` priced per node
+  inside the Dijkstra loop, exactly as the router has always worked;
+* ``vector`` — one elementwise cost vector
+  ``base * (1 + history) * (1 + pressure * occupancy)`` computed per
+  ``_route_net`` call and indexed by the Dijkstra loop.
+
+The vector is exact, not an approximation: within one ``_route_net``
+call the only occupancy that changes is the net's own committed nodes,
+and for those the scalar path subtracts the net-membership unit again —
+so the per-node cost is invariant across the call, float64 arithmetic is
+elementwise-identical, and routes are node-for-node the same (pinned by
+tests/cad/test_route_parity.py).  Overuse detection and the history bump
+between iterations are single array ops under both engines.
 """
 
 from __future__ import annotations
@@ -22,6 +39,8 @@ from typing import (
     Set,
     Tuple,
 )
+
+import numpy as np
 
 from ..device import Coord, IobSite, clb_input_candidates, clb_output_candidates
 from .rrg import RoutingGraph
@@ -95,16 +114,30 @@ class Router:
         graph: RoutingGraph,
         max_iterations: int = 24,
         reserved: Optional[Dict[int, str]] = None,
+        engine: str = "auto",
     ) -> None:
+        if engine not in ("auto", "scalar", "vector"):
+            raise ValueError(f"unknown router engine {engine!r}")
         self.graph = graph
         self.max_iterations = max_iterations
+        #: ``scalar`` prices nodes one by one (the reference), ``vector``
+        #: precomputes one cost vector per net; ``auto`` means vector
+        #: (the precompute amortizes at every graph size measured).
+        self.engine = engine
         #: node id -> owning net name: nobody else may even pass through
         #: (virtual pins are interface wires, not routing stock — an
         #: unused input's pin must stay electrically private).
         self.reserved: Dict[int, str] = dict(reserved or {})
         n = len(graph)
-        self.occupancy = [0] * n
-        self.history = [0.0] * n
+        self.occupancy = np.zeros(n, dtype=np.int64)
+        self.history = np.zeros(n, dtype=np.float64)
+        #: Per-node base cost (the long-line mask applied once, not per
+        #: Dijkstra visit).
+        self._base = np.fromiter(
+            (self.LONG_BASE_COST if graph.is_long(nid) else 1.0
+             for nid in range(n)),
+            dtype=np.float64, count=n,
+        )
         self._pressure = 0.5
         #: Overused-wire count after each PathFinder iteration of the
         #: last :meth:`route` call (the convergence curve; also embedded
@@ -118,6 +151,7 @@ class Router:
 
     def _node_cost(self, node: int, net_nodes: Set[int],
                    net_name: Optional[str] = None) -> float:
+        """The reference per-node cost (the ``scalar`` engine)."""
         owner = self.reserved.get(node)
         if owner is not None and owner != net_name:
             return float("inf")
@@ -127,6 +161,26 @@ class Router:
         over = max(0, occ)  # sharing beyond capacity 1
         base = self.LONG_BASE_COST if self.graph.is_long(node) else 1.0
         return base * (1.0 + self.history[node]) * (1.0 + self._pressure * over)
+
+    def _net_cost_vector(self, net_name: Optional[str]) -> List[float]:
+        """All node costs for one :meth:`_route_net` call (the ``vector``
+        engine), as python floats for the Dijkstra heap.
+
+        Computed against an *empty* net tree, which stays exact for the
+        whole call: a node the net commits gains one occupancy unit but
+        also net membership, and :meth:`_node_cost` subtracts membership
+        back out — ``max(0, occ+1-1) == max(0, occ)``.  Nothing else
+        mutates occupancy, history or pressure mid-call, and the
+        elementwise float64 products match the scalar expression bit for
+        bit.
+        """
+        cost = (self._base * (1.0 + self.history)
+                * (1.0 + self._pressure * self.occupancy))
+        out: List[float] = cost.tolist()
+        for nid, owner in self.reserved.items():
+            if owner != net_name:
+                out[nid] = float("inf")
+        return out
 
     # -- endpoint expansion ----------------------------------------------------
     def _source_seeds(self, source: Endpoint) -> List[Tuple[int, tuple]]:
@@ -188,6 +242,11 @@ class Router:
         g = self.graph
         routed = RoutedNet(name=net.name)
         seeds = self._source_seeds(net.source)
+        # The vector engine prices every node once per net call; the
+        # scalar engine prices inside the loop (see _net_cost_vector for
+        # why both give identical costs).
+        cost_vec = (self._net_cost_vector(net.name)
+                    if self.engine != "scalar" else None)
         #: node -> (n_wires, n_switches) from the source, for timing.
         depth: Dict[int, Tuple[int, int]] = {}
 
@@ -202,7 +261,8 @@ class Router:
                 prev[nid] = (None, ("tree",))
                 heapq.heappush(heap, (0.0, nid))
             for nid, entry in seeds:
-                cost = self._node_cost(nid, routed.nodes, net.name)
+                cost = (cost_vec[nid] if cost_vec is not None
+                        else self._node_cost(nid, routed.nodes, net.name))
                 if cost == float("inf"):
                     continue
                 if nid not in dist or cost < dist[nid]:
@@ -218,7 +278,8 @@ class Router:
                     found = nid
                     break
                 for nxt, edge in g.adj[nid]:
-                    step = self._node_cost(nxt, routed.nodes, net.name)
+                    step = (cost_vec[nxt] if cost_vec is not None
+                            else self._node_cost(nxt, routed.nodes, net.name))
                     if step == float("inf"):
                         continue
                     nd = d + step
@@ -306,24 +367,21 @@ class Router:
                         self.occupancy[nid] -= 1
                     ripped += 1
                 results[net.name] = self._route_net(net)
-            overused = [
-                nid for nid, occ in enumerate(self.occupancy) if occ > 1
-            ]
-            self.overuse_history.append(len(overused))
+            overused = np.flatnonzero(self.occupancy > 1)
+            self.overuse_history.append(int(overused.size))
             if instrument is not None:
                 instrument.route_iteration(
-                    iteration=iteration, overused=len(overused),
+                    iteration=iteration, overused=int(overused.size),
                     ripped_up=ripped, pressure=self._pressure,
                     wall_seconds=instrument.now() - iter_t0,
                 )
-            if not overused:
+            if not overused.size:
                 return results
-            for nid in overused:
-                self.history[nid] += 1.0
+            self.history[overused] += 1.0
             self._pressure *= 1.8
         raise RoutingError(
             f"congestion unresolved after {self.max_iterations} iterations "
-            f"({sum(1 for o in self.occupancy if o > 1)} overused wires; "
+            f"({int(np.count_nonzero(self.occupancy > 1))} overused wires; "
             f"final pressure {self._pressure:.4g}; overused per iteration "
             f"{self.overuse_history})"
         )

@@ -112,6 +112,7 @@ def cmd_compile(args) -> int:
         nl, arch,
         mode="dedicated" if args.dedicated else "relocatable",
         seed=args.seed, effort=args.effort, shape=args.shape,
+        engine=args.engine,
     )
     bs = res.bitstream
     print(f"target: {arch.name}  region {bs.region}  "
@@ -129,13 +130,14 @@ def cmd_compile(args) -> int:
 
 
 def cmd_compile_report(args) -> int:
-    """Per-phase wall-clock, SA cost curve and PathFinder convergence of
-    one compile — live (instrumented flow) or from a recorded JSONL
-    stream of CAD events."""
+    """Per-phase wall-clock, SA cost curve, PathFinder convergence and
+    compile-cache summary of one compile — live (instrumented flow) or
+    from a recorded JSONL stream of CAD events."""
     import json
 
     from .cad import (
         CadInstrumentation,
+        CompileCache,
         CompileError,
         CompileProfile,
         PlacementError,
@@ -161,13 +163,24 @@ def cmd_compile_report(args) -> int:
         arch = get_family(args.family)
         nl = build_circuit(args.circuit)
         instr = CadInstrumentation()
+        cache = CompileCache() if args.compile_cache else None
         try:
             res = compile_netlist(
                 nl, arch,
                 mode="dedicated" if args.dedicated else "relocatable",
                 seed=args.seed, effort=args.effort, shape=args.shape,
-                instrument=instr,
+                instrument=instr, engine=args.engine, cache=cache,
             )
+            if cache is not None:
+                # Cold + warm through one cache in one event stream: the
+                # phase table shows the cold compile, the cache table the
+                # warm flow hit.
+                res = compile_netlist(
+                    nl, arch,
+                    mode="dedicated" if args.dedicated else "relocatable",
+                    seed=args.seed, effort=args.effort, shape=args.shape,
+                    instrument=instr, engine=args.engine, cache=cache,
+                )
         except (CompileError, PlacementError, RoutingError) as exc:
             # The phases that did run are exactly what one wants to see
             # when a compile fails — report them, then exit nonzero.
@@ -650,6 +663,10 @@ def make_parser() -> argparse.ArgumentParser:
     c.add_argument("--seed", type=int, default=0)
     c.add_argument("--dedicated", action="store_true",
                    help="bind primary I/O to physical pads")
+    c.add_argument("--engine", default="auto",
+                   choices=["auto", "scalar", "vector"],
+                   help="CAD kernel engine (results are bit-identical; "
+                        "auto picks by design size)")
     c.add_argument("--verify", action="store_true",
                    help="functionally verify the bitstream on the device")
 
@@ -668,6 +685,13 @@ def make_parser() -> argparse.ArgumentParser:
     cr.add_argument("--seed", type=int, default=0)
     cr.add_argument("--dedicated", action="store_true",
                     help="bind primary I/O to physical pads")
+    cr.add_argument("--engine", default="auto",
+                    choices=["auto", "scalar", "vector"],
+                    help="CAD kernel engine (results are bit-identical; "
+                         "auto picks by design size)")
+    cr.add_argument("--compile-cache", action="store_true",
+                    help="compile twice through one fresh CompileCache "
+                         "and report the cold-miss/warm-hit cache summary")
     cr.add_argument("-i", "--input", default=None, metavar="EVENTS.jsonl",
                     help="reduce this recorded CAD event stream instead "
                          "of compiling")

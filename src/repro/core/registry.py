@@ -20,7 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
-from ..cad import CompileResult, compile_netlist
+from ..cad import CompileCache, CompileResult, compile_netlist
 from ..device import Architecture, Bitstream, ClbConfig, Coord, Rect
 from ..netlist import Netlist
 from .bitcache import BitstreamCache
@@ -130,6 +130,10 @@ class ConfigRegistry:
         #: Shared content-addressed cache of encoded frame images,
         #: consulted by every service load through this registry.
         self.bitcache = BitstreamCache(arch)
+        #: Shared content-addressed compile cache: repeat
+        #: :meth:`compile_and_register` calls over the same netlist
+        #: content are metadata hits, the way repeat loads already are.
+        self.compile_cache = CompileCache()
 
     # -- registration --------------------------------------------------------
     def register(self, entry: ConfigEntry) -> ConfigEntry:
@@ -181,10 +185,11 @@ class ConfigRegistry:
         effort: str = "sa",
         state_accessible: bool = True,
         shape: str = "square",
+        engine: str = "auto",
     ) -> ConfigEntry:
         result = compile_netlist(
             netlist, self.arch, region=region, seed=seed, effort=effort,
-            shape=shape,
+            shape=shape, engine=engine, cache=self.compile_cache,
         )
         return self.register_compiled(
             result, name=name, state_accessible=state_accessible

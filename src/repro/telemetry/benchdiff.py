@@ -57,6 +57,8 @@ def _metric(run: Dict[str, object], dotted: str) -> Optional[float]:
 
 
 #: (dotted metric path, gate mode): "growth" fails only on increase,
+#: "shrink" fails only on decrease (won metrics — a speedup or cache
+#: saving is allowed to improve without bound but must not erode),
 #: "drift" fails on change in either direction, None never fails.
 #: The ``compile.*`` paths gate the CAD-flow records emitted by
 #: ``benchmarks/_harness.record_compile``: the dominant phases (place,
@@ -102,11 +104,22 @@ METRICS: Tuple[Tuple[str, Optional[str]], ...] = (
     ("saturation.stage_share.reconfig", "drift"),
     ("saturation.stage_share.service", "drift"),
     ("saturation.n_breaches", "drift"),
+    # E13d kernel/cache summary records (benchmarks/test_e13_cad_ablation.py):
+    # the wall clocks gate on growth like any compile timing; the two
+    # win ratios gate on *shrink* — the vectorized speedup and the
+    # warm-cache reduction are the point of the optimisation, so CI
+    # fails when either erodes past the threshold, while improving is
+    # always fine.
+    ("e13d.cold_seconds", "growth"),
+    ("e13d.warm_seconds", "growth"),
+    ("e13d.sa_speedup", "shrink"),
+    ("e13d.warm_reduction", "shrink"),
 )
 
-#: Growth-gated ``compile.*`` wall clocks with a baseline below this
-#: many seconds are reported but never fail (sub-millisecond phases
-#: are dominated by timer/scheduler noise).
+#: Growth-gated ``compile.*`` / ``e13d.*`` wall clocks with a baseline
+#: below this many seconds are reported but never fail (sub-millisecond
+#: phases — and warm-cache hits — are dominated by timer/scheduler
+#: noise).
 COMPILE_WALL_FLOOR = 1e-3
 
 
@@ -246,11 +259,14 @@ def diff_benches(
                     float("inf") if bv == 0 else (nv - bv) / bv * 100.0
                 )
                 if gate == "growth":
-                    if dotted.startswith("compile.") and \
+                    if dotted.startswith(("compile.", "e13d.")) and \
+                            "seconds" in dotted and \
                             bv < COMPILE_WALL_FLOOR:
                         note = "below gate floor"
                     else:
                         regressed = delta > threshold
+                elif gate == "shrink":
+                    regressed = delta is not None and -delta > threshold
                 elif gate == "drift":
                     regressed = abs(delta) > threshold
                 elif gate is None:
